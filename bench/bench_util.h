@@ -1,0 +1,34 @@
+// Shared helpers for the table/figure benchmark harness.
+//
+// Conventions:
+//  * Each bench binary regenerates one table or figure from the paper's
+//    evaluation. Every (configuration, detector) pair is registered as one
+//    google-benchmark entry run for exactly one iteration; the paper's
+//    metrics are attached as user counters, so the benchmark output *is*
+//    the figure's data series.
+//  * GEOSPHERE_BENCH_FRAMES scales the Monte-Carlo effort (default noted
+//    per binary). Larger values tighten the estimates.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <string>
+
+namespace geosphere::bench {
+
+/// Frames per Monte-Carlo point, overridable via GEOSPHERE_BENCH_FRAMES.
+inline std::size_t frames_or(std::size_t fallback) {
+  if (const char* env = std::getenv("GEOSPHERE_BENCH_FRAMES")) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return fallback;
+}
+
+/// Fixed counter (value, not rate).
+inline void set_counter(::benchmark::State& state, const std::string& name, double value) {
+  state.counters[name] = ::benchmark::Counter(value);
+}
+
+}  // namespace geosphere::bench

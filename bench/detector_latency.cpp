@@ -1,0 +1,89 @@
+// Engineering microbenchmark (not a paper figure): wall-clock latency of
+// one detect() call per detector and constellation on a 4x4 Rayleigh
+// channel at 25 dB -- validates that the PED metric tracks real cost and
+// that an SDR implementation is plausible (paper Section 1).
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <vector>
+
+#include "channel/noise.h"
+#include "channel/rayleigh.h"
+#include "common/rng.h"
+#include "detect/factory.h"
+
+namespace {
+
+using namespace geosphere;
+
+struct Workload {
+  std::vector<linalg::CMatrix> h;
+  std::vector<CVector> y;
+  double n0;
+};
+
+const Workload& workload(unsigned order) {
+  static std::map<unsigned, Workload> cache;
+  auto it = cache.find(order);
+  if (it == cache.end()) {
+    const Constellation& c = Constellation::qam(order);
+    Workload w;
+    w.n0 = channel::noise_variance_for_snr_db(25.0);
+    Rng rng(order);
+    channel::RayleighChannel model(4, 4);
+    for (int i = 0; i < 64; ++i) {
+      const auto h = model.draw_flat(rng);
+      CVector x(4);
+      for (auto& s : x) s = c.point(static_cast<unsigned>(rng.uniform_int(static_cast<int>(order))));
+      CVector y = h * x;
+      channel::add_awgn(y, w.n0, rng);
+      w.h.push_back(h);
+      w.y.push_back(std::move(y));
+    }
+    it = cache.emplace(order, std::move(w)).first;
+  }
+  return it->second;
+}
+
+void run_detector(benchmark::State& state, const DetectorFactory& factory) {
+  const auto order = static_cast<unsigned>(state.range(0));
+  const Constellation& c = Constellation::qam(order);
+  const auto detector = factory(c);
+  const Workload& w = workload(order);
+  std::size_t i = 0;
+  std::uint64_t peds = 0;
+  std::uint64_t calls = 0;
+  for (auto _ : state) {
+    const auto result = detector->detect(w.y[i], w.h[i], w.n0);
+    benchmark::DoNotOptimize(result.indices.data());
+    peds += result.stats.ped_computations;
+    ++calls;
+    i = (i + 1) % w.y.size();
+  }
+  state.counters["PED_per_call"] =
+      benchmark::Counter(calls ? static_cast<double>(peds) / static_cast<double>(calls) : 0);
+}
+
+void BM_ZF(benchmark::State& s) { run_detector(s, zf_factory()); }
+void BM_MMSE(benchmark::State& s) { run_detector(s, mmse_factory()); }
+void BM_MMSE_SIC(benchmark::State& s) { run_detector(s, mmse_sic_factory()); }
+void BM_Geosphere(benchmark::State& s) { run_detector(s, geosphere_factory()); }
+void BM_Geosphere2DZZ(benchmark::State& s) { run_detector(s, geosphere_zigzag_only_factory()); }
+void BM_EthSd(benchmark::State& s) { run_detector(s, eth_sd_factory()); }
+void BM_ShabanySd(benchmark::State& s) { run_detector(s, shabany_factory()); }
+void BM_KBest8(benchmark::State& s) { run_detector(s, kbest_factory(8)); }
+void BM_Fsd(benchmark::State& s) { run_detector(s, fsd_factory()); }
+
+}  // namespace
+
+BENCHMARK(BM_ZF)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_MMSE)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_MMSE_SIC)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_Geosphere)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_Geosphere2DZZ)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_EthSd)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_ShabanySd)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_KBest8)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_Fsd)->Arg(16)->Arg(64);
+
+BENCHMARK_MAIN();

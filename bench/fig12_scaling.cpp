@@ -1,0 +1,81 @@
+// Figure 12: achievable uplink throughput of a four-antenna AP as the
+// number of concurrently transmitting clients grows (20 dB SNR, indoor
+// ensemble, ideal rate adaptation).
+//
+// Paper claim reproduced here: Geosphere's throughput scales ~linearly
+// with the number of clients, zero-forcing's does not.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "channel/testbed_ensemble.h"
+#include "sim/table.h"
+#include "sim/throughput_experiment.h"
+
+namespace {
+
+using namespace geosphere;
+
+struct Row {
+  std::size_t clients;
+  sim::ThroughputPoint zf;
+  sim::ThroughputPoint geo;
+};
+
+const std::vector<Row>& results() {
+  static const auto rows = [] {
+    std::vector<Row> out;
+    sim::ThroughputConfig tcfg;
+    tcfg.frames = geosphere::bench::frames_or(60);
+    for (const std::size_t clients : {1u, 2u, 3u, 4u}) {
+      channel::TestbedConfig tc;
+      tc.clients = clients;
+      tc.ap_antennas = 4;
+      const channel::TestbedEnsemble ensemble(tc);
+      tcfg.seed = 100 + clients;
+      out.push_back({clients,
+                     sim::measure_throughput(ensemble, "ZF", zf_factory(), 20.0, tcfg),
+                     sim::measure_throughput(ensemble, "Geosphere", geosphere_factory(),
+                                             20.0, tcfg)});
+    }
+    return out;
+  }();
+  return rows;
+}
+
+void Fig12(benchmark::State& state) {
+  const Row& row = results()[static_cast<std::size_t>(state.range(0))];
+  for (auto _ : state) benchmark::DoNotOptimize(row.geo.throughput_mbps);
+  bench::set_counter(state, "ZF_Mbps", row.zf.throughput_mbps);
+  bench::set_counter(state, "Geosphere_Mbps", row.geo.throughput_mbps);
+  bench::set_counter(state, "Geo_per_client_Mbps",
+                     row.geo.throughput_mbps / static_cast<double>(row.clients));
+  state.SetLabel(std::to_string(row.clients) + "clients x 4 AP antennas");
+}
+
+}  // namespace
+
+BENCHMARK(Fig12)->DenseRange(0, 3)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  std::cout << "=== Paper Fig. 12: throughput vs number of clients (4-antenna AP, 20 dB) ===\n\n";
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  sim::TablePrinter table({"clients", "ZF (Mbps)", "Geosphere (Mbps)",
+                           "Geo per-client (Mbps)"});
+  for (const auto& row : results())
+    table.add_row({std::to_string(row.clients),
+                   sim::TablePrinter::fmt(row.zf.throughput_mbps),
+                   sim::TablePrinter::fmt(row.geo.throughput_mbps),
+                   sim::TablePrinter::fmt(row.geo.throughput_mbps /
+                                          static_cast<double>(row.clients))});
+  std::cout << '\n';
+  table.print(std::cout);
+  std::cout << "\nExpected shape: Geosphere per-client throughput stays ~flat as\n"
+               "clients are added; ZF's sum throughput saturates or regresses.\n";
+  benchmark::Shutdown();
+  return 0;
+}

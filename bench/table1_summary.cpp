@@ -1,0 +1,118 @@
+// Table 1: summary of the paper's major experimental results, regenerated
+// with condensed runs of the three experiment families (channel
+// characterization Section 5.1, throughput Section 5.2, computational
+// complexity Section 5.3).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util.h"
+#include "channel/rayleigh.h"
+#include "channel/testbed_ensemble.h"
+#include "sim/complexity_experiment.h"
+#include "sim/conditioning_experiment.h"
+#include "sim/table.h"
+#include "sim/throughput_experiment.h"
+
+namespace {
+
+using namespace geosphere;
+
+struct Summary {
+  double frac_2x2_poor = 0.0;   ///< P(kappa^2 > 10 dB) on 2x2.
+  double frac_4x4_poor = 0.0;
+  double gain_2x2 = 0.0;        ///< Geosphere/ZF throughput, 2x2.
+  double gain_4x4 = 0.0;
+  double complexity_savings = 0.0;  ///< 1 - Geo/ETH PED at 4x4 256-QAM.
+};
+
+const Summary& summary() {
+  static const Summary s = [] {
+    Summary out;
+    const std::size_t frames = geosphere::bench::frames_or(50);
+
+    // Row 1: channel characterization.
+    sim::ConditioningConfig ccfg;
+    ccfg.links = 200;
+    ccfg.sizes = {{2, 2}, {4, 4}};
+    const auto series = sim::run_conditioning(ccfg);
+    out.frac_2x2_poor = series[0].kappa_sq_db.fraction_above(10.0);
+    out.frac_4x4_poor = series[1].kappa_sq_db.fraction_above(10.0);
+
+    // Row 2: throughput comparison; the paper's numbers are "up to" gains,
+    // so take the best across the three SNR operating points.
+    sim::ThroughputConfig tcfg;
+    tcfg.frames = frames;
+    for (const auto& [clients, out_gain] :
+         std::vector<std::pair<std::size_t, double*>>{{2, &out.gain_2x2},
+                                                      {4, &out.gain_4x4}}) {
+      channel::TestbedConfig tc;
+      tc.clients = clients;
+      tc.ap_antennas = clients == 2 ? 2 : 4;
+      const channel::TestbedEnsemble ensemble(tc);
+      for (const double snr : {15.0, 20.0, 25.0}) {
+        tcfg.seed = clients + static_cast<std::uint64_t>(snr);
+        const auto zf = sim::measure_throughput(ensemble, "ZF", zf_factory(), snr, tcfg);
+        const auto geo = sim::measure_throughput(ensemble, "Geosphere",
+                                                 geosphere_factory(), snr, tcfg);
+        const double gain =
+            zf.throughput_mbps > 0 ? geo.throughput_mbps / zf.throughput_mbps : 0.0;
+        *out_gain = std::max(*out_gain, gain);
+      }
+    }
+
+    // Row 3: complexity at 4x4, 256-QAM.
+    const channel::RayleighChannel rayleigh(4, 4);
+    link::LinkScenario scenario;
+    scenario.frame.qam_order = 256;
+    scenario.frame.payload_bytes = 250;
+    scenario.snr_db = 26.0;  // Near the 10% FER point (see fig15 bench).
+    const auto points = sim::measure_complexity(
+        rayleigh, scenario,
+        {{"ETH-SD", eth_sd_factory()}, {"Geosphere", geosphere_factory()}}, frames / 2 + 1,
+        3);
+    out.complexity_savings =
+        1.0 - points[1].avg_ped_per_subcarrier / points[0].avg_ped_per_subcarrier;
+    return out;
+  }();
+  return s;
+}
+
+void Table1(benchmark::State& state) {
+  const Summary& s = summary();
+  for (auto _ : state) benchmark::DoNotOptimize(s.gain_4x4);
+  bench::set_counter(state, "P(2x2 poorly conditioned)", s.frac_2x2_poor);
+  bench::set_counter(state, "P(4x4 poorly conditioned)", s.frac_4x4_poor);
+  bench::set_counter(state, "throughput_gain_2x2", s.gain_2x2);
+  bench::set_counter(state, "throughput_gain_4x4", s.gain_4x4);
+  bench::set_counter(state, "complexity_savings_256QAM", s.complexity_savings);
+}
+
+}  // namespace
+
+BENCHMARK(Table1)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  std::cout << "=== Paper Table 1: summary of major experimental results ===\n\n";
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  const Summary& s = summary();
+  sim::TablePrinter table({"Experiment", "Paper conclusion", "This reproduction"});
+  table.add_row({"Channel characterization (5.1)",
+                 "2x2 poorly conditioned 60% of the time; 4x4 almost always",
+                 sim::TablePrinter::fmt(100 * s.frac_2x2_poor, 0) + "% / " +
+                     sim::TablePrinter::fmt(100 * s.frac_4x4_poor, 0) + "%"});
+  table.add_row({"Throughput comparison (5.2)",
+                 "2x gains over MU-MIMO at 4x4, 47% at 2x2",
+                 sim::TablePrinter::fmt(s.gain_4x4) + "x / " +
+                     sim::TablePrinter::fmt(100 * (s.gain_2x2 - 1.0), 0) + "%"});
+  table.add_row({"Computational complexity (5.3)",
+                 "~order of magnitude less computation than ETH-SD",
+                 sim::TablePrinter::fmt(100 * s.complexity_savings, 0) +
+                     "% fewer PED calculations at 4x4 256-QAM"});
+  table.print(std::cout);
+  benchmark::Shutdown();
+  return 0;
+}

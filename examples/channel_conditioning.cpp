@@ -1,0 +1,49 @@
+// Channel-conditioning survey (paper Section 5.1): how often is the indoor
+// MIMO channel poorly conditioned, and how much SNR does zero-forcing give
+// away? Prints CDF summaries of kappa^2 (Fig. 9) and Lambda (Fig. 10) for
+// every clients x antennas configuration.
+//
+//   $ ./channel_conditioning [links]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "sim/conditioning_experiment.h"
+#include "sim/table.h"
+
+using namespace geosphere;
+
+int main(int argc, char** argv) {
+  sim::ConditioningConfig config;
+  config.links = argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 300;
+
+  const auto series = sim::run_conditioning(config);
+
+  sim::TablePrinter kappa({"config", "kappa^2 median (dB)", "p90 (dB)",
+                           "P(kappa^2 > 10 dB)"});
+  sim::TablePrinter lambda({"config", "Lambda median (dB)", "p90 (dB)",
+                            "P(Lambda > 5 dB)", "P(Lambda <= 3 dB)"});
+  for (const auto& s : series) {
+    const std::string cfg =
+        std::to_string(s.clients) + " clients x " + std::to_string(s.antennas) + " AP";
+    kappa.add_row({cfg, sim::TablePrinter::fmt(s.kappa_sq_db.percentile(0.5), 1),
+                   sim::TablePrinter::fmt(s.kappa_sq_db.percentile(0.9), 1),
+                   sim::TablePrinter::fmt(s.kappa_sq_db.fraction_above(10.0))});
+    lambda.add_row({cfg, sim::TablePrinter::fmt(s.lambda_db.percentile(0.5), 1),
+                    sim::TablePrinter::fmt(s.lambda_db.percentile(0.9), 1),
+                    sim::TablePrinter::fmt(s.lambda_db.fraction_above(5.0)),
+                    sim::TablePrinter::fmt(s.lambda_db.fraction_at_or_below(3.0))});
+  }
+
+  std::printf("Indoor ensemble, %zu links x %zu subcarriers per configuration\n\n",
+              config.links, config.subcarriers);
+  std::printf("Channel condition number (paper Fig. 9):\n");
+  kappa.print(std::cout);
+  std::printf(
+      "\nWorst-stream SNR degradation under zero-forcing (paper Fig. 10):\n");
+  lambda.print(std::cout);
+  std::printf(
+      "\nPaper claims: ~60%% of 2x2 links exceed kappa^2 = 10 dB; 4x4 links are\n"
+      "almost always poorly conditioned; 2x4 degrades < 3 dB for ~90%% of links.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Dense constellations: the paper's headline engineering result -- a 4x4
+// MIMO 256-QAM sphere decoder whose complexity stays near that of 16/64-QAM
+// decoders already realized in ASIC. Runs the same workload through
+// ETH-SD, Geosphere without pruning ("2D zigzag only") and full Geosphere,
+// and prints the paper's complexity metric side by side.
+//
+//   $ ./dense_constellations [frames]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "channel/rayleigh.h"
+#include "detect/factory.h"
+#include "sim/complexity_experiment.h"
+#include "sim/table.h"
+
+using namespace geosphere;
+
+int main(int argc, char** argv) {
+  const std::size_t frames = argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 20;
+
+  const channel::RayleighChannel rayleigh(4, 4);
+  sim::TablePrinter table({"QAM", "detector", "PED calcs / subcarrier",
+                           "visited nodes / subcarrier", "FER"});
+
+  // Operating points near 10% frame error rate (cf. paper Fig. 15(b));
+  // exact SNRs are calibrated by bench/fig15_complexity_sim.
+  const std::vector<std::pair<unsigned, double>> operating_points{
+      {16, 14.0}, {64, 20.0}, {256, 26.0}};
+
+  for (const auto& [qam, snr] : operating_points) {
+    link::LinkScenario scenario;
+    scenario.frame.qam_order = qam;
+    scenario.frame.payload_bytes = 250;
+    scenario.snr_db = snr;
+
+    const auto points = sim::measure_complexity(
+        rayleigh, scenario,
+        {{"ETH-SD", eth_sd_factory()},
+         {"Geosphere (2D zigzag only)", geosphere_zigzag_only_factory()},
+         {"Geosphere (full)", geosphere_factory()}},
+        frames, /*seed=*/7);
+
+    for (const auto& p : points)
+      table.add_row({std::to_string(qam), p.detector,
+                     sim::TablePrinter::fmt(p.avg_ped_per_subcarrier, 1),
+                     sim::TablePrinter::fmt(p.avg_visited_nodes, 1),
+                     sim::TablePrinter::fmt(p.fer)});
+  }
+
+  std::printf("4x4 MIMO over i.i.d. Rayleigh, %zu frames per point\n\n", frames);
+  table.print(std::cout);
+  std::printf(
+      "\nExpected shape (paper Fig. 15): ETH-SD's cost grows steeply with the\n"
+      "constellation size while Geosphere stays nearly flat; all three visit\n"
+      "identical node counts, so the savings come purely from enumeration and\n"
+      "geometric pruning. All three return identical (ML) decisions.\n");
+  return 0;
+}

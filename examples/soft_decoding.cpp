@@ -1,0 +1,77 @@
+// Soft-output detection (the paper's Section 7 extension): Geosphere as a
+// max-log LLR detector feeding a soft-decision Viterbi decoder. Compares
+// coded BER with hard-decision detection over the same receptions on a
+// fading link.
+//
+//   $ ./soft_decoding [symbols_per_point]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "coding/convolutional.h"
+#include "coding/viterbi.h"
+#include "common/db.h"
+#include "common/rng.h"
+#include "detect/soft_output.h"
+#include "sim/table.h"
+#include "test_util_shim.h"
+
+using namespace geosphere;
+
+int main(int argc, char** argv) {
+  const int frames = argc > 1 ? std::atoi(argv[1]) : 40;
+  const Constellation& c = Constellation::qam(16);
+  SoftGeosphereDetector soft(c, 30.0);
+  coding::ConvolutionalEncoder enc;
+  coding::ViterbiDecoder dec;
+
+  sim::TablePrinter table({"SNR (dB)", "hard-decision BER", "soft (LLR) BER"});
+  std::vector<std::uint8_t> sym_bits(c.bits_per_symbol());
+
+  for (const double snr : {5.0, 7.0, 9.0, 11.0}) {
+    const double n0 = db_to_lin(-snr);
+    Rng rng(2014);
+    std::size_t hard_errors = 0;
+    std::size_t soft_errors = 0;
+    std::size_t total = 0;
+
+    for (int frame = 0; frame < frames; ++frame) {
+      const BitVector info = rng.bits(200);
+      const BitVector coded = enc.encode(info);
+      const std::size_t nsym = coded.size() / c.bits_per_symbol();
+      std::vector<double> conf(coded.size());
+      BitVector hard(coded.size());
+
+      for (std::size_t s = 0; s < nsym; ++s) {
+        const unsigned idx = c.index_from_bits(&coded[s * c.bits_per_symbol()]);
+        // 2x2 MIMO link, one symbol from each of 2 antennas would need two
+        // indices; keep a 1x2 SIMO link for clarity.
+        const auto h = example::random_channel(rng, 2, 1);
+        const auto y = example::transmit(rng, h, c, {idx}, n0);
+        const auto r = soft.detect(y, h, n0);
+        c.bits_from_index(r.indices[0], sym_bits.data());
+        const auto bit_conf = SoftGeosphereDetector::llrs_to_confidence(r.llrs);
+        for (unsigned b = 0; b < c.bits_per_symbol(); ++b) {
+          hard[s * c.bits_per_symbol() + b] = sym_bits[b];
+          conf[s * c.bits_per_symbol() + b] = bit_conf[b];
+        }
+      }
+      const BitVector hard_out = dec.decode(hard);
+      const BitVector soft_out = dec.decode_soft(conf);
+      for (std::size_t i = 0; i < info.size(); ++i) {
+        hard_errors += hard_out[i] != info[i];
+        soft_errors += soft_out[i] != info[i];
+        ++total;
+      }
+    }
+    table.add_row({sim::TablePrinter::fmt(snr, 0),
+                   sim::TablePrinter::fmt(static_cast<double>(hard_errors) / total, 4),
+                   sim::TablePrinter::fmt(static_cast<double>(soft_errors) / total, 4)});
+  }
+
+  std::printf("16-QAM over 1x2 Rayleigh, rate-1/2 K=7 code, %d frames/point\n\n", frames);
+  table.print(std::cout);
+  std::printf("\nMax-log LLRs from the constrained Geosphere searches buy the\n"
+              "classic ~2 dB of soft-decision coding gain.\n");
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Small channel/transmit helpers for the examples (kept separate from the
+// test utilities so examples only depend on the public library).
+#pragma once
+
+#include "common/rng.h"
+#include "constellation/constellation.h"
+#include "linalg/matrix.h"
+
+namespace geosphere::example {
+
+inline linalg::CMatrix random_channel(Rng& rng, std::size_t na, std::size_t nc) {
+  linalg::CMatrix h(na, nc);
+  for (std::size_t i = 0; i < na; ++i)
+    for (std::size_t j = 0; j < nc; ++j) h(i, j) = rng.cgaussian(1.0);
+  return h;
+}
+
+inline CVector transmit(Rng& rng, const linalg::CMatrix& h, const Constellation& c,
+                        const std::vector<unsigned>& indices, double n0) {
+  CVector y(h.rows());
+  for (std::size_t i = 0; i < h.rows(); ++i) {
+    cf64 acc{};
+    for (std::size_t k = 0; k < h.cols(); ++k) acc += h(i, k) * c.point(indices[k]);
+    y[i] = acc + rng.cgaussian(n0);
+  }
+  return y;
+}
+
+}  // namespace geosphere::example

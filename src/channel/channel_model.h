@@ -1,0 +1,39 @@
+// Channel-model interface. A "link" is one placement of clients and AP:
+// a set of per-OFDM-subcarrier channel matrices drawn jointly (the paper's
+// trace-driven evaluation replays exactly such per-subcarrier matrices).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "linalg/matrix.h"
+
+namespace geosphere::channel {
+
+/// Per-subcarrier channel matrices (n_a x n_c each) for one link draw.
+struct Link {
+  std::vector<linalg::CMatrix> subcarriers;
+
+  std::size_t num_subcarriers() const { return subcarriers.size(); }
+};
+
+class ChannelModel {
+ public:
+  virtual ~ChannelModel() = default;
+
+  virtual std::size_t num_rx() const = 0;  ///< AP antennas n_a.
+  virtual std::size_t num_tx() const = 0;  ///< Client antennas n_c.
+
+  /// Draw an independent link realization across `nsc` subcarriers.
+  /// Entries are normalized so that the ensemble-average per-entry power
+  /// is 1 (the SNR convention of DESIGN.md relies on this).
+  virtual Link draw_link(Rng& rng, std::size_t nsc) const = 0;
+
+  /// Convenience: a single flat-fading matrix.
+  linalg::CMatrix draw_flat(Rng& rng) const {
+    return draw_link(rng, 1).subcarriers.front();
+  }
+};
+
+}  // namespace geosphere::channel

@@ -1,0 +1,52 @@
+// Frequency-selective MIMO channel: an L-tap tapped-delay line with an
+// exponential power-delay profile and i.i.d. Rayleigh tap matrices. The
+// per-subcarrier response is the DFT of the taps, exactly what an OFDM
+// receiver estimates per subcarrier.
+#pragma once
+
+#include "channel/channel_model.h"
+
+namespace geosphere::channel {
+
+/// A time-domain channel impulse response: one n_a x n_c matrix per delay
+/// tap. The bridge between per-subcarrier detection and sample-level OFDM
+/// simulation (integration tests, channel estimation).
+struct TapSet {
+  std::vector<linalg::CMatrix> taps;
+
+  /// Frequency response at FFT bin `bin`: sum_l taps[l] e^{-j 2 pi bin l / N}.
+  linalg::CMatrix response(std::size_t bin, std::size_t fft_size) const;
+
+  /// Convolve one client's time-domain samples into per-antenna receive
+  /// streams (accumulating into `rx`, which must hold num_rx streams of at
+  /// least tx.size() samples).
+  void convolve_client(std::size_t client, const CVector& tx,
+                       std::vector<CVector>& rx) const;
+};
+
+class FrequencySelectiveChannel final : public ChannelModel {
+ public:
+  /// `taps` >= 1 delay taps, exponentially decaying with `decay` (power
+  /// ratio between successive taps, in (0, 1]); total power normalized to 1.
+  FrequencySelectiveChannel(std::size_t na, std::size_t nc, std::size_t taps,
+                            double decay = 0.5, std::size_t fft_size = 64);
+
+  std::size_t num_rx() const override { return na_; }
+  std::size_t num_tx() const override { return nc_; }
+
+  Link draw_link(Rng& rng, std::size_t nsc) const override;
+
+  /// Draw the underlying impulse response itself (for sample-level
+  /// simulation); draw_link() is equivalent to DFT-ing these taps.
+  TapSet draw_taps(Rng& rng) const;
+
+  const std::vector<double>& tap_powers() const { return tap_powers_; }
+
+ private:
+  std::size_t na_;
+  std::size_t nc_;
+  std::size_t fft_size_;
+  std::vector<double> tap_powers_;
+};
+
+}  // namespace geosphere::channel

@@ -1,0 +1,37 @@
+#include "channel/metrics.h"
+
+#include <algorithm>
+
+#include "common/db.h"
+#include "linalg/cond.h"
+#include "linalg/solve.h"
+
+namespace geosphere::channel {
+
+std::vector<double> zf_noise_amplification(const linalg::CMatrix& h) {
+  const linalg::CMatrix gram = h.hermitian() * h;
+  const linalg::CMatrix gram_inv = linalg::inverse(gram);
+  std::vector<double> out(h.cols());
+  for (std::size_t k = 0; k < h.cols(); ++k) out[k] = gram_inv(k, k).real();
+  return out;
+}
+
+std::vector<double> snr_degradation(const linalg::CMatrix& h) {
+  const linalg::CMatrix gram = h.hermitian() * h;
+  const linalg::CMatrix gram_inv = linalg::inverse(gram);
+  std::vector<double> out(h.cols());
+  for (std::size_t k = 0; k < h.cols(); ++k)
+    out[k] = gram(k, k).real() * gram_inv(k, k).real();
+  return out;
+}
+
+double lambda_max_db(const linalg::CMatrix& h) {
+  const auto lambdas = snr_degradation(h);
+  return lin_to_db(*std::max_element(lambdas.begin(), lambdas.end()));
+}
+
+double kappa_sq_db(const linalg::CMatrix& h) {
+  return linalg::condition_number_sq_db(h);
+}
+
+}  // namespace geosphere::channel

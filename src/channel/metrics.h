@@ -1,0 +1,24 @@
+// Channel-conditioning metrics from the paper's Section 5.1.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace geosphere::channel {
+
+/// Zero-forcing noise amplification per stream: [(H^H H)^{-1}]_kk. The
+/// post-ZF SNR of stream k is 1 / ([(H^H H)^{-1}]_kk * N0).
+std::vector<double> zf_noise_amplification(const linalg::CMatrix& h);
+
+/// The paper's per-stream SNR degradation lambda_k =
+/// [H^H H]_kk * [(H^H H)^{-1}]_kk (>= 1, equality iff orthogonal columns).
+std::vector<double> snr_degradation(const linalg::CMatrix& h);
+
+/// Lambda (paper Fig. 10): the worst per-stream SNR degradation, in dB.
+double lambda_max_db(const linalg::CMatrix& h);
+
+/// kappa^2(H) in dB (paper Fig. 9); forwards to linalg.
+double kappa_sq_db(const linalg::CMatrix& h);
+
+}  // namespace geosphere::channel

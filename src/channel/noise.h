@@ -1,0 +1,23 @@
+// AWGN and SNR bookkeeping.
+//
+// SNR convention (see DESIGN.md): unit average symbol energy, unit average
+// channel-entry power; per-stream SNR (per receive antenna) of s dB means
+// noise variance N0 = 10^{-s/10} per receive antenna.
+#pragma once
+
+#include "common/db.h"
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace geosphere::channel {
+
+/// Noise variance corresponding to a per-stream SNR in dB.
+inline double noise_variance_for_snr_db(double snr_db) { return db_to_lin(-snr_db); }
+
+/// In-place AWGN with variance n0 per (complex) sample.
+inline void add_awgn(CVector& y, double n0, Rng& rng) {
+  if (n0 <= 0.0) return;
+  for (auto& v : y) v += rng.cgaussian(n0);
+}
+
+}  // namespace geosphere::channel

@@ -1,0 +1,14 @@
+#include "channel/rayleigh.h"
+
+namespace geosphere::channel {
+
+Link RayleighChannel::draw_link(Rng& rng, std::size_t nsc) const {
+  linalg::CMatrix h(na_, nc_);
+  for (std::size_t i = 0; i < na_; ++i)
+    for (std::size_t j = 0; j < nc_; ++j) h(i, j) = rng.cgaussian(1.0);
+  Link link;
+  link.subcarriers.assign(nsc, h);  // Flat in frequency.
+  return link;
+}
+
+}  // namespace geosphere::channel

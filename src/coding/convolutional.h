@@ -1,0 +1,29 @@
+// Rate-1/2, constraint-length-7 convolutional encoder with the industry
+// generators (133, 171) octal -- the code used by 802.11a/g/n and by the
+// paper's WARPLab implementation ("1/2-rate convolutional coding (similar
+// to recent 802.11 standards)", Section 4).
+#pragma once
+
+#include "common/types.h"
+
+namespace geosphere::coding {
+
+class ConvolutionalEncoder {
+ public:
+  static constexpr int kConstraintLength = 7;
+  static constexpr unsigned kG0 = 0b1011011;  ///< 133 octal.
+  static constexpr unsigned kG1 = 0b1111001;  ///< 171 octal.
+  static constexpr int kStates = 64;
+  static constexpr int kTailBits = kConstraintLength - 1;
+
+  /// Encodes `info` followed by 6 zero tail bits (trellis termination).
+  /// Output length = 2 * (info.size() + 6).
+  BitVector encode(const BitVector& info) const;
+
+  /// Coded length produced for `info_bits` information bits.
+  static std::size_t coded_length(std::size_t info_bits) {
+    return 2 * (info_bits + kTailBits);
+  }
+};
+
+}  // namespace geosphere::coding

@@ -1,0 +1,36 @@
+#include "coding/crc32.h"
+
+#include <array>
+
+namespace geosphere::coding {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> build_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kTable = build_table();
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t len) {
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i) c = kTable[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t crc32_bits(const BitVector& bits) {
+  std::vector<std::uint8_t> bytes((bits.size() + 7) / 8, 0);
+  for (std::size_t i = 0; i < bits.size(); ++i)
+    bytes[i / 8] = static_cast<std::uint8_t>(bytes[i / 8] | ((bits[i] & 1u) << (i % 8)));
+  return crc32(bytes.data(), bytes.size());
+}
+
+}  // namespace geosphere::coding

@@ -1,0 +1,58 @@
+#include "coding/interleaver.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace geosphere::coding {
+
+BlockInterleaver::BlockInterleaver(std::size_t ncbps, std::size_t nbpsc) {
+  if (ncbps == 0 || ncbps % 16 != 0)
+    throw std::invalid_argument("BlockInterleaver: ncbps must be a positive multiple of 16");
+  if (nbpsc == 0) throw std::invalid_argument("BlockInterleaver: nbpsc must be positive");
+
+  forward_.resize(ncbps);
+  inverse_.resize(ncbps);
+  const std::size_t s = std::max<std::size_t>(nbpsc / 2, 1);
+
+  for (std::size_t k = 0; k < ncbps; ++k) {
+    // First permutation: write row-wise into 16 columns.
+    const std::size_t i = (ncbps / 16) * (k % 16) + k / 16;
+    // Second permutation: rotate within groups of s.
+    const std::size_t j =
+        s * (i / s) + (i + ncbps - (16 * i) / ncbps) % s;
+    forward_[k] = j;
+  }
+  std::vector<std::uint8_t> seen(ncbps, 0);
+  for (std::size_t k = 0; k < ncbps; ++k) {
+    if (seen[forward_[k]]++)
+      throw std::logic_error("BlockInterleaver: permutation is not a bijection");
+    inverse_[forward_[k]] = k;
+  }
+}
+
+BitVector BlockInterleaver::interleave(const BitVector& block) const {
+  if (block.size() != forward_.size())
+    throw std::invalid_argument("BlockInterleaver: wrong block size");
+  BitVector out(block.size());
+  for (std::size_t k = 0; k < block.size(); ++k) out[forward_[k]] = block[k];
+  return out;
+}
+
+BitVector BlockInterleaver::deinterleave(const BitVector& block) const {
+  if (block.size() != inverse_.size())
+    throw std::invalid_argument("BlockInterleaver: wrong block size");
+  BitVector out(block.size());
+  for (std::size_t k = 0; k < block.size(); ++k) out[inverse_[k]] = block[k];
+  return out;
+}
+
+std::vector<double> BlockInterleaver::deinterleave_soft(
+    const std::vector<double>& block) const {
+  if (block.size() != inverse_.size())
+    throw std::invalid_argument("BlockInterleaver: wrong block size");
+  std::vector<double> out(block.size());
+  for (std::size_t k = 0; k < block.size(); ++k) out[inverse_[k]] = block[k];
+  return out;
+}
+
+}  // namespace geosphere::coding

@@ -1,0 +1,42 @@
+// Puncturing of the rate-1/2 mother code to 2/3 and 3/4 (the 802.11a
+// patterns). Depuncturing reinserts erasures (confidence 0.5) for the
+// soft-input Viterbi decoder.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace geosphere::coding {
+
+enum class CodeRate { kHalf, kTwoThirds, kThreeQuarters };
+
+/// Numeric value of the rate (information bits per coded bit).
+double code_rate_value(CodeRate r);
+
+/// Human-readable "1/2" style label.
+const char* code_rate_label(CodeRate r);
+
+class Puncturer {
+ public:
+  explicit Puncturer(CodeRate rate);
+
+  /// Removes the punctured positions from a rate-1/2 coded stream.
+  BitVector puncture(const BitVector& coded) const;
+
+  /// Number of bits puncture() produces for `coded_bits` mother-code bits.
+  std::size_t punctured_length(std::size_t coded_bits) const;
+
+  /// Re-inserts erasures: output confidences of length `coded_bits`
+  /// (the mother-code length), 0.5 at punctured positions.
+  std::vector<double> depuncture(const std::vector<double>& received,
+                                 std::size_t coded_bits) const;
+
+  CodeRate rate() const { return rate_; }
+
+ private:
+  CodeRate rate_;
+  std::vector<std::uint8_t> pattern_;  ///< 1 = transmit, 0 = puncture.
+};
+
+}  // namespace geosphere::coding

@@ -1,0 +1,22 @@
+#include "coding/scrambler.h"
+
+#include <stdexcept>
+
+namespace geosphere::coding {
+
+Scrambler::Scrambler(unsigned seed) : seed_(seed & 0x7Fu) {
+  if (seed_ == 0) throw std::invalid_argument("Scrambler: seed must be non-zero");
+}
+
+BitVector Scrambler::apply(const BitVector& bits) const {
+  BitVector out(bits.size());
+  unsigned state = seed_;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    const unsigned feedback = ((state >> 6) ^ (state >> 3)) & 1u;  // x^7 + x^4 + 1.
+    state = ((state << 1) | feedback) & 0x7Fu;
+    out[i] = static_cast<std::uint8_t>((bits[i] ^ feedback) & 1u);
+  }
+  return out;
+}
+
+}  // namespace geosphere::coding

@@ -1,0 +1,21 @@
+// 802.11 frame-synchronous scrambler: 7-bit LFSR with polynomial
+// x^7 + x^4 + 1. XOR-based, hence self-inverse with the same seed.
+#pragma once
+
+#include "common/types.h"
+
+namespace geosphere::coding {
+
+class Scrambler {
+ public:
+  /// `seed` must be a non-zero 7-bit state.
+  explicit Scrambler(unsigned seed = 0x5D);
+
+  /// Scrambles (or, applied again, descrambles) the bits.
+  BitVector apply(const BitVector& bits) const;
+
+ private:
+  unsigned seed_;
+};
+
+}  // namespace geosphere::coding

@@ -1,0 +1,37 @@
+// Viterbi decoder for the (133,171) rate-1/2 convolutional code, with
+// hard-decision and soft/erasure-aware inputs (the latter is what the
+// depuncturer feeds).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/types.h"
+#include "coding/convolutional.h"
+
+namespace geosphere::coding {
+
+class ViterbiDecoder {
+ public:
+  ViterbiDecoder();
+
+  /// Hard-decision decode of `coded` (2*(k+6) bits from a tail-terminated
+  /// encoder); returns the k information bits.
+  BitVector decode(const BitVector& coded) const;
+
+  /// Soft-input decode. Each entry is the confidence that the coded bit is
+  /// 1, in [0, 1]; 0.5 marks an erasure (punctured position). Length must
+  /// be even.
+  BitVector decode_soft(const std::vector<double>& confidence) const;
+
+ private:
+  struct Transition {
+    int next_state;
+    std::uint8_t out0;
+    std::uint8_t out1;
+  };
+  // transitions_[state][input_bit]
+  std::vector<std::array<Transition, 2>> transitions_;
+};
+
+}  // namespace geosphere::coding

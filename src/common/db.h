@@ -1,0 +1,14 @@
+// Decibel <-> linear conversions (power quantities).
+#pragma once
+
+#include <cmath>
+
+namespace geosphere {
+
+/// Convert a power ratio expressed in dB to linear scale.
+inline double db_to_lin(double db) { return std::pow(10.0, db / 10.0); }
+
+/// Convert a linear power ratio to dB.
+inline double lin_to_db(double lin) { return 10.0 * std::log10(lin); }
+
+}  // namespace geosphere

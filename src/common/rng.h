@@ -1,0 +1,62 @@
+// Seeded random number generation for reproducible Monte-Carlo experiments.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "common/types.h"
+
+namespace geosphere {
+
+/// Deterministic random source. Every experiment takes an explicit Rng so
+/// that channel draws, payloads and noise are reproducible from a seed and
+/// identical across the detectors being compared.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double uniform() { return unit_(engine_); }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  int uniform_int(int n) {
+    return static_cast<int>(std::uniform_int_distribution<int>(0, n - 1)(engine_));
+  }
+
+  /// Real Gaussian N(mean, stddev^2).
+  double gaussian(double mean = 0.0, double stddev = 1.0) {
+    return mean + stddev * normal_(engine_);
+  }
+
+  /// Circularly-symmetric complex Gaussian CN(0, variance): each real
+  /// dimension has variance `variance / 2`.
+  cf64 cgaussian(double variance = 1.0) {
+    const double s = std::sqrt(variance / 2.0);
+    return {s * normal_(engine_), s * normal_(engine_)};
+  }
+
+  /// A single random bit.
+  std::uint8_t bit() { return static_cast<std::uint8_t>(engine_() & 1u); }
+
+  /// `n` random bits.
+  BitVector bits(std::size_t n) {
+    BitVector out(n);
+    for (auto& b : out) b = bit();
+    return out;
+  }
+
+  /// Derive an independent child generator (e.g. one per link / frame).
+  Rng fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::normal_distribution<double> normal_{0.0, 1.0};
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+};
+
+}  // namespace geosphere

@@ -1,0 +1,59 @@
+// Streaming statistics and empirical distribution utilities.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace geosphere {
+
+/// Numerically-stable streaming mean/variance (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  double variance() const;  ///< Sample variance (n-1 denominator).
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Empirical CDF over collected samples. Samples may be added in any order;
+/// queries sort lazily.
+class EmpiricalCdf {
+ public:
+  void add(double x);
+  void add_all(const std::vector<double>& xs);
+
+  std::size_t count() const { return samples_.size(); }
+
+  /// Value below which fraction `p` (in [0,1]) of the samples fall
+  /// (linear interpolation between order statistics).
+  double percentile(double p) const;
+
+  /// Fraction of samples strictly greater than `x`.
+  double fraction_above(double x) const;
+
+  /// Fraction of samples less than or equal to `x`.
+  double fraction_at_or_below(double x) const;
+
+  /// CDF evaluated at evenly spaced probe points, for table output.
+  std::vector<std::pair<double, double>> curve(std::size_t points) const;
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace geosphere

@@ -1,0 +1,24 @@
+// Basic scalar/vector types shared across the library.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace geosphere {
+
+/// Complex baseband sample. All signal processing uses double precision:
+/// the library is a simulator, not a fixed-point ASIC model, and double
+/// keeps the ML-equivalence tests free of precision artifacts.
+using cf64 = std::complex<double>;
+
+/// A column vector of complex samples (one entry per antenna / stream).
+using CVector = std::vector<cf64>;
+
+/// Packed bits, one per byte (0 or 1). Chosen over std::vector<bool> for
+/// sane references and predictable performance.
+using BitVector = std::vector<std::uint8_t>;
+
+inline constexpr double kPi = 3.14159265358979323846;
+
+}  // namespace geosphere

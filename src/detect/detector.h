@@ -1,0 +1,82 @@
+// Common interface for MIMO detectors, plus the complexity counters the
+// paper's evaluation is built around (Section 5.3).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "constellation/constellation.h"
+#include "linalg/matrix.h"
+
+namespace geosphere {
+
+/// Per-call complexity counters. The paper's primary metric is the number
+/// of partial Euclidean distance (PED) calculations; visited tree nodes are
+/// reported "for completeness and additional insight" (Section 5.3).
+struct DetectionStats {
+  std::uint64_t ped_computations = 0;  ///< Exact branch-cost evaluations |y~ - s|^2.
+  std::uint64_t visited_nodes = 0;     ///< Tree nodes descended into (incl. leaves).
+  std::uint64_t lb_lookups = 0;        ///< Geometric lower-bound table tests.
+  std::uint64_t lb_prunes = 0;         ///< Generations skipped by the lower bound.
+  std::uint64_t slicer_ops = 0;        ///< Nearest-point slicing operations.
+  std::uint64_t queue_ops = 0;         ///< Priority-queue push/pop operations.
+
+  DetectionStats& operator+=(const DetectionStats& o) {
+    ped_computations += o.ped_computations;
+    visited_nodes += o.visited_nodes;
+    lb_lookups += o.lb_lookups;
+    lb_prunes += o.lb_prunes;
+    slicer_ops += o.slicer_ops;
+    queue_ops += o.queue_ops;
+    return *this;
+  }
+};
+
+/// Result of detecting one received vector (one OFDM subcarrier use).
+struct DetectionResult {
+  std::vector<unsigned> indices;  ///< Per-stream constellation point index.
+  CVector symbols;                ///< The corresponding normalized points.
+  DetectionStats stats;
+};
+
+/// A MIMO detector configured for one constellation. Implementations own
+/// preallocated workspaces and are therefore not thread-safe per instance;
+/// create one instance per thread.
+class Detector {
+ public:
+  virtual ~Detector() = default;
+
+  Detector(const Detector&) = delete;
+  Detector& operator=(const Detector&) = delete;
+
+  /// Detect the transmitted symbol vector from the received vector `y`
+  /// (length n_a) over channel `h` (n_a x n_c) with noise variance N0 per
+  /// receive antenna. Requires n_a >= n_c >= 1.
+  virtual DetectionResult detect(const CVector& y, const linalg::CMatrix& h,
+                                 double noise_var) = 0;
+
+  virtual std::string name() const = 0;
+
+  const Constellation& constellation() const { return *constellation_; }
+
+ protected:
+  explicit Detector(const Constellation& c) : constellation_(&c) {}
+
+  /// Maps per-stream indices to a DetectionResult with symbols filled in.
+  DetectionResult make_result(std::vector<unsigned> indices, DetectionStats stats) const {
+    DetectionResult out;
+    out.symbols.reserve(indices.size());
+    for (unsigned idx : indices) out.symbols.push_back(constellation_->point(idx));
+    out.indices = std::move(indices);
+    out.stats = stats;
+    return out;
+  }
+
+ private:
+  const Constellation* constellation_;
+};
+
+}  // namespace geosphere

@@ -1,0 +1,61 @@
+// Detector factories: the link simulator sweeps constellations (rate
+// adaptation), so detectors are created per constellation through these.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "detect/detector.h"
+#include "detect/fsd.h"
+#include "detect/kbest.h"
+#include "detect/mmse.h"
+#include "detect/mmse_sic.h"
+#include "detect/rvd_sphere.h"
+#include "detect/sphere/sphere_decoder.h"
+#include "detect/zero_forcing.h"
+
+namespace geosphere {
+
+using DetectorFactory = std::function<std::unique_ptr<Detector>(const Constellation&)>;
+
+inline DetectorFactory zf_factory() {
+  return [](const Constellation& c) { return std::make_unique<ZeroForcingDetector>(c); };
+}
+
+inline DetectorFactory mmse_factory() {
+  return [](const Constellation& c) { return std::make_unique<MmseDetector>(c); };
+}
+
+inline DetectorFactory mmse_sic_factory() {
+  return [](const Constellation& c) { return std::make_unique<MmseSicDetector>(c); };
+}
+
+inline DetectorFactory geosphere_factory() {
+  return [](const Constellation& c) { return sphere::make_geosphere(c); };
+}
+
+inline DetectorFactory geosphere_zigzag_only_factory() {
+  return [](const Constellation& c) { return sphere::make_geosphere_zigzag_only(c); };
+}
+
+inline DetectorFactory eth_sd_factory() {
+  return [](const Constellation& c) { return sphere::make_eth_sd(c); };
+}
+
+inline DetectorFactory shabany_factory() {
+  return [](const Constellation& c) { return sphere::make_shabany_sd(c); };
+}
+
+inline DetectorFactory kbest_factory(unsigned k) {
+  return [k](const Constellation& c) { return std::make_unique<KBestDetector>(c, k); };
+}
+
+inline DetectorFactory fsd_factory() {
+  return [](const Constellation& c) { return std::make_unique<FsdDetector>(c); };
+}
+
+inline DetectorFactory rvd_factory() {
+  return [](const Constellation& c) { return std::make_unique<RvdSphereDecoder>(c); };
+}
+
+}  // namespace geosphere

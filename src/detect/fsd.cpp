@@ -1,0 +1,60 @@
+#include "detect/fsd.h"
+
+#include <limits>
+
+#include "detect/sphere/tree_problem.h"
+
+namespace geosphere {
+
+FsdDetector::FsdDetector(const Constellation& c)
+    : Detector(c), enumerator_({.geometric_pruning = false}) {
+  enumerator_.attach(c);
+}
+
+DetectionResult FsdDetector::detect(const CVector& y, const linalg::CMatrix& h,
+                                    double /*noise_var*/) {
+  const auto problem = sphere::TreeProblem::build(y, h, constellation());
+  const std::size_t nc = h.cols();
+  const Constellation& cons = constellation();
+  DetectionStats stats;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  struct Path {
+    double pd = 0.0;
+    std::vector<unsigned> path;
+  };
+
+  // Full expansion of the top level.
+  std::vector<Path> paths;
+  paths.reserve(cons.order());
+  {
+    const std::size_t top = nc - 1;
+    enumerator_.reset(problem.center(top, std::vector<unsigned>(nc, 0), cons), stats);
+    while (const auto child = enumerator_.next(kInf, stats)) {
+      ++stats.visited_nodes;
+      Path p;
+      p.path.assign(nc, 0);
+      p.path[top] = cons.index_from_levels(child->li, child->lq);
+      p.pd = problem.scale[top] * child->cost_grid;
+      paths.push_back(std::move(p));
+    }
+  }
+
+  // Single-child (sliced) plunge for every path.
+  for (Path& p : paths) {
+    for (std::size_t level = nc - 1; level-- > 0;) {
+      enumerator_.reset(problem.center(level, p.path, cons), stats);
+      const auto child = enumerator_.next(kInf, stats);
+      ++stats.visited_nodes;
+      p.path[level] = cons.index_from_levels(child->li, child->lq);
+      p.pd += problem.scale[level] * child->cost_grid;
+    }
+  }
+
+  const Path* best = &paths.front();
+  for (const Path& p : paths)
+    if (p.pd < best->pd) best = &p;
+  return make_result(std::vector<unsigned>(best->path), stats);
+}
+
+}  // namespace geosphere

@@ -1,0 +1,25 @@
+// Fixed-complexity sphere decoder (Barbero & Thompson) -- a breadth-then-
+// plunge baseline from the paper's related work: full expansion at the top
+// tree level, then a single (sliced) child per level for each path.
+// Deterministic complexity, asymptotically near-ML at high SNR only.
+#pragma once
+
+#include "detect/detector.h"
+#include "detect/sphere/enumerators.h"
+
+namespace geosphere {
+
+class FsdDetector final : public Detector {
+ public:
+  explicit FsdDetector(const Constellation& c);
+
+  DetectionResult detect(const CVector& y, const linalg::CMatrix& h,
+                         double noise_var) override;
+
+  std::string name() const override { return "FSD"; }
+
+ private:
+  sphere::GeoEnumerator enumerator_;
+};
+
+}  // namespace geosphere

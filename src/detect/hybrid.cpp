@@ -1,0 +1,26 @@
+#include "detect/hybrid.h"
+
+#include "detect/sphere/sphere_decoder.h"
+#include "detect/zero_forcing.h"
+#include "linalg/cond.h"
+
+namespace geosphere {
+
+HybridDetector::HybridDetector(const Constellation& c, double threshold_kappa_sq_db)
+    : Detector(c),
+      threshold_db_(threshold_kappa_sq_db),
+      zf_(std::make_unique<ZeroForcingDetector>(c)),
+      geosphere_(sphere::make_geosphere(c)) {}
+
+DetectionResult HybridDetector::detect(const CVector& y, const linalg::CMatrix& h,
+                                       double noise_var) {
+  ++calls_;
+  const double kappa_sq_db = linalg::condition_number_sq_db(h);
+  if (kappa_sq_db > threshold_db_) {
+    ++sphere_calls_;
+    return geosphere_->detect(y, h, noise_var);
+  }
+  return zf_->detect(y, h, noise_var);
+}
+
+}  // namespace geosphere

@@ -1,0 +1,37 @@
+// Condition-number threshold hybrid (Maurer et al., paper Section 6.1):
+// zero-forcing on well-conditioned channels, sphere decoding otherwise.
+// The paper argues Geosphere obviates this design because its complexity
+// already adapts to the channel -- the ablation bench quantifies that.
+#pragma once
+
+#include <memory>
+
+#include "detect/detector.h"
+
+namespace geosphere {
+
+class HybridDetector final : public Detector {
+ public:
+  /// Switches to the sphere decoder when kappa^2(H) exceeds
+  /// `threshold_kappa_sq_db` (decibels).
+  HybridDetector(const Constellation& c, double threshold_kappa_sq_db);
+
+  DetectionResult detect(const CVector& y, const linalg::CMatrix& h,
+                         double noise_var) override;
+
+  std::string name() const override { return "Hybrid-ZF/Geosphere"; }
+
+  /// Fraction of detect() calls routed to the sphere decoder so far.
+  double sphere_fraction() const {
+    return calls_ == 0 ? 0.0 : static_cast<double>(sphere_calls_) / static_cast<double>(calls_);
+  }
+
+ private:
+  double threshold_db_;
+  std::unique_ptr<Detector> zf_;
+  std::unique_ptr<Detector> geosphere_;
+  std::uint64_t calls_ = 0;
+  std::uint64_t sphere_calls_ = 0;
+};
+
+}  // namespace geosphere

@@ -1,0 +1,60 @@
+#include "detect/kbest.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "detect/sphere/tree_problem.h"
+
+namespace geosphere {
+
+KBestDetector::KBestDetector(const Constellation& c, unsigned k)
+    : Detector(c), k_(k), enumerator_({.geometric_pruning = false}) {
+  if (k == 0) throw std::invalid_argument("KBestDetector: k must be >= 1");
+  enumerator_.attach(c);
+}
+
+std::string KBestDetector::name() const { return "KBest-" + std::to_string(k_); }
+
+DetectionResult KBestDetector::detect(const CVector& y, const linalg::CMatrix& h,
+                                      double /*noise_var*/) {
+  const auto problem = sphere::TreeProblem::build(y, h, constellation());
+  const std::size_t nc = h.cols();
+  const Constellation& cons = constellation();
+  DetectionStats stats;
+
+  struct Candidate {
+    double pd = 0.0;
+    std::vector<unsigned> path;
+  };
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  std::vector<Candidate> survivors{{0.0, std::vector<unsigned>(nc, 0)}};
+  std::vector<Candidate> expanded;
+
+  for (std::size_t level = nc; level-- > 0;) {
+    expanded.clear();
+    for (const Candidate& cand : survivors) {
+      enumerator_.reset(problem.center(level, cand.path, cons), stats);
+      // The sorted enumerator delivers children best-first, so K children
+      // per survivor suffice to find the global K best (sorted K-best).
+      for (unsigned t = 0; t < k_; ++t) {
+        const auto child = enumerator_.next(kInf, stats);
+        if (!child) break;
+        ++stats.visited_nodes;
+        Candidate next = cand;
+        next.path[level] = cons.index_from_levels(child->li, child->lq);
+        next.pd = cand.pd + problem.scale[level] * child->cost_grid;
+        expanded.push_back(std::move(next));
+      }
+    }
+    std::sort(expanded.begin(), expanded.end(),
+              [](const Candidate& a, const Candidate& b) { return a.pd < b.pd; });
+    if (expanded.size() > k_) expanded.resize(k_);
+    survivors = expanded;
+  }
+
+  return make_result(std::move(survivors.front().path), stats);
+}
+
+}  // namespace geosphere

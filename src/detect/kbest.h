@@ -1,0 +1,28 @@
+// K-best (breadth-first) sphere decoder -- a related-work baseline
+// (paper Section 6.1). Keeps the K lowest-distance partial candidates per
+// tree level, ignoring the sphere constraint. Near-ML only: the true ML
+// path can be pruned when K is small, which is exactly the drawback the
+// paper points out for dense constellations.
+#pragma once
+
+#include "detect/detector.h"
+#include "detect/sphere/enumerators.h"
+
+namespace geosphere {
+
+class KBestDetector final : public Detector {
+ public:
+  KBestDetector(const Constellation& c, unsigned k);
+
+  DetectionResult detect(const CVector& y, const linalg::CMatrix& h,
+                         double noise_var) override;
+
+  unsigned k() const { return k_; }
+  std::string name() const override;
+
+ private:
+  unsigned k_;
+  sphere::GeoEnumerator enumerator_;
+};
+
+}  // namespace geosphere

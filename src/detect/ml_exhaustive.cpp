@@ -1,0 +1,51 @@
+#include "detect/ml_exhaustive.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace geosphere {
+
+DetectionResult MlExhaustiveDetector::detect(const CVector& y, const linalg::CMatrix& h,
+                                             double /*noise_var*/) {
+  const std::size_t nc = h.cols();
+  const unsigned m = constellation().order();
+
+  double total = 1.0;
+  for (std::size_t i = 0; i < nc; ++i) total *= static_cast<double>(m);
+  if (total > static_cast<double>(max_hypotheses_))
+    throw std::invalid_argument("MlExhaustiveDetector: search space too large");
+
+  DetectionStats stats;
+  std::vector<unsigned> current(nc, 0);
+  std::vector<unsigned> best(nc, 0);
+  best_distance_ = std::numeric_limits<double>::infinity();
+
+  CVector hs(y.size());
+  for (;;) {
+    // Compute ||y - H s||^2 for the current hypothesis.
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      cf64 acc{};
+      for (std::size_t k = 0; k < nc; ++k)
+        acc += h(i, k) * constellation().point(current[k]);
+      hs[i] = acc;
+    }
+    const double d = linalg::distance_sq(y, hs);
+    ++stats.ped_computations;
+    if (d < best_distance_) {
+      best_distance_ = d;
+      best = current;
+    }
+
+    // Odometer increment over the hypothesis space.
+    std::size_t pos = 0;
+    while (pos < nc && ++current[pos] == m) {
+      current[pos] = 0;
+      ++pos;
+    }
+    if (pos == nc) break;
+  }
+  return make_result(std::move(best), stats);
+}
+
+}  // namespace geosphere

@@ -1,0 +1,31 @@
+// Exhaustive maximum-likelihood detector: the gold standard the sphere
+// decoders must match (Eq. 1 of the paper). O(|O|^nc) - test oracle and
+// complexity yardstick only.
+#pragma once
+
+#include "detect/detector.h"
+
+namespace geosphere {
+
+class MlExhaustiveDetector final : public Detector {
+ public:
+  /// `max_hypotheses` guards against accidentally launching an infeasible
+  /// search (e.g. 256-QAM with 4 streams = 4.3e9 hypotheses).
+  explicit MlExhaustiveDetector(const Constellation& c,
+                                std::uint64_t max_hypotheses = 20'000'000)
+      : Detector(c), max_hypotheses_(max_hypotheses) {}
+
+  DetectionResult detect(const CVector& y, const linalg::CMatrix& h,
+                         double noise_var) override;
+
+  /// Distance ||y - H s*||^2 of the ML solution from the last detect().
+  double last_distance_sq() const { return best_distance_; }
+
+  std::string name() const override { return "ML-exhaustive"; }
+
+ private:
+  std::uint64_t max_hypotheses_;
+  double best_distance_ = 0.0;
+};
+
+}  // namespace geosphere

@@ -1,0 +1,24 @@
+#include "detect/mmse.h"
+
+#include "linalg/solve.h"
+
+namespace geosphere {
+
+DetectionResult MmseDetector::detect(const CVector& y, const linalg::CMatrix& h,
+                                     double noise_var) {
+  const std::size_t nc = h.cols();
+  const linalg::CMatrix hh = h.hermitian();
+  linalg::CMatrix gram = hh * h;
+  for (std::size_t i = 0; i < nc; ++i) gram(i, i) += noise_var;
+  equalized_ = linalg::inverse(gram) * (hh * y);
+
+  DetectionStats stats;
+  std::vector<unsigned> indices(nc);
+  for (std::size_t k = 0; k < nc; ++k) {
+    indices[k] = constellation().slice(equalized_[k]);
+    ++stats.slicer_ops;
+  }
+  return make_result(std::move(indices), stats);
+}
+
+}  // namespace geosphere

@@ -1,0 +1,27 @@
+// Linear MMSE detector (classical improvement over zero-forcing; see the
+// paper's related-work discussion of linear filtering).
+#pragma once
+
+#include "detect/detector.h"
+
+namespace geosphere {
+
+/// Filters with (H^H H + N0 I)^{-1} H^H (unit symbol energy), balancing
+/// stream separation against noise amplification. Converges to ZF as
+/// N0 -> 0, which the tests exploit.
+class MmseDetector final : public Detector {
+ public:
+  explicit MmseDetector(const Constellation& c) : Detector(c) {}
+
+  DetectionResult detect(const CVector& y, const linalg::CMatrix& h,
+                         double noise_var) override;
+
+  const CVector& last_equalized() const { return equalized_; }
+
+  std::string name() const override { return "MMSE"; }
+
+ private:
+  CVector equalized_;
+};
+
+}  // namespace geosphere

@@ -1,0 +1,52 @@
+#include "detect/mmse_sic.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "linalg/solve.h"
+
+namespace geosphere {
+
+DetectionResult MmseSicDetector::detect(const CVector& y, const linalg::CMatrix& h,
+                                        double noise_var) {
+  const std::size_t nc = h.cols();
+  DetectionStats stats;
+
+  // Detection order: descending received stream SNR = column energy.
+  std::vector<std::size_t> order(nc);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::vector<double> energy(nc);
+  for (std::size_t k = 0; k < nc; ++k) energy[k] = linalg::norm_sq(h.col(k));
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return energy[a] > energy[b]; });
+
+  CVector residual = y;
+  std::vector<std::size_t> remaining = order;
+  std::vector<unsigned> indices(nc, 0);
+
+  while (!remaining.empty()) {
+    const std::size_t target = remaining.front();
+
+    // MMSE filter over the remaining (uncancelled) streams only.
+    const linalg::CMatrix hsub = h.select_cols(remaining);
+    const linalg::CMatrix hh = hsub.hermitian();
+    linalg::CMatrix gram = hh * hsub;
+    for (std::size_t i = 0; i < remaining.size(); ++i) gram(i, i) += noise_var;
+    const CVector est = linalg::inverse(gram) * (hh * residual);
+
+    // The target stream is the first column of the reduced system.
+    const unsigned idx = constellation().slice(est[0]);
+    ++stats.slicer_ops;
+    indices[target] = idx;
+
+    // Cancel the hard decision from the residual.
+    const cf64 s = constellation().point(idx);
+    const CVector hk = h.col(target);
+    for (std::size_t i = 0; i < residual.size(); ++i) residual[i] -= hk[i] * s;
+
+    remaining.erase(remaining.begin());
+  }
+  return make_result(std::move(indices), stats);
+}
+
+}  // namespace geosphere

@@ -1,0 +1,24 @@
+// MMSE with successive interference cancellation, the strongest linear-
+// front-end baseline in the paper (Fig. 13): capacity-achieving in theory,
+// limited by error propagation in practice.
+#pragma once
+
+#include "detect/detector.h"
+
+namespace geosphere {
+
+/// Orders streams by descending received SNR (channel column energy), then
+/// repeatedly: MMSE-detects the strongest remaining stream, slices it, and
+/// subtracts its reconstructed contribution from the received vector
+/// (symbol-level hard cancellation, as in the paper's evaluation).
+class MmseSicDetector final : public Detector {
+ public:
+  explicit MmseSicDetector(const Constellation& c) : Detector(c) {}
+
+  DetectionResult detect(const CVector& y, const linalg::CMatrix& h,
+                         double noise_var) override;
+
+  std::string name() const override { return "MMSE-SIC"; }
+};
+
+}  // namespace geosphere

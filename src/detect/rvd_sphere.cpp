@@ -1,0 +1,122 @@
+#include "detect/rvd_sphere.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "linalg/qr.h"
+
+namespace geosphere {
+
+DetectionResult RvdSphereDecoder::detect(const CVector& y, const linalg::CMatrix& h,
+                                         double /*noise_var*/) {
+  const std::size_t nc = h.cols();
+  const std::size_t na = h.rows();
+  if (nc == 0 || na < nc)
+    throw std::invalid_argument("RvdSphereDecoder: requires 1 <= n_c <= n_a");
+  if (y.size() != na) throw std::invalid_argument("RvdSphereDecoder: y/H shape mismatch");
+
+  // Real embedding (stored in complex matrices with zero imaginary parts
+  // so the complex QR can be reused; R comes out real).
+  const std::size_t rn = 2 * nc;
+  const std::size_t rm = 2 * na;
+  linalg::CMatrix hr(rm, rn);
+  for (std::size_t i = 0; i < na; ++i) {
+    for (std::size_t j = 0; j < nc; ++j) {
+      const cf64 v = h(i, j);
+      hr(i, j) = v.real();
+      hr(i, nc + j) = -v.imag();
+      hr(na + i, j) = v.imag();
+      hr(na + i, nc + j) = v.real();
+    }
+  }
+  CVector yr(rm);
+  for (std::size_t i = 0; i < na; ++i) {
+    yr[i] = y[i].real();
+    yr[na + i] = y[i].imag();
+  }
+
+  const auto [q, r] = linalg::householder_qr(hr);
+  const double rank_tol = 1e-10 * std::sqrt(std::max(hr.frobenius_norm_sq(), 1e-300));
+  for (std::size_t l = 0; l < rn; ++l)
+    if (r(l, l).real() <= rank_tol)
+      throw std::domain_error("RvdSphereDecoder: rank-deficient channel");
+  const CVector yhat = q.hermitian() * yr;
+
+  const Constellation& cons = constellation();
+  const int levels = cons.pam_levels();
+  const double alpha = cons.scale();
+
+  if (level_enum_.size() != rn) {
+    level_enum_.assign(rn, sphere::Zigzag1D{});
+    level_scale_.assign(rn, 0.0);
+    partial_.assign(rn + 1, 0.0);
+    current_.assign(rn, 0);
+    best_.assign(rn, 0);
+  }
+  for (std::size_t l = 0; l < rn; ++l) {
+    const double rll = r(l, l).real();
+    level_scale_[l] = rll * rll * alpha * alpha;
+  }
+
+  DetectionStats stats;
+  double radius_sq = std::numeric_limits<double>::infinity();
+  partial_[rn] = 0.0;
+
+  // Per-level center in PAM grid units given decisions above.
+  const auto center_at = [&](std::size_t l) {
+    double c = yhat[l].real();
+    for (std::size_t j = l + 1; j < rn; ++j)
+      c -= r(l, j).real() * alpha *
+           static_cast<double>(cons.grid_of_level(current_[j]));
+    return c / (r(l, l).real() * alpha);
+  };
+
+  std::vector<double> centers(rn, 0.0);
+  std::size_t level = rn - 1;
+  centers[level] = center_at(level);
+  level_enum_[level].reset(centers[level], levels);
+  ++stats.slicer_ops;
+
+  for (;;) {
+    const double budget = (radius_sq - partial_[level + 1]) / level_scale_[level];
+    bool advanced = false;
+    if (!level_enum_[level].done()) {
+      const int lev = level_enum_[level].peek_level();
+      const double d = static_cast<double>(cons.grid_of_level(lev)) - centers[level];
+      const double cost = d * d;
+      ++stats.ped_computations;
+      if (cost < budget) {
+        level_enum_[level].take();
+        ++stats.visited_nodes;
+        current_[level] = lev;
+        partial_[level] = partial_[level + 1] + level_scale_[level] * cost;
+        advanced = true;
+        if (level == 0) {
+          radius_sq = partial_[0];
+          best_ = current_;
+        } else {
+          --level;
+          centers[level] = center_at(level);
+          level_enum_[level].reset(centers[level], levels);
+          ++stats.slicer_ops;
+        }
+      } else {
+        level_enum_[level].close();  // Sorted per level: nothing else fits.
+      }
+    }
+    if (!advanced && level_enum_[level].done()) {
+      ++level;  // Backtrack.
+      if (level == rn) break;
+    }
+  }
+
+  // Recombine PAM components into QAM indices: level j < nc is the real
+  // part (I level) of stream j, level nc + j the imaginary part.
+  std::vector<unsigned> indices(nc);
+  for (std::size_t k = 0; k < nc; ++k)
+    indices[k] = cons.index_from_levels(best_[k], best_[nc + k]);
+  return make_result(std::move(indices), stats);
+}
+
+}  // namespace geosphere

@@ -1,0 +1,153 @@
+#include "detect/soft_output.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "linalg/qr.h"
+
+namespace geosphere {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+SoftGeosphereDetector::SoftGeosphereDetector(const Constellation& c, double llr_clamp)
+    : constellation_(&c), llr_clamp_(llr_clamp) {
+  if (llr_clamp <= 0.0)
+    throw std::invalid_argument("SoftGeosphereDetector: llr_clamp must be positive");
+}
+
+SoftGeosphereDetector::Search SoftGeosphereDetector::search(
+    double radius_sq, std::ptrdiff_t mask_level, const std::vector<std::uint8_t>* mask,
+    DetectionStats& stats) {
+  const std::size_t nc = scale_.size();
+  const Constellation& cons = *constellation_;
+  const double alpha = cons.scale();
+
+  Search out;
+  out.best.assign(nc, 0);
+  out.best_dist = radius_sq;
+  partial_[nc] = 0.0;
+
+  const auto center_at = [&](std::size_t l) {
+    cf64 c = yhat_[l];
+    for (std::size_t j = l + 1; j < nc; ++j) c -= r_(l, j) * cons.point(current_[j]);
+    return c / (r_(l, l).real() * alpha);
+  };
+
+  std::size_t level = nc - 1;
+  level_enum_[level].reset(center_at(level), stats);
+
+  for (;;) {
+    const double budget = (out.best_dist - partial_[level + 1]) / scale_[level];
+    const auto child = level_enum_[level].next(budget, stats);
+    if (!child) {
+      ++level;
+      if (level == nc) break;
+      continue;
+    }
+    const unsigned idx = cons.index_from_levels(child->li, child->lq);
+    // Constrained level: skip children outside the allowed subset. Skipped
+    // children cost their enumeration PED but are never descended into --
+    // the repeated-tree-search trade-off.
+    if (mask != nullptr && static_cast<std::ptrdiff_t>(level) == mask_level &&
+        !(*mask)[idx])
+      continue;
+
+    ++stats.visited_nodes;
+    current_[level] = idx;
+    partial_[level] = partial_[level + 1] + scale_[level] * child->cost_grid;
+    if (level == 0) {
+      out.best_dist = partial_[0];
+      out.best = current_;
+      out.found = true;
+    } else {
+      --level;
+      level_enum_[level].reset(center_at(level), stats);
+    }
+  }
+  return out;
+}
+
+SoftDetectionResult SoftGeosphereDetector::detect(const CVector& y,
+                                                  const linalg::CMatrix& h,
+                                                  double noise_var) {
+  const std::size_t nc = h.cols();
+  if (nc == 0 || h.rows() < nc || y.size() != h.rows())
+    throw std::invalid_argument("SoftGeosphereDetector: shape mismatch");
+  if (noise_var <= 0.0)
+    throw std::invalid_argument("SoftGeosphereDetector: needs positive noise variance");
+
+  const Constellation& cons = *constellation_;
+  const auto [q, r] = linalg::householder_qr(h);
+  const double rank_tol = 1e-10 * std::sqrt(std::max(h.frobenius_norm_sq(), 1e-300));
+  for (std::size_t l = 0; l < nc; ++l)
+    if (r(l, l).real() <= rank_tol)
+      throw std::domain_error("SoftGeosphereDetector: rank-deficient channel");
+
+  r_ = r;
+  yhat_ = q.hermitian() * y;
+  const double alpha = cons.scale();
+  scale_.assign(nc, 0.0);
+  for (std::size_t l = 0; l < nc; ++l) {
+    const double rll = r(l, l).real();
+    scale_[l] = rll * rll * alpha * alpha;
+  }
+  if (level_enum_.size() != nc) {
+    sphere::GeoEnumerator proto({.geometric_pruning = true});
+    proto.attach(cons);
+    level_enum_.assign(nc, proto);
+    current_.assign(nc, 0);
+    partial_.assign(nc + 1, 0.0);
+  }
+
+  SoftDetectionResult result;
+  DetectionStats stats;
+
+  // Unconstrained pass: ML solution.
+  const Search ml = search(kInf, -1, nullptr, stats);
+  result.indices = ml.best;
+
+  const unsigned bits = cons.bits_per_symbol();
+  result.llrs.assign(nc * bits, 0.0);
+  std::vector<std::uint8_t> ml_bits(bits);
+  std::vector<std::uint8_t> mask(cons.order());
+
+  // Counter-hypothesis radius: LLR magnitudes are clamped, so any solution
+  // farther than d_ml + clamp * N0 cannot change the result.
+  const double counter_radius = ml.best_dist + llr_clamp_ * noise_var;
+
+  for (std::size_t k = 0; k < nc; ++k) {
+    cons.bits_from_index(ml.best[k], ml_bits.data());
+    for (unsigned b = 0; b < bits; ++b) {
+      // Allowed set: symbols whose bit b is the complement of the ML bit.
+      const unsigned want = ml_bits[b] ^ 1u;
+      std::vector<std::uint8_t> sym_bits(bits);
+      for (unsigned idx = 0; idx < cons.order(); ++idx) {
+        cons.bits_from_index(idx, sym_bits.data());
+        mask[idx] = (sym_bits[b] == want) ? 1 : 0;
+      }
+      const Search counter =
+          search(counter_radius, static_cast<std::ptrdiff_t>(k), &mask, stats);
+      const double delta = counter.found
+                               ? (counter.best_dist - ml.best_dist) / noise_var
+                               : llr_clamp_;
+      // Positive LLR favours bit 0.
+      const double magnitude = std::min(delta, llr_clamp_);
+      result.llrs[k * bits + b] = (ml_bits[b] == 0) ? magnitude : -magnitude;
+    }
+  }
+  result.stats = stats;
+  return result;
+}
+
+std::vector<double> SoftGeosphereDetector::llrs_to_confidence(
+    const std::vector<double>& llrs) {
+  std::vector<double> out(llrs.size());
+  for (std::size_t i = 0; i < llrs.size(); ++i)
+    out[i] = 1.0 / (1.0 + std::exp(llrs[i]));
+  return out;
+}
+
+}  // namespace geosphere

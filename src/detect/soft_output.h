@@ -1,0 +1,74 @@
+// Soft-output (max-log) MIMO detection -- the paper's Section 7 extension
+// direction: "soft detectors consist of several constrained maximum-
+// likelihood problems and therefore the sphere decoder can be of use".
+//
+// For every transmitted bit b the max-log LLR is
+//   LLR_b = ( min_{s: b(s)=1} ||y - Hs||^2 - min_{s: b(s)=0} ||y - Hs||^2 ) / N0,
+// i.e. positive when bit 0 is more likely. One unconstrained Geosphere
+// search yields the ML solution and one of the two minima for every bit;
+// each counter-hypothesis minimum is then a constrained ML problem solved
+// by re-running the search with that bit pinned to the complement
+// (the "repeated tree search" strategy). All searches reuse Geosphere's
+// zigzag enumeration and geometric pruning, so the per-bit searches stay
+// cheap at practical SNR.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "constellation/constellation.h"
+#include "detect/detector.h"
+#include "detect/sphere/enumerators.h"
+#include "linalg/matrix.h"
+
+namespace geosphere {
+
+struct SoftDetectionResult {
+  std::vector<unsigned> indices;  ///< Hard (ML) decisions per stream.
+  /// LLRs, stream-major: llrs[k * Q + b] for bit b of stream k, with the
+  /// bit order of Constellation::bits_from_index. Positive = bit 0 likely.
+  std::vector<double> llrs;
+  DetectionStats stats;
+};
+
+class SoftGeosphereDetector {
+ public:
+  /// `llr_clamp`: counter-hypothesis searches are bounded; when no
+  /// counter-hypothesis lies within the clamp radius the LLR saturates at
+  /// +/- llr_clamp (standard max-log practice).
+  explicit SoftGeosphereDetector(const Constellation& c, double llr_clamp = 30.0);
+
+  SoftDetectionResult detect(const CVector& y, const linalg::CMatrix& h,
+                             double noise_var);
+
+  const Constellation& constellation() const { return *constellation_; }
+
+  /// Convenience: map LLRs to per-bit "confidence the bit is 1" in [0,1],
+  /// the input format of coding::ViterbiDecoder::decode_soft.
+  static std::vector<double> llrs_to_confidence(const std::vector<double>& llrs);
+
+ private:
+  struct Search {
+    std::vector<unsigned> best;
+    double best_dist = 0.0;
+    bool found = false;
+  };
+
+  /// Depth-first search; `mask_level`/`mask` optionally restrict the symbol
+  /// at one tree level to a subset of constellation indices.
+  Search search(double radius_sq, std::ptrdiff_t mask_level,
+                const std::vector<std::uint8_t>* mask, DetectionStats& stats);
+
+  const Constellation* constellation_;
+  double llr_clamp_;
+
+  // Problem state shared across the unconstrained and per-bit searches.
+  linalg::CMatrix r_;
+  CVector yhat_;
+  std::vector<double> scale_;
+  std::vector<sphere::GeoEnumerator> level_enum_;
+  std::vector<unsigned> current_;
+  std::vector<double> partial_;
+};
+
+}  // namespace geosphere

@@ -1,0 +1,183 @@
+// Child-enumeration strategies for the depth-first sphere decoder.
+//
+// All enumerators implement the same contract and must produce children in
+// exactly non-decreasing Euclidean distance from the (continuous) center --
+// i.e. non-decreasing branch cost, the Schnorr-Euchner order. They differ
+// only in how much computation (exact partial-distance evaluations) that
+// takes, which is precisely what the paper measures:
+//
+//  * GeoEnumerator   -- the paper's contribution (Section 3.1.1 + 3.2):
+//                       2D zigzag over the QAM grid with at most one
+//                       outstanding candidate per vertical PAM
+//                       subconstellation, optionally guarded by the
+//                       geometric lower-bound table (geometric pruning).
+//  * HessEnumerator  -- the ETH-SD baseline (Burg et al. VLSI decoder with
+//                       the Hess et al. enumeration): split the QAM
+//                       constellation into sqrt(M) horizontal PAM rows,
+//                       1D-zigzag inside each row, compare exact distances
+//                       across all rows.
+//  * ShabanyEnumerator -- the related-work scheme the paper contrasts in
+//                       Section 6.1: like the 2D zigzag but without the
+//                       one-candidate-per-subconstellation rule, so it
+//                       computes more exact distances.
+//
+// Cost units: squared distance in grid units (points at odd integers,
+// spacing 2). The sphere decoder rescales by |r_ll|^2 * alpha^2.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "constellation/constellation.h"
+#include "detect/detector.h"
+#include "detect/sphere/geometry_table.h"
+#include "detect/sphere/zigzag1d.h"
+
+namespace geosphere::sphere {
+
+/// One enumerated child: PAM level indices and its exact squared distance
+/// from the center, in grid units.
+struct Child {
+  int li = 0;
+  int lq = 0;
+  double cost_grid = 0.0;
+};
+
+// ---------------------------------------------------------------------------
+
+/// Geosphere's two-dimensional zigzag enumeration (paper Fig. 5/6), with
+/// optional geometric pruning (Section 3.2).
+class GeoEnumerator {
+ public:
+  struct Options {
+    /// When true, candidate generation is guarded by the geometric
+    /// lower-bound table: generations whose bound already exceeds the
+    /// remaining budget are skipped without computing an exact distance,
+    /// and -- by zigzag monotonicity of the offsets -- close the entire
+    /// remaining column (vertical) or all remaining columns (horizontal).
+    bool geometric_pruning = true;
+  };
+
+  GeoEnumerator() = default;
+  explicit GeoEnumerator(Options options) : options_(options) {}
+
+  void attach(const Constellation& c);
+
+  /// Begin enumerating children around `center` (grid units). Performs the
+  /// slicing step and seeds the queue with the sliced point.
+  void reset(cf64 center, DetectionStats& stats);
+
+  /// Next child with exact cost < budget, in non-decreasing cost order;
+  /// std::nullopt when no remaining child can satisfy the budget. `budget`
+  /// must be non-increasing across calls within one reset (the sphere
+  /// radius only shrinks).
+  std::optional<Child> next(double budget, DetectionStats& stats);
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct Entry {
+    double cost;
+    int li;
+    int lq;
+  };
+
+  void open_next_column(double budget, DetectionStats& stats);
+  void advance_column(int li, double budget, DetectionStats& stats);
+  double cost_of(int li, int lq) const;
+
+  Options options_{};
+  int levels_ = 0;
+
+  double ci_ = 0.0, cq_ = 0.0;  ///< Center, grid units.
+  int li0_ = 0, lq0_ = 0;       ///< Sliced point (lower-bound reference).
+
+  Zigzag1D horizontal_;                 ///< Column-opening order.
+  std::vector<Zigzag1D> column_;        ///< Per-column vertical zigzag.
+  std::vector<std::uint8_t> col_open_;  ///< Column has been opened.
+  bool horizontal_closed_ = false;      ///< No further columns can fit.
+  int newest_column_ = -1;              ///< Most recently opened column.
+
+  // Successor generation is deferred from the pop that causes it to the
+  // following next() call, when the (possibly much smaller) budget is
+  // known. This is the paper's "defer the Euclidean distance computation
+  // until as late as possible": after a leaf tightens the radius,
+  // geometric pruning closes the pending generations without computing a
+  // single exact distance (Section 5.3 discussion).
+  int pending_advance_ = -1;    ///< Column owed a vertical successor.
+  bool pending_open_ = false;   ///< A horizontal column-open is owed.
+
+  std::vector<Entry> queue_;  ///< <=1 outstanding candidate per column.
+};
+
+// ---------------------------------------------------------------------------
+
+/// Hess et al. row-subconstellation enumeration (the ETH-SD baseline).
+class HessEnumerator {
+ public:
+  void attach(const Constellation& c);
+  void reset(cf64 center, DetectionStats& stats);
+  std::optional<Child> next(double budget, DetectionStats& stats);
+
+ private:
+  struct Row {
+    bool active = false;
+    bool needs_refill = false;
+    int li = 0;        ///< Current candidate column in this row.
+    double cost = 0.0; ///< Its exact cost.
+    Zigzag1D zigzag;   ///< Horizontal zigzag within the row.
+  };
+
+  double cost_of(int li, int lq) const;
+
+  int levels_ = 0;
+  double ci_ = 0.0, cq_ = 0.0;
+  std::vector<Row> rows_;
+};
+
+// ---------------------------------------------------------------------------
+
+/// Shabany-style neighbour expansion: each dequeued point proposes both its
+/// vertical successor (within its column) and its horizontal successor
+/// (within its row), deduplicated by a visited set. More exact-distance
+/// computations than GeoEnumerator (paper Section 6.1: 25% more to find the
+/// third-smallest child of a node).
+class ShabanyEnumerator {
+ public:
+  void attach(const Constellation& c);
+  void reset(cf64 center, DetectionStats& stats);
+  std::optional<Child> next(double budget, DetectionStats& stats);
+
+ private:
+  struct Entry {
+    double cost;
+    int li;
+    int lq;
+  };
+
+  void propose(int li, int lq, double budget, DetectionStats& stats);
+  void advance_vertical(int li, double budget, DetectionStats& stats);
+  void advance_horizontal(int lq, double budget, DetectionStats& stats);
+  double cost_of(int li, int lq) const;
+  bool visited(int li, int lq) const {
+    return visited_[static_cast<std::size_t>(li * levels_ + lq)] != 0;
+  }
+  void mark_visited(int li, int lq) {
+    visited_[static_cast<std::size_t>(li * levels_ + lq)] = 1;
+  }
+
+  int levels_ = 0;
+  double ci_ = 0.0, cq_ = 0.0;
+
+  std::vector<Zigzag1D> column_;  ///< Vertical iterator per column.
+  std::vector<Zigzag1D> row_;     ///< Horizontal iterator per row.
+  std::vector<std::uint8_t> column_init_, row_init_;
+  std::vector<std::uint8_t> column_closed_, row_closed_;
+  std::vector<std::uint8_t> visited_;
+  int pending_vertical_ = -1;    ///< Column owed a successor (deferred).
+  int pending_horizontal_ = -1;  ///< Row owed a successor (deferred).
+  std::vector<Entry> queue_;
+};
+
+}  // namespace geosphere::sphere

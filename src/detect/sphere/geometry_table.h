@@ -1,0 +1,53 @@
+// The geometric lower-bound lookup table of paper Section 3.2 (Eq. 9).
+//
+// The received (centered) symbol lies inside the decision cell of its
+// sliced constellation point, i.e. within +/-1 grid unit in each dimension
+// (grid spacing is 2). A constellation point offset by |dI| columns and
+// |dQ| rows from the sliced point is therefore at squared distance at least
+//   max(0, 2|dI|-1)^2 + max(0, 2|dQ|-1)^2
+// from the received symbol. The bound also holds when the received symbol
+// falls outside the constellation (the clamped slice only increases the
+// true distance). Because the bound is integer-indexed it costs a table
+// lookup, not a multiplication -- the whole point of the technique.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace geosphere::sphere {
+
+/// Maximum PAM offset we ever need: 256-QAM has 16 levels per axis.
+inline constexpr int kMaxPamOffset = 16;
+
+namespace detail {
+
+constexpr double clamped_term(int d) {
+  const int t = 2 * d - 1;
+  return t > 0 ? static_cast<double>(t) * static_cast<double>(t) : 0.0;
+}
+
+constexpr auto build_lb_table() {
+  std::array<std::array<double, kMaxPamOffset + 1>, kMaxPamOffset + 1> t{};
+  for (int di = 0; di <= kMaxPamOffset; ++di)
+    for (int dq = 0; dq <= kMaxPamOffset; ++dq)
+      t[static_cast<std::size_t>(di)][static_cast<std::size_t>(dq)] =
+          clamped_term(di) + clamped_term(dq);
+  return t;
+}
+
+inline constexpr auto kLbTable = build_lb_table();
+
+}  // namespace detail
+
+/// Lower bound (in squared grid units) on the distance between the received
+/// symbol and a constellation point at PAM offsets (|dI|, |dQ|) from the
+/// sliced point. Precondition: 0 <= dI, dQ <= kMaxPamOffset.
+constexpr double geometric_lower_bound_sq(int abs_di, int abs_dq) {
+  return detail::kLbTable[static_cast<std::size_t>(abs_di)]
+                         [static_cast<std::size_t>(abs_dq)];
+}
+
+/// Exact squared-distance lower-bound properties are verified in tests:
+/// monotone in each argument and always <= the exact cost.
+
+}  // namespace geosphere::sphere

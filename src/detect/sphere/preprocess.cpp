@@ -1,0 +1,26 @@
+#include "detect/sphere/preprocess.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace geosphere::sphere {
+
+std::vector<std::size_t> column_norm_order(const linalg::CMatrix& h) {
+  const std::size_t nc = h.cols();
+  std::vector<double> energy(nc, 0.0);
+  for (std::size_t j = 0; j < nc; ++j)
+    for (std::size_t i = 0; i < h.rows(); ++i) energy[j] += std::norm(h(i, j));
+  std::vector<std::size_t> perm(nc);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  std::stable_sort(perm.begin(), perm.end(),
+                   [&](std::size_t a, std::size_t b) { return energy[a] < energy[b]; });
+  return perm;  // Ascending: weakest at the tree bottom, strongest on top.
+}
+
+std::vector<std::size_t> identity_order(std::size_t n) {
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  return perm;
+}
+
+}  // namespace geosphere::sphere

@@ -1,0 +1,21 @@
+// Channel preprocessing for the sphere decoder.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace geosphere::sphere {
+
+/// Column ordering for detection: position j of the permuted channel holds
+/// original column perm[j]. The strongest column (largest energy) is placed
+/// last, i.e. at the top of the sphere-decoder tree, so the most reliable
+/// stream is decided first (V-BLAST-style heuristic). The paper's decoders
+/// do not require this; it is exposed for the ordering ablation bench.
+std::vector<std::size_t> column_norm_order(const linalg::CMatrix& h);
+
+/// Identity permutation of length n.
+std::vector<std::size_t> identity_order(std::size_t n);
+
+}  // namespace geosphere::sphere

@@ -1,0 +1,125 @@
+#include "detect/sphere/sphere_decoder.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/qr.h"
+
+namespace geosphere::sphere {
+
+template <class Enumerator>
+DetectionResult SphereDecoder<Enumerator>::detect(const CVector& y,
+                                                  const linalg::CMatrix& h,
+                                                  double /*noise_var*/) {
+  const std::size_t nc = h.cols();
+  const std::size_t na = h.rows();
+  if (nc == 0 || na < nc)
+    throw std::invalid_argument("SphereDecoder: requires 1 <= n_c <= n_a");
+  if (y.size() != na) throw std::invalid_argument("SphereDecoder: y/H shape mismatch");
+
+  const std::vector<std::size_t> perm =
+      config_.sorted_qr ? column_norm_order(h) : identity_order(nc);
+  const linalg::CMatrix hp = config_.sorted_qr ? h.select_cols(perm) : h;
+
+  const auto [q, r] = linalg::householder_qr(hp);
+
+  // Guard against rank deficiency: a zero pivot would make the per-level
+  // center division meaningless.
+  const double rank_tol = 1e-10 * std::sqrt(std::max(hp.frobenius_norm_sq(), 1e-300));
+  for (std::size_t l = 0; l < nc; ++l)
+    if (r(l, l).real() <= rank_tol)
+      throw std::domain_error("SphereDecoder: channel matrix is (numerically) rank deficient");
+
+  const CVector yhat = q.hermitian() * y;
+
+  const Constellation& cons = constellation();
+  const double alpha = cons.scale();
+
+  if (level_enum_.size() != nc) {
+    level_enum_.assign(nc, prototype_);
+    level_scale_.assign(nc, 0.0);
+    partial_dist_.assign(nc + 1, 0.0);
+    current_.assign(nc, 0);
+    best_.assign(nc, 0);
+  }
+  for (std::size_t l = 0; l < nc; ++l) {
+    const double rll = r(l, l).real();
+    level_scale_[l] = rll * rll * alpha * alpha;
+  }
+
+  DetectionStats stats;
+  double radius_sq = config_.initial_radius_sq;
+  bool found = false;
+  partial_dist_[nc] = 0.0;
+
+  // Center of level l given decisions above it, in grid units.
+  const auto center_at = [&](std::size_t l) {
+    cf64 c = yhat[l];
+    for (std::size_t j = l + 1; j < nc; ++j) c -= r(l, j) * cons.point(current_[j]);
+    return c / (r(l, l).real() * alpha);
+  };
+
+  std::size_t level = nc - 1;
+  level_enum_[level].reset(center_at(level), stats);
+
+  for (;;) {
+    const double budget = (radius_sq - partial_dist_[level + 1]) / level_scale_[level];
+    const std::optional<Child> child = level_enum_[level].next(budget, stats);
+    if (!child) {
+      ++level;  // Backtrack.
+      if (level == nc) break;
+      continue;
+    }
+    ++stats.visited_nodes;
+    current_[level] = cons.index_from_levels(child->li, child->lq);
+    partial_dist_[level] = partial_dist_[level + 1] + level_scale_[level] * child->cost_grid;
+
+    if (level == 0) {
+      // Leaf inside the sphere: tighten the radius (Section 2.1) and keep
+      // searching; the enumerator's sorted order guarantees the sibling
+      // scan terminates immediately when nothing closer remains.
+      radius_sq = partial_dist_[0];
+      best_ = current_;
+      found = true;
+    } else {
+      --level;
+      level_enum_[level].reset(center_at(level), stats);
+    }
+  }
+
+  if (!found)
+    throw std::runtime_error(
+        "SphereDecoder: no solution inside the configured initial radius");
+
+  // Undo the detection-order permutation.
+  std::vector<unsigned> indices(nc);
+  for (std::size_t j = 0; j < nc; ++j) indices[perm[j]] = best_[j];
+  return make_result(std::move(indices), stats);
+}
+
+template class SphereDecoder<GeoEnumerator>;
+template class SphereDecoder<HessEnumerator>;
+template class SphereDecoder<ShabanyEnumerator>;
+
+std::unique_ptr<Detector> make_geosphere(const Constellation& c, SphereConfig config) {
+  return std::make_unique<SphereDecoder<GeoEnumerator>>(
+      c, GeoEnumerator({.geometric_pruning = true}), "Geosphere", config);
+}
+
+std::unique_ptr<Detector> make_geosphere_zigzag_only(const Constellation& c,
+                                                     SphereConfig config) {
+  return std::make_unique<SphereDecoder<GeoEnumerator>>(
+      c, GeoEnumerator({.geometric_pruning = false}), "Geosphere-2DZZ", config);
+}
+
+std::unique_ptr<Detector> make_eth_sd(const Constellation& c, SphereConfig config) {
+  return std::make_unique<SphereDecoder<HessEnumerator>>(c, HessEnumerator{}, "ETH-SD",
+                                                         config);
+}
+
+std::unique_ptr<Detector> make_shabany_sd(const Constellation& c, SphereConfig config) {
+  return std::make_unique<SphereDecoder<ShabanyEnumerator>>(c, ShabanyEnumerator{},
+                                                            "Shabany-SD", config);
+}
+
+}  // namespace geosphere::sphere

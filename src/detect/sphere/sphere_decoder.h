@@ -1,0 +1,73 @@
+// Depth-first Schnorr-Euchner sphere decoder (paper Section 2), templated
+// on the child-enumeration strategy so Geosphere and the baselines share
+// identical traversal and pruning logic. All instantiations return the
+// exact maximum-likelihood solution (Eq. 1), and -- because every
+// enumerator yields children in the same sorted order -- visit identical
+// node sequences; only the PED-computation counts differ (Section 5.3).
+#pragma once
+
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "detect/detector.h"
+#include "detect/sphere/enumerators.h"
+#include "detect/sphere/preprocess.h"
+
+namespace geosphere::sphere {
+
+struct SphereConfig {
+  /// Order channel columns by energy before the QR decomposition
+  /// (off by default: the paper's decoders process columns as-is).
+  bool sorted_qr = false;
+  /// Initial squared sphere radius. The default (infinite) guarantees a
+  /// solution; a finite radius may prune everything, in which case detect()
+  /// throws std::runtime_error.
+  double initial_radius_sq = std::numeric_limits<double>::infinity();
+};
+
+template <class Enumerator>
+class SphereDecoder final : public Detector {
+ public:
+  SphereDecoder(const Constellation& c, Enumerator prototype, std::string name,
+                SphereConfig config = {})
+      : Detector(c), prototype_(prototype), name_(std::move(name)), config_(config) {
+    prototype_.attach(c);
+  }
+
+  DetectionResult detect(const CVector& y, const linalg::CMatrix& h,
+                         double noise_var) override;
+
+  std::string name() const override { return name_; }
+  const SphereConfig& config() const { return config_; }
+
+ private:
+  Enumerator prototype_;
+  std::string name_;
+  SphereConfig config_;
+
+  // Per-level state, reused across detect() calls to avoid allocation.
+  std::vector<Enumerator> level_enum_;
+  std::vector<double> level_scale_;     ///< |r_ll|^2 * alpha^2.
+  std::vector<double> partial_dist_;    ///< partial_dist_[l] = d(s^(l)); [nc] = 0.
+  std::vector<unsigned> current_;       ///< Symbol index per level on the path.
+  std::vector<unsigned> best_;
+};
+
+/// Geosphere: 2D zigzag enumeration + geometric pruning (the full system).
+std::unique_ptr<Detector> make_geosphere(const Constellation& c, SphereConfig config = {});
+
+/// Geosphere without geometric pruning ("2D zigzag only" variant of the
+/// paper's Section 5.3.2 breakdown).
+std::unique_ptr<Detector> make_geosphere_zigzag_only(const Constellation& c,
+                                                     SphereConfig config = {});
+
+/// ETH-SD: the Burg et al. depth-first decoder with Hess et al. enumeration,
+/// the paper's primary complexity baseline.
+std::unique_ptr<Detector> make_eth_sd(const Constellation& c, SphereConfig config = {});
+
+/// Shabany-style neighbour-expansion enumeration (related work, Section 6.1).
+std::unique_ptr<Detector> make_shabany_sd(const Constellation& c, SphereConfig config = {});
+
+}  // namespace geosphere::sphere

@@ -1,0 +1,56 @@
+// Shared QR-triangularized form of the detection problem (paper Eq. 3/4),
+// used by the tree-search detectors that do not need the full depth-first
+// machinery (K-best, fixed-complexity).
+#pragma once
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "constellation/constellation.h"
+#include "linalg/matrix.h"
+#include "linalg/qr.h"
+
+namespace geosphere::sphere {
+
+struct TreeProblem {
+  linalg::CMatrix r;          ///< Upper triangular, real non-negative diagonal.
+  CVector yhat;               ///< Q^H y.
+  std::vector<double> scale;  ///< Per level: |r_ll|^2 * alpha^2.
+  double alpha = 1.0;
+
+  static TreeProblem build(const CVector& y, const linalg::CMatrix& h,
+                           const Constellation& cons) {
+    const std::size_t nc = h.cols();
+    if (nc == 0 || h.rows() < nc)
+      throw std::invalid_argument("TreeProblem: requires 1 <= n_c <= n_a");
+    if (y.size() != h.rows()) throw std::invalid_argument("TreeProblem: y/H shape mismatch");
+
+    auto [q, r] = linalg::householder_qr(h);
+    const double rank_tol = 1e-10 * std::sqrt(std::max(h.frobenius_norm_sq(), 1e-300));
+    for (std::size_t l = 0; l < nc; ++l)
+      if (r(l, l).real() <= rank_tol)
+        throw std::domain_error("TreeProblem: channel matrix is (numerically) rank deficient");
+
+    TreeProblem p;
+    p.alpha = cons.scale();
+    p.yhat = q.hermitian() * y;
+    p.scale.resize(nc);
+    for (std::size_t l = 0; l < nc; ++l) {
+      const double rll = r(l, l).real();
+      p.scale[l] = rll * rll * p.alpha * p.alpha;
+    }
+    p.r = std::move(r);
+    return p;
+  }
+
+  /// Grid-units center of level `l` given the decisions `path[j]` for j > l.
+  cf64 center(std::size_t l, const std::vector<unsigned>& path,
+              const Constellation& cons) const {
+    cf64 c = yhat[l];
+    for (std::size_t j = l + 1; j < r.cols(); ++j) c -= r(l, j) * cons.point(path[j]);
+    return c / (r(l, l).real() * alpha);
+  }
+};
+
+}  // namespace geosphere::sphere

@@ -1,0 +1,82 @@
+// One-dimensional zigzag enumeration over PAM levels (paper Section 3.1,
+// Fig. 4 left): visit levels in exactly non-decreasing distance from a
+// continuous center coordinate, starting from the sliced level and
+// alternating sides, handling constellation boundaries.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+
+namespace geosphere::sphere {
+
+class Zigzag1D {
+ public:
+  /// Prepare enumeration of levels [0, levels) whose grid coordinates are
+  /// g(l) = 2l - (levels-1), around continuous center `center` (grid units).
+  void reset(double center, int levels) {
+    assert(levels >= 1);
+    levels_ = levels;
+    center_ = center;
+    const double raw = (center + static_cast<double>(levels - 1)) / 2.0;
+    start_ = static_cast<int>(std::clamp<long>(std::lround(raw), 0, levels - 1));
+    below_ = start_ - 1;
+    above_ = start_ + 1;
+    pending_start_ = true;
+  }
+
+  bool done() const { return !pending_start_ && below_ < 0 && above_ >= levels_; }
+
+  /// Next level in the zigzag order, without consuming it.
+  int peek_level() const {
+    assert(!done());
+    if (pending_start_) return start_;
+    const bool below_ok = below_ >= 0;
+    const bool above_ok = above_ < levels_;
+    if (below_ok && above_ok)
+      return distance(below_) <= distance(above_) ? below_ : above_;
+    return below_ok ? below_ : above_;
+  }
+
+  /// |peek_level() - start|: the PAM offset used by the geometric
+  /// lower-bound table. Non-decreasing across the enumeration.
+  int peek_offset() const { return std::abs(peek_level() - start_); }
+
+  /// Consume and return the next level.
+  int take() {
+    const int l = peek_level();
+    if (pending_start_)
+      pending_start_ = false;
+    else if (l == below_)
+      --below_;
+    else
+      ++above_;
+    return l;
+  }
+
+  int start_level() const { return start_; }
+
+  /// Permanently exhaust the enumeration (used when a budget test proves
+  /// no remaining level can qualify -- costs are monotone along the order).
+  void close() {
+    pending_start_ = false;
+    below_ = -1;
+    above_ = levels_;
+  }
+
+ private:
+  double distance(int level) const {
+    const double g = static_cast<double>(2 * level - (levels_ - 1));
+    return std::abs(g - center_);
+  }
+
+  int levels_ = 1;
+  double center_ = 0.0;
+  int start_ = 0;
+  int below_ = -1;
+  int above_ = 1;
+  bool pending_start_ = true;
+};
+
+}  // namespace geosphere::sphere

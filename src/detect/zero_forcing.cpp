@@ -1,0 +1,21 @@
+#include "detect/zero_forcing.h"
+
+#include "linalg/solve.h"
+
+namespace geosphere {
+
+DetectionResult ZeroForcingDetector::detect(const CVector& y, const linalg::CMatrix& h,
+                                            double /*noise_var*/) {
+  const linalg::CMatrix w = linalg::pseudo_inverse(h);
+  equalized_ = w * y;
+
+  DetectionStats stats;
+  std::vector<unsigned> indices(equalized_.size());
+  for (std::size_t k = 0; k < equalized_.size(); ++k) {
+    indices[k] = constellation().slice(equalized_[k]);
+    ++stats.slicer_ops;
+  }
+  return make_result(std::move(indices), stats);
+}
+
+}  // namespace geosphere

@@ -1,0 +1,29 @@
+// Zero-forcing detector: the baseline the paper improves upon.
+#pragma once
+
+#include "detect/detector.h"
+
+namespace geosphere {
+
+/// Left-multiplies the received vector by the channel pseudo-inverse
+/// (H^H H)^{-1} H^H and slices each stream independently. On poorly
+/// conditioned channels this amplifies noise by [(H^H H)^{-1}]_kk per
+/// stream (paper Sections 1 and 5.1).
+class ZeroForcingDetector final : public Detector {
+ public:
+  explicit ZeroForcingDetector(const Constellation& c) : Detector(c) {}
+
+  DetectionResult detect(const CVector& y, const linalg::CMatrix& h,
+                         double noise_var) override;
+
+  /// Post-equalization (pre-slicing) soft symbol estimates from the most
+  /// recent detect() call; useful for soft-decision decoding and tests.
+  const CVector& last_equalized() const { return equalized_; }
+
+  std::string name() const override { return "ZF"; }
+
+ private:
+  CVector equalized_;
+};
+
+}  // namespace geosphere

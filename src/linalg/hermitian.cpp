@@ -1,0 +1,136 @@
+#include "linalg/hermitian.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace geosphere::linalg {
+
+namespace {
+
+double off_diagonal_norm_sq(const CMatrix& a) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j)
+      if (i != j) s += std::norm(a(i, j));
+  return s;
+}
+
+}  // namespace
+
+EigResult hermitian_eig(const CMatrix& input) {
+  if (input.rows() != input.cols())
+    throw std::invalid_argument("hermitian_eig requires a square matrix");
+  const std::size_t n = input.rows();
+
+  CMatrix a = input;
+  CMatrix v = CMatrix::identity(n);
+
+  const double scale = std::max(a.frobenius_norm_sq(), 1e-300);
+  const double tol = 1e-26 * scale;
+  constexpr int kMaxSweeps = 100;
+
+  for (int sweep = 0; sweep < kMaxSweeps && off_diagonal_norm_sq(a) > tol; ++sweep) {
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const cf64 apq = a(p, q);
+        const double mag = std::abs(apq);
+        if (mag * mag <= tol / static_cast<double>(n * n)) continue;
+
+        // Phase-rotate so the (p,q) entry becomes real, then apply the
+        // classical symmetric Jacobi rotation. The combined unitary is
+        //   R(p,p)=c, R(p,q)=s, R(q,p)=-s*conj(ph), R(q,q)=c*conj(ph)
+        // with ph = apq/|apq|.
+        const cf64 ph = apq / mag;
+        const double app = a(p, p).real();
+        const double aqq = a(q, q).real();
+        const double tau = (aqq - app) / (2.0 * mag);
+        const double t = (tau >= 0.0 ? 1.0 : -1.0) / (std::abs(tau) + std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+
+        // Column update: A <- A * R.
+        for (std::size_t k = 0; k < n; ++k) {
+          const cf64 akp = a(k, p);
+          const cf64 akq = a(k, q);
+          a(k, p) = c * akp - s * std::conj(ph) * akq;
+          a(k, q) = s * ph * akp + c * akq;
+        }
+        // Row update: A <- R^H * A.
+        for (std::size_t k = 0; k < n; ++k) {
+          const cf64 apk = a(p, k);
+          const cf64 aqk = a(q, k);
+          a(p, k) = c * apk - s * ph * aqk;
+          a(q, k) = s * std::conj(ph) * apk + c * aqk;
+        }
+        // Accumulate eigenvectors: V <- V * R.
+        for (std::size_t k = 0; k < n; ++k) {
+          const cf64 vkp = v(k, p);
+          const cf64 vkq = v(k, q);
+          v(k, p) = c * vkp - s * std::conj(ph) * vkq;
+          v(k, q) = s * ph * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Extract and sort ascending, permuting eigenvectors to match.
+  std::vector<double> values(n);
+  for (std::size_t i = 0; i < n; ++i) values[i] = a(i, i).real();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return values[x] < values[y]; });
+
+  EigResult out;
+  out.values.resize(n);
+  out.vectors = CMatrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    out.values[j] = values[order[j]];
+    for (std::size_t i = 0; i < n; ++i) out.vectors(i, j) = v(i, order[j]);
+  }
+  return out;
+}
+
+std::vector<double> hermitian_eigenvalues(const CMatrix& a) {
+  return hermitian_eig(a).values;
+}
+
+CMatrix cholesky(const CMatrix& a) {
+  if (a.rows() != a.cols()) throw std::invalid_argument("cholesky requires a square matrix");
+  const std::size_t n = a.rows();
+  CMatrix l(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j).real();
+    for (std::size_t k = 0; k < j; ++k) diag -= std::norm(l(j, k));
+    if (diag <= 0.0) throw std::domain_error("cholesky: matrix not positive definite");
+    const double ljj = std::sqrt(diag);
+    l(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      cf64 sum = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= l(i, k) * std::conj(l(j, k));
+      l(i, j) = sum / ljj;
+    }
+  }
+  return l;
+}
+
+CMatrix cholesky_inverse(const CMatrix& a) {
+  const std::size_t n = a.rows();
+  const CMatrix l = cholesky(a);
+
+  // Invert the lower-triangular L by forward substitution on unit vectors.
+  CMatrix linv(n, n);
+  for (std::size_t col = 0; col < n; ++col) {
+    for (std::size_t i = col; i < n; ++i) {
+      cf64 rhs = (i == col) ? cf64{1.0, 0.0} : cf64{};
+      for (std::size_t k = col; k < i; ++k) rhs -= l(i, k) * linv(k, col);
+      linv(i, col) = rhs / l(i, i);
+    }
+  }
+  // A^{-1} = (L L^H)^{-1} = L^{-H} L^{-1}.
+  return linv.hermitian() * linv;
+}
+
+}  // namespace geosphere::linalg

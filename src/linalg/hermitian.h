@@ -1,0 +1,32 @@
+// Eigendecomposition and Cholesky factorization of complex Hermitian
+// matrices (used for condition numbers, SNR-degradation metrics and MMSE
+// filters).
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace geosphere::linalg {
+
+struct EigResult {
+  std::vector<double> values;  ///< Ascending.
+  CMatrix vectors;             ///< Columns are eigenvectors (same order).
+};
+
+/// Eigendecomposition of a Hermitian matrix via cyclic complex Jacobi
+/// rotations. Intended for the small matrices of this library (n <= ~32).
+/// Throws std::invalid_argument for non-square input.
+EigResult hermitian_eig(const CMatrix& a);
+
+/// Eigenvalues only (ascending).
+std::vector<double> hermitian_eigenvalues(const CMatrix& a);
+
+/// Cholesky factorization A = L L^H of a Hermitian positive-definite matrix.
+/// Throws std::domain_error when A is not (numerically) positive definite.
+CMatrix cholesky(const CMatrix& a);
+
+/// Inverse of a Hermitian positive-definite matrix via Cholesky.
+CMatrix cholesky_inverse(const CMatrix& a);
+
+}  // namespace geosphere::linalg

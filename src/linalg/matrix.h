@@ -1,0 +1,224 @@
+// Dense dynamic matrix over real or complex scalars, plus the small set of
+// vector helpers the detectors need. Row-major storage; sizes in this
+// library are tiny (antennas <= ~16), so clarity beats blocking/SIMD.
+#pragma once
+
+#include <cassert>
+#include <complex>
+#include <cstddef>
+#include <initializer_list>
+#include <stdexcept>
+#include <vector>
+
+#include "common/types.h"
+
+namespace geosphere::linalg {
+
+namespace detail {
+
+template <typename T>
+struct ScalarTraits {
+  static T conj(T x) { return x; }
+  static double abs_sq(T x) { return static_cast<double>(x) * static_cast<double>(x); }
+};
+
+template <typename R>
+struct ScalarTraits<std::complex<R>> {
+  static std::complex<R> conj(std::complex<R> x) { return std::conj(x); }
+  static double abs_sq(std::complex<R> x) { return std::norm(x); }
+};
+
+}  // namespace detail
+
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+
+  Matrix(std::size_t rows, std::size_t cols, T fill = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Row-major brace construction: Matrix<double>{{1,2},{3,4}}.
+  Matrix(std::initializer_list<std::initializer_list<T>> rows) {
+    rows_ = rows.size();
+    cols_ = rows_ > 0 ? rows.begin()->size() : 0;
+    data_.reserve(rows_ * cols_);
+    for (const auto& r : rows) {
+      if (r.size() != cols_) throw std::invalid_argument("ragged initializer for Matrix");
+      data_.insert(data_.end(), r.begin(), r.end());
+    }
+  }
+
+  static Matrix zeros(std::size_t rows, std::size_t cols) { return Matrix(rows, cols); }
+
+  static Matrix identity(std::size_t n) {
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = T{1};
+    return m;
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  T& operator()(std::size_t i, std::size_t j) {
+    assert(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+  const T& operator()(std::size_t i, std::size_t j) const {
+    assert(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+
+  const std::vector<T>& data() const { return data_; }
+
+  Matrix transpose() const {
+    Matrix out(cols_, rows_);
+    for (std::size_t i = 0; i < rows_; ++i)
+      for (std::size_t j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+    return out;
+  }
+
+  /// Conjugate transpose (equals transpose for real T).
+  Matrix hermitian() const {
+    Matrix out(cols_, rows_);
+    for (std::size_t i = 0; i < rows_; ++i)
+      for (std::size_t j = 0; j < cols_; ++j)
+        out(j, i) = detail::ScalarTraits<T>::conj((*this)(i, j));
+    return out;
+  }
+
+  std::vector<T> col(std::size_t j) const {
+    assert(j < cols_);
+    std::vector<T> out(rows_);
+    for (std::size_t i = 0; i < rows_; ++i) out[i] = (*this)(i, j);
+    return out;
+  }
+
+  std::vector<T> row(std::size_t i) const {
+    assert(i < rows_);
+    return std::vector<T>(data_.begin() + static_cast<std::ptrdiff_t>(i * cols_),
+                          data_.begin() + static_cast<std::ptrdiff_t>((i + 1) * cols_));
+  }
+
+  void set_col(std::size_t j, const std::vector<T>& v) {
+    assert(j < cols_ && v.size() == rows_);
+    for (std::size_t i = 0; i < rows_; ++i) (*this)(i, j) = v[i];
+  }
+
+  /// Columns `keep` of this matrix, in the given order (used for SIC and
+  /// column-reordered QR).
+  Matrix select_cols(const std::vector<std::size_t>& keep) const {
+    Matrix out(rows_, keep.size());
+    for (std::size_t j = 0; j < keep.size(); ++j) {
+      assert(keep[j] < cols_);
+      for (std::size_t i = 0; i < rows_; ++i) out(i, j) = (*this)(i, keep[j]);
+    }
+    return out;
+  }
+
+  Matrix block(std::size_t i0, std::size_t j0, std::size_t nrows, std::size_t ncols) const {
+    assert(i0 + nrows <= rows_ && j0 + ncols <= cols_);
+    Matrix out(nrows, ncols);
+    for (std::size_t i = 0; i < nrows; ++i)
+      for (std::size_t j = 0; j < ncols; ++j) out(i, j) = (*this)(i0 + i, j0 + j);
+    return out;
+  }
+
+  double frobenius_norm_sq() const {
+    double s = 0.0;
+    for (const auto& x : data_) s += detail::ScalarTraits<T>::abs_sq(x);
+    return s;
+  }
+
+  Matrix& operator+=(const Matrix& o) {
+    check_same_shape(o);
+    for (std::size_t k = 0; k < data_.size(); ++k) data_[k] += o.data_[k];
+    return *this;
+  }
+  Matrix& operator-=(const Matrix& o) {
+    check_same_shape(o);
+    for (std::size_t k = 0; k < data_.size(); ++k) data_[k] -= o.data_[k];
+    return *this;
+  }
+  Matrix& operator*=(T s) {
+    for (auto& x : data_) x *= s;
+    return *this;
+  }
+
+  friend Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+  friend Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+  friend Matrix operator*(Matrix a, T s) { return a *= s; }
+  friend Matrix operator*(T s, Matrix a) { return a *= s; }
+
+  friend Matrix operator*(const Matrix& a, const Matrix& b) {
+    if (a.cols_ != b.rows_) throw std::invalid_argument("Matrix product: shape mismatch");
+    Matrix out(a.rows_, b.cols_);
+    for (std::size_t i = 0; i < a.rows_; ++i) {
+      for (std::size_t k = 0; k < a.cols_; ++k) {
+        const T aik = a(i, k);
+        if (aik == T{}) continue;
+        for (std::size_t j = 0; j < b.cols_; ++j) out(i, j) += aik * b(k, j);
+      }
+    }
+    return out;
+  }
+
+  friend std::vector<T> operator*(const Matrix& a, const std::vector<T>& v) {
+    if (a.cols_ != v.size()) throw std::invalid_argument("Matrix-vector product: shape mismatch");
+    std::vector<T> out(a.rows_, T{});
+    for (std::size_t i = 0; i < a.rows_; ++i)
+      for (std::size_t j = 0; j < a.cols_; ++j) out[i] += a(i, j) * v[j];
+    return out;
+  }
+
+ private:
+  void check_same_shape(const Matrix& o) const {
+    if (rows_ != o.rows_ || cols_ != o.cols_)
+      throw std::invalid_argument("Matrix elementwise op: shape mismatch");
+  }
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+using CMatrix = Matrix<cf64>;
+using RMatrix = Matrix<double>;
+
+// ---- Vector helpers -------------------------------------------------------
+
+inline cf64 dot(const CVector& a, const CVector& b) {
+  assert(a.size() == b.size());
+  cf64 s{};
+  for (std::size_t i = 0; i < a.size(); ++i) s += std::conj(a[i]) * b[i];
+  return s;
+}
+
+inline double norm_sq(const CVector& v) {
+  double s = 0.0;
+  for (const auto& x : v) s += std::norm(x);
+  return s;
+}
+
+inline CVector operator-(CVector a, const CVector& b) {
+  assert(a.size() == b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] -= b[i];
+  return a;
+}
+
+inline CVector operator+(CVector a, const CVector& b) {
+  assert(a.size() == b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] += b[i];
+  return a;
+}
+
+/// Squared Euclidean distance ||a - b||^2.
+inline double distance_sq(const CVector& a, const CVector& b) {
+  assert(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += std::norm(a[i] - b[i]);
+  return s;
+}
+
+}  // namespace geosphere::linalg

@@ -1,0 +1,92 @@
+#include "linalg/qr.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace geosphere::linalg {
+
+namespace {
+
+/// One Householder reflector, stored as the vector v (applied as
+/// x <- x - (2 / ||v||^2) v (v^H x)) acting on rows [offset, m).
+struct Reflector {
+  std::size_t offset = 0;
+  CVector v;
+  double v_norm_sq = 0.0;
+};
+
+void apply_reflector_to_column(const Reflector& h, CMatrix& m, std::size_t col) {
+  if (h.v_norm_sq <= 0.0) return;
+  cf64 proj{};
+  for (std::size_t i = 0; i < h.v.size(); ++i)
+    proj += std::conj(h.v[i]) * m(h.offset + i, col);
+  const cf64 scale = proj * (2.0 / h.v_norm_sq);
+  for (std::size_t i = 0; i < h.v.size(); ++i) m(h.offset + i, col) -= scale * h.v[i];
+}
+
+}  // namespace
+
+QrResult householder_qr(const CMatrix& a) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  if (m < n) throw std::invalid_argument("householder_qr requires rows >= cols");
+
+  CMatrix work = a;
+  std::vector<Reflector> reflectors;
+  reflectors.reserve(n);
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Build the reflector that zeroes work[k+1.., k].
+    Reflector h;
+    h.offset = k;
+    h.v.resize(m - k);
+    double norm_sq = 0.0;
+    for (std::size_t i = k; i < m; ++i) {
+      h.v[i - k] = work(i, k);
+      norm_sq += std::norm(work(i, k));
+    }
+    const double norm = std::sqrt(norm_sq);
+    if (norm > 0.0) {
+      const cf64 x0 = h.v[0];
+      // Choose alpha with the phase of x0 so that v = x - alpha*e1 does not
+      // suffer cancellation.
+      const cf64 phase = (std::abs(x0) > 0.0) ? x0 / std::abs(x0) : cf64{1.0, 0.0};
+      const cf64 alpha = -phase * norm;
+      h.v[0] -= alpha;
+      h.v_norm_sq = norm_sq - 2.0 * (std::conj(alpha) * x0).real() + std::norm(alpha);
+      if (h.v_norm_sq > 1e-30) {
+        for (std::size_t j = k; j < n; ++j) apply_reflector_to_column(h, work, j);
+      } else {
+        h.v_norm_sq = 0.0;
+      }
+    }
+    reflectors.push_back(std::move(h));
+  }
+
+  // Thin Q: apply H_1 ... H_k to the first n columns of the identity,
+  // in reverse order (Q = H_1 H_2 ... H_n * I_thin).
+  CMatrix q(m, n);
+  for (std::size_t j = 0; j < n; ++j) q(j, j) = cf64{1.0, 0.0};
+  for (std::size_t k = n; k-- > 0;) {
+    for (std::size_t j = 0; j < n; ++j) apply_reflector_to_column(reflectors[k], q, j);
+  }
+
+  CMatrix r(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i; j < n; ++j) r(i, j) = work(i, j);
+
+  // Normalize so diag(R) is real and non-negative: R <- D^H R, Q <- Q D with
+  // D = diag(phase of r_ii). Then A = (Q D)(D^H R) is unchanged.
+  for (std::size_t i = 0; i < n; ++i) {
+    const cf64 rii = r(i, i);
+    const double mag = std::abs(rii);
+    if (mag <= 0.0) continue;
+    const cf64 phase = rii / mag;
+    for (std::size_t j = i; j < n; ++j) r(i, j) *= std::conj(phase);
+    for (std::size_t i2 = 0; i2 < m; ++i2) q(i2, i) *= phase;
+  }
+  return {std::move(q), std::move(r)};
+}
+
+}  // namespace geosphere::linalg

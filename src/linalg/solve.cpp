@@ -1,0 +1,79 @@
+#include "linalg/solve.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace geosphere::linalg {
+
+namespace {
+
+/// Gauss-Jordan elimination of [A | B] -> [I | A^{-1} B] in place.
+/// B has arbitrary column count.
+void gauss_jordan(CMatrix& a, CMatrix& b) {
+  const std::size_t n = a.rows();
+  double scale = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) scale = std::max(scale, std::abs(a(i, j)));
+  const double tol = 1e-13 * std::max(scale, 1e-300);
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    double best = std::abs(a(col, col));
+    for (std::size_t i = col + 1; i < n; ++i) {
+      const double mag = std::abs(a(i, col));
+      if (mag > best) {
+        best = mag;
+        pivot = i;
+      }
+    }
+    if (best <= tol) throw std::domain_error("inverse/solve: singular matrix");
+    if (pivot != col) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(a(col, j), a(pivot, j));
+      for (std::size_t j = 0; j < b.cols(); ++j) std::swap(b(col, j), b(pivot, j));
+    }
+    const cf64 inv_p = cf64{1.0, 0.0} / a(col, col);
+    for (std::size_t j = 0; j < n; ++j) a(col, j) *= inv_p;
+    for (std::size_t j = 0; j < b.cols(); ++j) b(col, j) *= inv_p;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i == col) continue;
+      const cf64 f = a(i, col);
+      if (f == cf64{}) continue;
+      for (std::size_t j = 0; j < n; ++j) a(i, j) -= f * a(col, j);
+      for (std::size_t j = 0; j < b.cols(); ++j) b(i, j) -= f * b(col, j);
+    }
+  }
+}
+
+}  // namespace
+
+CMatrix inverse(const CMatrix& a) {
+  if (a.rows() != a.cols()) throw std::invalid_argument("inverse requires a square matrix");
+  CMatrix work = a;
+  CMatrix result = CMatrix::identity(a.rows());
+  gauss_jordan(work, result);
+  return result;
+}
+
+CVector solve(const CMatrix& a, const CVector& b) {
+  if (a.rows() != a.cols()) throw std::invalid_argument("solve requires a square matrix");
+  if (a.rows() != b.size()) throw std::invalid_argument("solve: shape mismatch");
+  CMatrix work = a;
+  CMatrix rhs(b.size(), 1);
+  for (std::size_t i = 0; i < b.size(); ++i) rhs(i, 0) = b[i];
+  gauss_jordan(work, rhs);
+  CVector x(b.size());
+  for (std::size_t i = 0; i < b.size(); ++i) x[i] = rhs(i, 0);
+  return x;
+}
+
+CMatrix pseudo_inverse(const CMatrix& a) {
+  if (a.rows() < a.cols())
+    throw std::invalid_argument("pseudo_inverse expects a tall (or square) matrix");
+  const CMatrix ah = a.hermitian();
+  return inverse(ah * a) * ah;
+}
+
+}  // namespace geosphere::linalg

@@ -1,0 +1,69 @@
+// Frame-level Monte-Carlo simulation of the uplink multi-user MIMO system:
+// per-client coding chains, per-subcarrier joint detection, per-client
+// decoding -- the engine behind every throughput and complexity experiment.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "channel/channel_model.h"
+#include "common/rng.h"
+#include "detect/detector.h"
+#include "detect/soft_output.h"
+#include "phy/frame.h"
+
+namespace geosphere::link {
+
+struct LinkScenario {
+  phy::FrameConfig frame;
+  double snr_db = 20.0;
+  /// Per-frame SNR drawn uniformly from snr_db +/- jitter (the paper's
+  /// "SNR range" methodology, Section 5.2).
+  double snr_jitter_db = 0.0;
+};
+
+struct LinkStats {
+  std::size_t frames = 0;
+  std::size_t clients = 0;
+  std::vector<std::size_t> client_frame_errors;
+  std::size_t bit_errors = 0;
+  std::size_t payload_bits = 0;
+  DetectionStats detection;
+  std::size_t detection_calls = 0;
+
+  double fer() const;                        ///< Mean FER across clients.
+  std::vector<double> per_client_fer() const;
+  double ber() const;
+  /// The paper's complexity metric: average exact partial-Euclidean-
+  /// distance computations per subcarrier use (Section 5.3).
+  double avg_ped_per_subcarrier() const;
+  double avg_visited_nodes_per_subcarrier() const;
+};
+
+class LinkSimulator {
+ public:
+  /// `channel.num_tx()` defines the number of single-antenna clients; the
+  /// detector passed to run() must be configured for the same QAM order as
+  /// `scenario.frame`.
+  LinkSimulator(const channel::ChannelModel& channel, LinkScenario scenario);
+
+  /// Simulates `frames` independent frames (fresh channel, payloads and
+  /// noise per frame) and accumulates link statistics.
+  LinkStats run(Detector& detector, std::size_t frames, Rng& rng) const;
+
+  /// Soft-decision variant: max-log LLRs from the soft Geosphere detector
+  /// feed the soft Viterbi decoder (the full-system version of the paper's
+  /// Section 7 extension). Considerably more computation per subcarrier
+  /// (one constrained search per bit).
+  LinkStats run_soft(SoftGeosphereDetector& detector, std::size_t frames,
+                     Rng& rng) const;
+
+  const LinkScenario& scenario() const { return scenario_; }
+
+ private:
+  const channel::ChannelModel* channel_;
+  LinkScenario scenario_;
+  phy::FrameCodec codec_;
+};
+
+}  // namespace geosphere::link

@@ -1,0 +1,34 @@
+#include "link/rate_adapt.h"
+
+#include "link/throughput.h"
+
+namespace geosphere::link {
+
+RateChoice best_rate(const channel::ChannelModel& channel, LinkScenario base,
+                     const DetectorFactory& factory, std::size_t frames,
+                     std::uint64_t seed, const std::vector<unsigned>& candidate_qams) {
+  RateChoice best;
+  for (const unsigned qam : candidate_qams) {
+    LinkScenario scenario = base;
+    scenario.frame.qam_order = qam;
+
+    const Constellation& c = Constellation::qam(qam);
+    const auto detector = factory(c);
+    LinkSimulator sim(channel, scenario);
+    Rng rng(seed);  // Identical draws for every candidate.
+    const LinkStats stats = sim.run(*detector, frames, rng);
+
+    const double mbps =
+        net_throughput_mbps(channel.num_tx(), qam, scenario.frame.code_rate,
+                            stats.per_client_fer(), scenario.frame.data_subcarriers);
+    if (best.qam_order == 0 || mbps > best.throughput_mbps) {
+      best.qam_order = qam;
+      best.code_rate = scenario.frame.code_rate;
+      best.throughput_mbps = mbps;
+      best.stats = stats;
+    }
+  }
+  return best;
+}
+
+}  // namespace geosphere::link

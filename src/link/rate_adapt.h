@@ -1,0 +1,32 @@
+// Ideal (oracle) rate adaptation, emulating the paper's methodology
+// (Section 5.2): "we show throughput results for the constellation that
+// achieves the best average throughput ... this emulates ideal bit rate
+// adaptation and makes the results independent of the rate adaptation
+// method employed."
+#pragma once
+
+#include <vector>
+
+#include "channel/channel_model.h"
+#include "detect/factory.h"
+#include "link/link_simulator.h"
+
+namespace geosphere::link {
+
+struct RateChoice {
+  unsigned qam_order = 0;
+  coding::CodeRate code_rate = coding::CodeRate::kHalf;
+  double throughput_mbps = 0.0;
+  LinkStats stats;
+};
+
+/// Simulates every candidate QAM order (at the scenario's code rate) and
+/// returns the choice with the highest net throughput. `base.frame.qam_order`
+/// is overridden per candidate. The same seed is reused per candidate so
+/// every modulation sees identical channel/noise draws.
+RateChoice best_rate(const channel::ChannelModel& channel, LinkScenario base,
+                     const DetectorFactory& factory, std::size_t frames,
+                     std::uint64_t seed,
+                     const std::vector<unsigned>& candidate_qams = {4, 16, 64});
+
+}  // namespace geosphere::link

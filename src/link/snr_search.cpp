@@ -1,0 +1,28 @@
+#include "link/snr_search.h"
+
+namespace geosphere::link {
+
+double find_snr_for_fer(const channel::ChannelModel& channel, LinkScenario base,
+                        const DetectorFactory& factory, const SnrSearchConfig& config,
+                        std::uint64_t seed) {
+  const Constellation& c = Constellation::qam(base.frame.qam_order);
+  const auto detector = factory(c);
+
+  double lo = config.lo_db;
+  double hi = config.hi_db;
+  for (int it = 0; it < config.iterations; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    LinkScenario scenario = base;
+    scenario.snr_db = mid;
+    LinkSimulator sim(channel, scenario);
+    Rng rng(seed + static_cast<std::uint64_t>(it));
+    const LinkStats stats = sim.run(*detector, config.probe_frames, rng);
+    if (stats.fer() > config.target_fer)
+      lo = mid;  // Too many errors: need more SNR.
+    else
+      hi = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace geosphere::link

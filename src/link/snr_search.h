@@ -1,0 +1,28 @@
+// SNR calibration: find the per-stream SNR at which the system hits a
+// target frame error rate (the paper's Fig. 15 methodology: "an SNR such
+// that each constellation reaches a frame error rate of approximately 10%").
+#pragma once
+
+#include "channel/channel_model.h"
+#include "detect/factory.h"
+#include "link/link_simulator.h"
+
+namespace geosphere::link {
+
+struct SnrSearchConfig {
+  double target_fer = 0.10;
+  double lo_db = 0.0;
+  double hi_db = 48.0;
+  int iterations = 8;          ///< Bisection steps.
+  std::size_t probe_frames = 60;
+};
+
+/// Bisects on SNR (FER is statistically monotone decreasing in SNR).
+/// Detection uses the supplied factory -- for sphere decoders the FER is
+/// identical across all ML variants, so the cheapest (full Geosphere) is
+/// the sensible choice for calibration.
+double find_snr_for_fer(const channel::ChannelModel& channel, LinkScenario base,
+                        const DetectorFactory& factory, const SnrSearchConfig& config,
+                        std::uint64_t seed);
+
+}  // namespace geosphere::link

@@ -1,0 +1,38 @@
+#include "link/theory.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace geosphere::link::theory {
+
+double q_function(double x) { return 0.5 * std::erfc(x / std::sqrt(2.0)); }
+
+namespace {
+
+void check_order(unsigned order) {
+  if (order != 4 && order != 16 && order != 64 && order != 256)
+    throw std::invalid_argument("theory: order must be square QAM (4..256)");
+}
+
+}  // namespace
+
+double qam_symbol_error_rate(unsigned order, double snr_linear) {
+  check_order(order);
+  const double m = static_cast<double>(order);
+  const double arg = std::sqrt(3.0 * snr_linear / (m - 1.0));
+  // Per-axis PAM error probability, then the standard square-QAM union
+  // 1 - (1-p)^2 written as 2p - p^2 to stay accurate for tiny p.
+  const double p = 2.0 * (1.0 - 1.0 / std::sqrt(m)) * q_function(arg);
+  return 2.0 * p - p * p;
+}
+
+double qam_bit_error_rate(unsigned order, double snr_linear) {
+  check_order(order);
+  const double m = static_cast<double>(order);
+  const double bits = std::log2(m);
+  const double arg = std::sqrt(3.0 * snr_linear / (m - 1.0));
+  // Gray mapping: one bit flips per nearest-neighbour symbol error.
+  return (4.0 / bits) * (1.0 - 1.0 / std::sqrt(m)) * q_function(arg);
+}
+
+}  // namespace geosphere::link::theory

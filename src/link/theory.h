@@ -1,0 +1,19 @@
+// Closed-form AWGN error-rate references for Gray-coded square QAM:
+// analytic ground truth the simulator is validated against (and a handy
+// sanity check when calibrating operating points).
+#pragma once
+
+namespace geosphere::link::theory {
+
+/// Gaussian tail function Q(x) = P(N(0,1) > x).
+double q_function(double x);
+
+/// Symbol error probability of square M-QAM on AWGN at the given per-symbol
+/// SNR (linear), with unit average symbol energy (exact for square QAM).
+double qam_symbol_error_rate(unsigned order, double snr_linear);
+
+/// Bit error probability with Gray mapping (nearest-neighbour
+/// approximation, tight above ~5 dB).
+double qam_bit_error_rate(unsigned order, double snr_linear);
+
+}  // namespace geosphere::link::theory

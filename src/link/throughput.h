@@ -1,0 +1,25 @@
+// Net-throughput accounting (paper Figs. 11-13 report Mbps over a 20 MHz
+// channel).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "coding/puncture.h"
+
+namespace geosphere::link {
+
+/// PHY sum rate (before losses) in Mbps: clients * subcarriers * bits/sym *
+/// code rate / symbol duration.
+double phy_rate_mbps(std::size_t clients, unsigned qam_order, coding::CodeRate rate,
+                     std::size_t data_subcarriers = 48,
+                     double symbol_duration_s = 4e-6);
+
+/// Net throughput: each client delivers its share of the PHY rate scaled
+/// by its frame success probability.
+double net_throughput_mbps(std::size_t clients, unsigned qam_order, coding::CodeRate rate,
+                           const std::vector<double>& per_client_fer,
+                           std::size_t data_subcarriers = 48,
+                           double symbol_duration_s = 4e-6);
+
+}  // namespace geosphere::link

@@ -1,0 +1,32 @@
+#include "link/user_selection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace geosphere::link {
+
+std::vector<std::size_t> select_in_snr_range(const std::vector<double>& client_snrs_db,
+                                             double target_db, double window_db) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < client_snrs_db.size(); ++i)
+    if (std::abs(client_snrs_db[i] - target_db) <= window_db) out.push_back(i);
+  return out;
+}
+
+std::vector<std::size_t> select_random(std::size_t n, std::size_t k, Rng& rng) {
+  if (k > n) throw std::invalid_argument("select_random: k exceeds n");
+  std::vector<std::size_t> pool(n);
+  std::iota(pool.begin(), pool.end(), std::size_t{0});
+  // Partial Fisher-Yates.
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + static_cast<std::size_t>(rng.uniform_int(static_cast<int>(n - i)));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  std::sort(pool.begin(), pool.end());
+  return pool;
+}
+
+}  // namespace geosphere::link

@@ -1,0 +1,20 @@
+// User selection policies (paper Section 5.2: "selecting users in a small
+// SNR range around a specific value is a practical user selection method
+// to keep the condition number small").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace geosphere::link {
+
+/// Indices of clients whose average SNR lies within target +/- window dB.
+std::vector<std::size_t> select_in_snr_range(const std::vector<double>& client_snrs_db,
+                                             double target_db, double window_db);
+
+/// A uniformly random subset of k out of n clients.
+std::vector<std::size_t> select_random(std::size_t n, std::size_t k, Rng& rng);
+
+}  // namespace geosphere::link

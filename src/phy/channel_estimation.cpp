@@ -1,0 +1,48 @@
+#include "phy/channel_estimation.h"
+
+#include <stdexcept>
+
+namespace geosphere::phy {
+
+ChannelEstimator::ChannelEstimator(std::size_t ap_antennas, std::size_t clients,
+                                   OfdmParams params)
+    : na_(ap_antennas), nc_(clients), modem_(std::move(params)) {
+  if (na_ == 0 || nc_ == 0)
+    throw std::invalid_argument("ChannelEstimator: antennas/clients must be positive");
+  const std::size_t nsc = modem_.params().num_data_subcarriers();
+  pilots_.resize(nc_);
+  // Deterministic +/-1 pilots from a tiny LCG keyed by (client, subcarrier):
+  // known at both ends, distinct per client.
+  for (std::size_t k = 0; k < nc_; ++k) {
+    pilots_[k].resize(nsc);
+    std::uint64_t state = 0x9E3779B97F4A7C15ull * (k + 1);
+    for (std::size_t f = 0; f < nsc; ++f) {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      pilots_[k][f] = ((state >> 62) & 1u) ? cf64{1.0, 0.0} : cf64{-1.0, 0.0};
+    }
+  }
+}
+
+CVector ChannelEstimator::pilot_samples(std::size_t client) const {
+  return modem_.modulate(pilots_[client]);
+}
+
+std::vector<linalg::CMatrix> ChannelEstimator::estimate(
+    const std::vector<std::vector<CVector>>& rx) const {
+  if (rx.size() != nc_)
+    throw std::invalid_argument("ChannelEstimator: need one sounding slot per client");
+  const std::size_t nsc = modem_.params().num_data_subcarriers();
+  std::vector<linalg::CMatrix> h(nsc, linalg::CMatrix(na_, nc_));
+
+  for (std::size_t k = 0; k < nc_; ++k) {
+    if (rx[k].size() != na_)
+      throw std::invalid_argument("ChannelEstimator: need one stream per antenna");
+    for (std::size_t a = 0; a < na_; ++a) {
+      const CVector freq = modem_.demodulate(rx[k][a]);
+      for (std::size_t f = 0; f < nsc; ++f) h[f](a, k) = freq[f] / pilots_[k][f];
+    }
+  }
+  return h;
+}
+
+}  // namespace geosphere::phy

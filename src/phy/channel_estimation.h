@@ -1,0 +1,45 @@
+// Least-squares MIMO channel estimation from time-multiplexed client
+// preambles: the standard multi-user sounding procedure (each client sends
+// one known pilot OFDM symbol while the others stay silent; the AP divides
+// the received subcarriers by the known pilots to obtain its column of H).
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "linalg/matrix.h"
+#include "phy/ofdm.h"
+
+namespace geosphere::phy {
+
+class ChannelEstimator {
+ public:
+  ChannelEstimator(std::size_t ap_antennas, std::size_t clients,
+                   OfdmParams params = OfdmParams::ieee80211a());
+
+  /// Client k's known pilot: one BPSK symbol per data subcarrier
+  /// (deterministic per client, pseudo-random across subcarriers so the
+  /// time-domain pilot has low peak-to-average ratio).
+  const CVector& pilot(std::size_t client) const { return pilots_[client]; }
+
+  /// Time-domain samples of client k's pilot OFDM symbol.
+  CVector pilot_samples(std::size_t client) const;
+
+  /// LS estimate from the sounding phase. `rx[k][a]` holds the samples
+  /// antenna `a` received during client k's (solo) pilot symbol. Returns
+  /// one n_a x n_c matrix per data subcarrier.
+  std::vector<linalg::CMatrix> estimate(
+      const std::vector<std::vector<CVector>>& rx) const;
+
+  const OfdmParams& params() const { return modem_.params(); }
+  std::size_t ap_antennas() const { return na_; }
+  std::size_t clients() const { return nc_; }
+
+ private:
+  std::size_t na_;
+  std::size_t nc_;
+  OfdmModem modem_;
+  std::vector<CVector> pilots_;
+};
+
+}  // namespace geosphere::phy

@@ -1,0 +1,61 @@
+#include "phy/fft.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace geosphere::phy {
+
+namespace {
+
+bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+void transform(CVector& x, double sign) {
+  const std::size_t n = x.size();
+  if (!is_power_of_two(n)) throw std::invalid_argument("fft: size must be a power of two");
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(x[i], x[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = sign * 2.0 * kPi / static_cast<double>(len);
+    const cf64 wlen{std::cos(angle), std::sin(angle)};
+    for (std::size_t i = 0; i < n; i += len) {
+      cf64 w{1.0, 0.0};
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const cf64 u = x[i + k];
+        const cf64 v = x[i + k + len / 2] * w;
+        x[i + k] = u + v;
+        x[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void fft(CVector& x) { transform(x, -1.0); }
+
+void ifft(CVector& x) {
+  transform(x, 1.0);
+  const double scale = 1.0 / static_cast<double>(x.size());
+  for (auto& v : x) v *= scale;
+}
+
+CVector fft_copy(CVector x) {
+  fft(x);
+  return x;
+}
+
+CVector ifft_copy(CVector x) {
+  ifft(x);
+  return x;
+}
+
+}  // namespace geosphere::phy

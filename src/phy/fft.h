@@ -1,0 +1,18 @@
+// Radix-2 iterative FFT for OFDM modulation.
+#pragma once
+
+#include "common/types.h"
+
+namespace geosphere::phy {
+
+/// In-place forward DFT (no scaling). Size must be a power of two.
+void fft(CVector& x);
+
+/// In-place inverse DFT with 1/N scaling.
+void ifft(CVector& x);
+
+/// Out-of-place convenience wrappers.
+CVector fft_copy(CVector x);
+CVector ifft_copy(CVector x);
+
+}  // namespace geosphere::phy

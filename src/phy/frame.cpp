@@ -1,0 +1,104 @@
+#include "phy/frame.h"
+
+#include <stdexcept>
+
+namespace geosphere::phy {
+
+FrameCodec::FrameCodec(const FrameConfig& config)
+    : config_(config),
+      constellation_(&Constellation::qam(config.qam_order)),
+      puncturer_(config.code_rate),
+      interleaver_(config.data_subcarriers * Constellation::qam(config.qam_order).bits_per_symbol(),
+                   Constellation::qam(config.qam_order).bits_per_symbol()) {}
+
+std::size_t FrameCodec::ofdm_symbols_per_frame() const {
+  const std::size_t coded =
+      puncturer_.punctured_length(coding::ConvolutionalEncoder::coded_length(config_.payload_bits()));
+  const std::size_t per_symbol = config_.coded_bits_per_ofdm_symbol(*constellation_);
+  return (coded + per_symbol - 1) / per_symbol;
+}
+
+EncodedFrame FrameCodec::encode(const BitVector& payload) const {
+  if (payload.size() != config_.payload_bits())
+    throw std::invalid_argument("FrameCodec::encode: payload size mismatch");
+
+  const BitVector scrambled = scrambler_.apply(payload);
+  const BitVector coded = encoder_.encode(scrambled);
+  BitVector stream = puncturer_.puncture(coded);
+
+  EncodedFrame frame;
+  frame.payload = payload;
+  frame.punctured_bits = stream.size();
+
+  const std::size_t per_symbol = config_.coded_bits_per_ofdm_symbol(*constellation_);
+  frame.ofdm_symbols = (stream.size() + per_symbol - 1) / per_symbol;
+  stream.resize(frame.ofdm_symbols * per_symbol, 0);  // Zero pad bits.
+
+  const unsigned q = constellation_->bits_per_symbol();
+  frame.symbol_indices.reserve(frame.ofdm_symbols * config_.data_subcarriers);
+  for (std::size_t sym = 0; sym < frame.ofdm_symbols; ++sym) {
+    const BitVector block(stream.begin() + static_cast<std::ptrdiff_t>(sym * per_symbol),
+                          stream.begin() + static_cast<std::ptrdiff_t>((sym + 1) * per_symbol));
+    const BitVector interleaved = interleaver_.interleave(block);
+    for (std::size_t sc = 0; sc < config_.data_subcarriers; ++sc)
+      frame.symbol_indices.push_back(
+          constellation_->index_from_bits(&interleaved[sc * q]));
+  }
+  return frame;
+}
+
+BitVector FrameCodec::decode(const std::vector<unsigned>& symbol_indices,
+                             std::size_t ofdm_symbols) const {
+  const std::size_t per_symbol = config_.coded_bits_per_ofdm_symbol(*constellation_);
+  if (symbol_indices.size() != ofdm_symbols * config_.data_subcarriers)
+    throw std::invalid_argument("FrameCodec::decode: symbol count mismatch");
+
+  const unsigned q = constellation_->bits_per_symbol();
+  BitVector stream;
+  stream.reserve(ofdm_symbols * per_symbol);
+  BitVector block(per_symbol);
+  for (std::size_t sym = 0; sym < ofdm_symbols; ++sym) {
+    for (std::size_t sc = 0; sc < config_.data_subcarriers; ++sc)
+      constellation_->bits_from_index(
+          symbol_indices[sym * config_.data_subcarriers + sc], &block[sc * q]);
+    const BitVector deinterleaved = interleaver_.deinterleave(block);
+    stream.insert(stream.end(), deinterleaved.begin(), deinterleaved.end());
+  }
+
+  // Drop padding, reinsert punctured erasures, decode, descramble.
+  const std::size_t coded_bits =
+      coding::ConvolutionalEncoder::coded_length(config_.payload_bits());
+  const std::size_t kept = puncturer_.punctured_length(coded_bits);
+  std::vector<double> confidence(kept);
+  for (std::size_t i = 0; i < kept; ++i) confidence[i] = stream[i] ? 1.0 : 0.0;
+  const std::vector<double> depunctured = puncturer_.depuncture(confidence, coded_bits);
+  const BitVector decoded = viterbi_.decode_soft(depunctured);
+  return scrambler_.apply(decoded);
+}
+
+BitVector FrameCodec::decode_soft(const std::vector<double>& bit_confidences,
+                                  std::size_t ofdm_symbols) const {
+  const std::size_t per_symbol = config_.coded_bits_per_ofdm_symbol(*constellation_);
+  if (bit_confidences.size() != ofdm_symbols * per_symbol)
+    throw std::invalid_argument("FrameCodec::decode_soft: confidence count mismatch");
+
+  std::vector<double> stream;
+  stream.reserve(ofdm_symbols * per_symbol);
+  for (std::size_t sym = 0; sym < ofdm_symbols; ++sym) {
+    const std::vector<double> block(
+        bit_confidences.begin() + static_cast<std::ptrdiff_t>(sym * per_symbol),
+        bit_confidences.begin() + static_cast<std::ptrdiff_t>((sym + 1) * per_symbol));
+    const std::vector<double> deinterleaved = interleaver_.deinterleave_soft(block);
+    stream.insert(stream.end(), deinterleaved.begin(), deinterleaved.end());
+  }
+
+  const std::size_t coded_bits =
+      coding::ConvolutionalEncoder::coded_length(config_.payload_bits());
+  const std::size_t kept = puncturer_.punctured_length(coded_bits);
+  stream.resize(kept);  // Drop the padding region.
+  const std::vector<double> depunctured = puncturer_.depuncture(stream, coded_bits);
+  const BitVector decoded = viterbi_.decode_soft(depunctured);
+  return scrambler_.apply(decoded);
+}
+
+}  // namespace geosphere::phy

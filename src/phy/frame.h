@@ -1,0 +1,83 @@
+// Per-client PHY framing: the full 802.11-style transmit chain
+//   payload bits -> scramble -> convolutional encode -> puncture ->
+//   pad to OFDM symbols -> per-symbol interleave -> QAM map
+// and its inverse. In the uplink multi-user system every client runs an
+// independent chain (one spatial stream each); the AP detects jointly and
+// decodes each client separately.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "coding/convolutional.h"
+#include "coding/interleaver.h"
+#include "coding/puncture.h"
+#include "coding/scrambler.h"
+#include "coding/viterbi.h"
+#include "common/types.h"
+#include "constellation/constellation.h"
+
+namespace geosphere::phy {
+
+struct FrameConfig {
+  unsigned qam_order = 16;
+  coding::CodeRate code_rate = coding::CodeRate::kHalf;
+  std::size_t payload_bytes = 1000;
+  std::size_t data_subcarriers = 48;
+
+  std::size_t payload_bits() const { return payload_bytes * 8; }
+  /// Coded bits per OFDM symbol for this modulation.
+  std::size_t coded_bits_per_ofdm_symbol(const Constellation& c) const {
+    return data_subcarriers * c.bits_per_symbol();
+  }
+};
+
+/// One client's encoded frame: the symbol grid it transmits.
+struct EncodedFrame {
+  BitVector payload;                     ///< The information bits.
+  std::vector<unsigned> symbol_indices;  ///< ofdm_symbols * data_subcarriers entries,
+                                         ///< subcarrier-major within each OFDM symbol.
+  std::size_t ofdm_symbols = 0;
+  std::size_t punctured_bits = 0;  ///< Valid coded bits before padding.
+
+  unsigned symbol_at(std::size_t ofdm_symbol, std::size_t subcarrier,
+                     std::size_t data_subcarriers) const {
+    return symbol_indices[ofdm_symbol * data_subcarriers + subcarrier];
+  }
+};
+
+/// Runs one client's transmit chain over `payload` (frame-level scrambler
+/// seeded per frame by the caller for reproducibility).
+class FrameCodec {
+ public:
+  explicit FrameCodec(const FrameConfig& config);
+
+  EncodedFrame encode(const BitVector& payload) const;
+
+  /// Hard-decision receive chain: detected symbol indices -> payload bits.
+  BitVector decode(const std::vector<unsigned>& symbol_indices,
+                   std::size_t ofdm_symbols) const;
+
+  /// Soft-decision receive chain: per-coded-bit confidences (probability
+  /// that the bit is 1, in transmitted/interleaved order, Q consecutive
+  /// values per subcarrier) -> payload bits via the soft Viterbi decoder.
+  BitVector decode_soft(const std::vector<double>& bit_confidences,
+                        std::size_t ofdm_symbols) const;
+
+  const FrameConfig& config() const { return config_; }
+  const Constellation& constellation() const { return *constellation_; }
+
+  /// OFDM symbols needed to carry the configured payload.
+  std::size_t ofdm_symbols_per_frame() const;
+
+ private:
+  FrameConfig config_;
+  const Constellation* constellation_;
+  coding::ConvolutionalEncoder encoder_;
+  coding::ViterbiDecoder viterbi_;
+  coding::Puncturer puncturer_;
+  coding::Scrambler scrambler_;
+  coding::BlockInterleaver interleaver_;
+};
+
+}  // namespace geosphere::phy

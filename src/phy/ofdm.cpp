@@ -1,0 +1,68 @@
+#include "phy/ofdm.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "phy/fft.h"
+
+namespace geosphere::phy {
+
+OfdmParams OfdmParams::ieee80211a() {
+  OfdmParams p;
+  p.fft_size = 64;
+  p.cyclic_prefix = 16;
+  // Subcarriers -26..-1, +1..+26 are used; -21, -7, +7, +21 are pilots.
+  for (int k = -26; k <= 26; ++k) {
+    if (k == 0) continue;
+    const bool pilot = (k == -21 || k == -7 || k == 7 || k == 21);
+    const auto bin = static_cast<std::size_t>(k >= 0 ? k : 64 + k);
+    if (pilot)
+      p.pilot_bins.push_back(bin);
+    else
+      p.data_bins.push_back(bin);
+  }
+  return p;
+}
+
+OfdmModem::OfdmModem(OfdmParams params) : params_(std::move(params)) {
+  if (params_.num_data_subcarriers() == 0)
+    throw std::invalid_argument("OfdmModem: no data subcarriers");
+}
+
+CVector OfdmModem::modulate(const CVector& data) const {
+  if (data.size() != params_.num_data_subcarriers())
+    throw std::invalid_argument("OfdmModem::modulate: wrong number of data symbols");
+  CVector freq(params_.fft_size, cf64{});
+  for (std::size_t i = 0; i < data.size(); ++i) freq[params_.data_bins[i]] = data[i];
+  for (const std::size_t bin : params_.pilot_bins) freq[bin] = cf64{1.0, 0.0};
+  ifft(freq);
+  // Unitary scaling: unit-power subcarrier symbols give unit average
+  // sample power, so a per-sample noise variance N0 on the air equals a
+  // per-subcarrier noise variance N0 after demodulation -- the same SNR
+  // convention as the frequency-domain link simulator.
+  const double unitary = std::sqrt(static_cast<double>(params_.fft_size));
+  for (auto& v : freq) v *= unitary;
+
+  CVector out;
+  out.reserve(params_.samples_per_symbol());
+  // Cyclic prefix: the tail of the useful part.
+  for (std::size_t i = params_.fft_size - params_.cyclic_prefix; i < params_.fft_size; ++i)
+    out.push_back(freq[i]);
+  out.insert(out.end(), freq.begin(), freq.end());
+  return out;
+}
+
+CVector OfdmModem::demodulate(const CVector& samples) const {
+  if (samples.size() != params_.samples_per_symbol())
+    throw std::invalid_argument("OfdmModem::demodulate: wrong sample count");
+  CVector freq(samples.begin() + static_cast<std::ptrdiff_t>(params_.cyclic_prefix),
+               samples.end());
+  fft(freq);
+  const double unitary = 1.0 / std::sqrt(static_cast<double>(params_.fft_size));
+  CVector data(params_.num_data_subcarriers());
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = unitary * freq[params_.data_bins[i]];
+  return data;
+}
+
+}  // namespace geosphere::phy

@@ -1,0 +1,48 @@
+// 802.11a-style OFDM: 64-point FFT over 20 MHz, 48 data subcarriers,
+// 4 pilots, 16-sample cyclic prefix, 4 us symbols -- the air interface of
+// the paper's WARPLab implementation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+
+namespace geosphere::phy {
+
+struct OfdmParams {
+  std::size_t fft_size = 64;
+  std::size_t cyclic_prefix = 16;
+  std::vector<std::size_t> data_bins;   ///< FFT bin index per data subcarrier.
+  std::vector<std::size_t> pilot_bins;  ///< FFT bin indices of the 4 pilots.
+
+  static OfdmParams ieee80211a();
+
+  std::size_t num_data_subcarriers() const { return data_bins.size(); }
+  std::size_t samples_per_symbol() const { return fft_size + cyclic_prefix; }
+  /// 20 MHz sampling: 80 samples = 4 us.
+  double symbol_duration_s() const {
+    return static_cast<double>(samples_per_symbol()) / 20e6;
+  }
+};
+
+/// Maps 48 data symbols onto the subcarrier grid and produces time-domain
+/// samples with cyclic prefix (and back).
+class OfdmModem {
+ public:
+  explicit OfdmModem(OfdmParams params = OfdmParams::ieee80211a());
+
+  /// `data` must hold one symbol per data subcarrier. Pilots are BPSK +1.
+  /// Returns fft_size + cp time samples.
+  CVector modulate(const CVector& data) const;
+
+  /// Inverse of modulate(): strips the CP, FFTs, extracts data bins.
+  CVector demodulate(const CVector& samples) const;
+
+  const OfdmParams& params() const { return params_; }
+
+ private:
+  OfdmParams params_;
+};
+
+}  // namespace geosphere::phy

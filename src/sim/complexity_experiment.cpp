@@ -1,0 +1,29 @@
+#include "sim/complexity_experiment.h"
+
+namespace geosphere::sim {
+
+std::vector<ComplexityPoint> measure_complexity(
+    const channel::ChannelModel& channel, const link::LinkScenario& scenario,
+    const std::vector<std::pair<std::string, DetectorFactory>>& detectors,
+    std::size_t frames, std::uint64_t seed) {
+  std::vector<ComplexityPoint> out;
+  out.reserve(detectors.size());
+  const Constellation& c = Constellation::qam(scenario.frame.qam_order);
+
+  for (const auto& [name, factory] : detectors) {
+    const auto detector = factory(c);
+    link::LinkSimulator sim(channel, scenario);
+    Rng rng(seed);  // Identical workload per detector.
+    const link::LinkStats stats = sim.run(*detector, frames, rng);
+
+    ComplexityPoint point;
+    point.detector = name;
+    point.avg_ped_per_subcarrier = stats.avg_ped_per_subcarrier();
+    point.avg_visited_nodes = stats.avg_visited_nodes_per_subcarrier();
+    point.fer = stats.fer();
+    out.push_back(std::move(point));
+  }
+  return out;
+}
+
+}  // namespace geosphere::sim

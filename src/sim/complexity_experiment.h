@@ -1,0 +1,30 @@
+// Complexity experiments (paper Figs. 14-15): average partial-Euclidean-
+// distance computations per subcarrier for each sphere-decoder variant on
+// identical workloads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "channel/channel_model.h"
+#include "detect/factory.h"
+#include "link/link_simulator.h"
+
+namespace geosphere::sim {
+
+struct ComplexityPoint {
+  std::string detector;
+  double avg_ped_per_subcarrier = 0.0;
+  double avg_visited_nodes = 0.0;
+  double fer = 0.0;
+};
+
+/// Runs the same frame workload (seed-identical channel/payload/noise)
+/// through each named detector and reports the paper's complexity metrics.
+std::vector<ComplexityPoint> measure_complexity(
+    const channel::ChannelModel& channel, const link::LinkScenario& scenario,
+    const std::vector<std::pair<std::string, DetectorFactory>>& detectors,
+    std::size_t frames, std::uint64_t seed);
+
+}  // namespace geosphere::sim

@@ -1,0 +1,35 @@
+#include "sim/conditioning_experiment.h"
+
+#include "channel/metrics.h"
+#include "common/rng.h"
+
+namespace geosphere::sim {
+
+std::vector<ConditioningSeries> run_conditioning(const ConditioningConfig& config) {
+  std::vector<ConditioningSeries> out;
+  out.reserve(config.sizes.size());
+
+  for (const auto& [clients, antennas] : config.sizes) {
+    channel::TestbedConfig tc = config.ensemble;
+    tc.clients = clients;
+    tc.ap_antennas = antennas;
+    const channel::TestbedEnsemble ensemble(tc);
+
+    ConditioningSeries series;
+    series.clients = clients;
+    series.antennas = antennas;
+
+    Rng rng(config.seed + clients * 131 + antennas * 17);
+    for (std::size_t l = 0; l < config.links; ++l) {
+      const channel::Link link = ensemble.draw_link(rng, config.subcarriers);
+      for (const auto& h : link.subcarriers) {
+        series.kappa_sq_db.add(channel::kappa_sq_db(h));
+        series.lambda_db.add(channel::lambda_max_db(h));
+      }
+    }
+    out.push_back(std::move(series));
+  }
+  return out;
+}
+
+}  // namespace geosphere::sim

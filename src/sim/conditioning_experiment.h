@@ -1,0 +1,34 @@
+// Channel-conditioning experiment (paper Section 5.1, Figs. 9-10): CDFs of
+// kappa^2 and Lambda across links and OFDM subcarriers of the synthetic
+// indoor ensemble, for each (clients x AP antennas) configuration.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "channel/testbed_ensemble.h"
+#include "common/stats.h"
+
+namespace geosphere::sim {
+
+struct ConditioningConfig {
+  /// (clients, AP antennas) pairs; the paper sweeps 2x2, 2x4, 3x4, 4x4.
+  std::vector<std::pair<std::size_t, std::size_t>> sizes = {
+      {2, 2}, {2, 4}, {3, 4}, {4, 4}};
+  std::size_t links = 400;
+  std::size_t subcarriers = 48;
+  std::uint64_t seed = 1;
+  channel::TestbedConfig ensemble;  ///< Antennas/clients overridden per size.
+};
+
+struct ConditioningSeries {
+  std::size_t clients = 0;
+  std::size_t antennas = 0;
+  EmpiricalCdf kappa_sq_db;  ///< Per subcarrier, across links (Fig. 9).
+  EmpiricalCdf lambda_db;    ///< Per subcarrier, across links (Fig. 10).
+};
+
+std::vector<ConditioningSeries> run_conditioning(const ConditioningConfig& config);
+
+}  // namespace geosphere::sim

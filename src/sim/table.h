@@ -1,0 +1,26 @@
+// Minimal fixed-width table printer for experiment output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace geosphere::sim {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with aligned columns and a header rule.
+  void print(std::ostream& os) const;
+
+  static std::string fmt(double value, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace geosphere::sim

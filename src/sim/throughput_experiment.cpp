@@ -1,0 +1,28 @@
+#include "sim/throughput_experiment.h"
+
+namespace geosphere::sim {
+
+ThroughputPoint measure_throughput(const channel::ChannelModel& channel,
+                                   const std::string& detector_name,
+                                   const DetectorFactory& factory, double snr_db,
+                                   const ThroughputConfig& config) {
+  link::LinkScenario scenario;
+  scenario.frame.payload_bytes = config.payload_bytes;
+  scenario.snr_db = snr_db;
+  scenario.snr_jitter_db = config.snr_jitter_db;
+
+  const link::RateChoice choice = link::best_rate(
+      channel, scenario, factory, config.frames, config.seed, config.candidate_qams);
+
+  ThroughputPoint point;
+  point.detector = detector_name;
+  point.clients = channel.num_tx();
+  point.antennas = channel.num_rx();
+  point.snr_db = snr_db;
+  point.best_qam = choice.qam_order;
+  point.throughput_mbps = choice.throughput_mbps;
+  point.fer = choice.stats.fer();
+  return point;
+}
+
+}  // namespace geosphere::sim

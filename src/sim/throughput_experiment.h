@@ -1,0 +1,41 @@
+// Throughput experiments (paper Figs. 11-13): ideal-rate-adapted net
+// throughput per detector over a channel ensemble.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "channel/channel_model.h"
+#include "detect/factory.h"
+#include "link/link_simulator.h"
+#include "link/rate_adapt.h"
+
+namespace geosphere::sim {
+
+struct ThroughputConfig {
+  std::size_t frames = 120;
+  std::size_t payload_bytes = 500;
+  double snr_jitter_db = 5.0;  ///< The paper's +/-5 dB SNR selection window.
+  std::vector<unsigned> candidate_qams = {4, 16, 64};
+  std::uint64_t seed = 1;
+};
+
+struct ThroughputPoint {
+  std::string detector;
+  std::size_t clients = 0;
+  std::size_t antennas = 0;
+  double snr_db = 0.0;
+  unsigned best_qam = 0;
+  double throughput_mbps = 0.0;
+  double fer = 0.0;
+};
+
+/// Best-rate throughput of one detector on one channel/SNR point. Channel
+/// and noise draws are seed-identical across detectors at the same point.
+ThroughputPoint measure_throughput(const channel::ChannelModel& channel,
+                                   const std::string& detector_name,
+                                   const DetectorFactory& factory, double snr_db,
+                                   const ThroughputConfig& config);
+
+}  // namespace geosphere::sim

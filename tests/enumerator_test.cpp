@@ -1,0 +1,243 @@
+// Property tests for the child enumerators: all three strategies must
+// deliver the full constellation in exactly non-decreasing distance order
+// (the Schnorr-Euchner requirement), and the budget/pruning logic must
+// return exactly the children inside the sphere.
+#include "detect/sphere/enumerators.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace geosphere::sphere {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct Drawn {
+  int li, lq;
+  double cost;
+};
+
+double exact_cost(const Constellation& c, int li, int lq, cf64 center) {
+  const double dx = static_cast<double>(c.grid_of_level(li)) - center.real();
+  const double dy = static_cast<double>(c.grid_of_level(lq)) - center.imag();
+  return dx * dx + dy * dy;
+}
+
+template <class Enum>
+std::vector<Drawn> drain(Enum& e, cf64 center, double budget, DetectionStats& stats) {
+  e.reset(center, stats);
+  std::vector<Drawn> out;
+  while (const auto child = e.next(budget, stats))
+    out.push_back({child->li, child->lq, child->cost_grid});
+  return out;
+}
+
+/// All points with cost < budget, sorted by cost: the ground truth.
+std::vector<double> expected_costs(const Constellation& c, cf64 center, double budget) {
+  std::vector<double> costs;
+  for (int li = 0; li < c.pam_levels(); ++li)
+    for (int lq = 0; lq < c.pam_levels(); ++lq) {
+      const double d = exact_cost(c, li, lq, center);
+      if (d < budget) costs.push_back(d);
+    }
+  std::sort(costs.begin(), costs.end());
+  return costs;
+}
+
+cf64 random_center(Rng& rng, const Constellation& c) {
+  const double extent = 1.5 * c.pam_levels();
+  return {rng.uniform(-extent, extent), rng.uniform(-extent, extent)};
+}
+
+enum class Strategy { kGeoPruned, kGeoPlain, kHess, kShabany };
+
+std::vector<Drawn> drain_strategy(Strategy s, const Constellation& c, cf64 center,
+                                  double budget, DetectionStats& stats) {
+  switch (s) {
+    case Strategy::kGeoPruned: {
+      GeoEnumerator e({.geometric_pruning = true});
+      e.attach(c);
+      return drain(e, center, budget, stats);
+    }
+    case Strategy::kGeoPlain: {
+      GeoEnumerator e({.geometric_pruning = false});
+      e.attach(c);
+      return drain(e, center, budget, stats);
+    }
+    case Strategy::kHess: {
+      HessEnumerator e;
+      e.attach(c);
+      return drain(e, center, budget, stats);
+    }
+    case Strategy::kShabany: {
+      ShabanyEnumerator e;
+      e.attach(c);
+      return drain(e, center, budget, stats);
+    }
+  }
+  return {};
+}
+
+class EnumeratorOrder
+    : public ::testing::TestWithParam<std::tuple<Strategy, unsigned>> {};
+
+TEST_P(EnumeratorOrder, FullDrainIsSortedPermutation) {
+  const auto [strategy, order] = GetParam();
+  const Constellation& c = Constellation::qam(order);
+  Rng rng(order + static_cast<unsigned>(strategy) * 1000);
+
+  for (int trial = 0; trial < 200; ++trial) {
+    const cf64 center = random_center(rng, c);
+    DetectionStats stats;
+    const auto drawn = drain_strategy(strategy, c, center, kInf, stats);
+
+    // Every constellation point exactly once.
+    ASSERT_EQ(drawn.size(), static_cast<std::size_t>(order)) << "center=" << center;
+    std::set<std::pair<int, int>> unique;
+    for (const auto& d : drawn) unique.emplace(d.li, d.lq);
+    EXPECT_EQ(unique.size(), drawn.size());
+
+    // Costs exact and non-decreasing (the Schnorr-Euchner contract).
+    double prev = -1.0;
+    for (const auto& d : drawn) {
+      EXPECT_NEAR(d.cost, exact_cost(c, d.li, d.lq, center), 1e-9);
+      EXPECT_GE(d.cost, prev - 1e-9) << "enumeration out of order, center=" << center;
+      prev = d.cost;
+    }
+  }
+}
+
+TEST_P(EnumeratorOrder, BudgetedDrainMatchesGroundTruth) {
+  const auto [strategy, order] = GetParam();
+  const Constellation& c = Constellation::qam(order);
+  Rng rng(order + static_cast<unsigned>(strategy) * 2000 + 7);
+
+  for (int trial = 0; trial < 200; ++trial) {
+    const cf64 center = random_center(rng, c);
+    const double budget = rng.uniform(0.0, 2.0 * c.pam_levels() * c.pam_levels());
+    DetectionStats stats;
+    const auto drawn = drain_strategy(strategy, c, center, budget, stats);
+    const auto expected = expected_costs(c, center, budget);
+    ASSERT_EQ(drawn.size(), expected.size())
+        << "center=" << center << " budget=" << budget;
+    for (std::size_t i = 0; i < drawn.size(); ++i)
+      EXPECT_NEAR(drawn[i].cost, expected[i], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategiesAndOrders, EnumeratorOrder,
+    ::testing::Combine(::testing::Values(Strategy::kGeoPruned, Strategy::kGeoPlain,
+                                         Strategy::kHess, Strategy::kShabany),
+                       ::testing::Values(4u, 16u, 64u, 256u)));
+
+TEST(EnumeratorShrinkingBudget, GeoRespectsRadiusShrink) {
+  // The sphere decoder only ever shrinks the budget between next() calls;
+  // the enumerator must keep returning exactly the in-budget children in
+  // sorted order under that regime.
+  const Constellation& c = Constellation::qam(64);
+  Rng rng(21);
+  for (int trial = 0; trial < 200; ++trial) {
+    const cf64 center = random_center(rng, c);
+    double budget = rng.uniform(5.0, 80.0);
+    GeoEnumerator e({.geometric_pruning = true});
+    e.attach(c);
+    DetectionStats stats;
+    e.reset(center, stats);
+
+    std::vector<double> got;
+    while (const auto child = e.next(budget, stats)) {
+      got.push_back(child->cost_grid);
+      budget = std::max(child->cost_grid, budget * rng.uniform(0.5, 1.0));
+    }
+    // Every returned child must have been within the budget at return time
+    // (checked inside next()); order must be non-decreasing.
+    for (std::size_t i = 1; i < got.size(); ++i) EXPECT_GE(got[i], got[i - 1] - 1e-9);
+  }
+}
+
+TEST(EnumeratorComplexity, PaperExampleThirdChildCosts) {
+  // Paper Section 6.1: "when expanding a node to identify the child with
+  // the third smallest Euclidean distance, Geosphere needs four partial
+  // distance calculations while Shabany's needs five (25% more)."
+  // Geometry of Fig. 6: second-closest is the vertical neighbour, third-
+  // closest the horizontal one.
+  const Constellation& c = Constellation::qam(16);
+  const cf64 center{-0.4, -0.2};  // Inside cell of levels (1,1): residual (0.6, 0.8).
+
+  GeoEnumerator geo({.geometric_pruning = false});
+  geo.attach(c);
+  DetectionStats geo_stats;
+  geo.reset(center, geo_stats);
+  (void)geo.next(kInf, geo_stats);  // 1st child (the sliced point).
+  (void)geo.next(kInf, geo_stats);  // 2nd child (vertical neighbour).
+  (void)geo.next(kInf, geo_stats);  // 3rd child (horizontal neighbour).
+  EXPECT_EQ(geo_stats.ped_computations, 4u);
+
+  ShabanyEnumerator sha;
+  sha.attach(c);
+  DetectionStats sha_stats;
+  sha.reset(center, sha_stats);
+  (void)sha.next(kInf, sha_stats);
+  (void)sha.next(kInf, sha_stats);
+  (void)sha.next(kInf, sha_stats);
+  EXPECT_EQ(sha_stats.ped_computations, 5u);
+}
+
+TEST(EnumeratorComplexity, HessPaysSqrtMUpfront) {
+  const Constellation& c = Constellation::qam(256);
+  HessEnumerator e;
+  e.attach(c);
+  DetectionStats stats;
+  e.reset(cf64{0.3, 0.2}, stats);
+  EXPECT_EQ(stats.ped_computations, 16u);  // One exact distance per row.
+  (void)e.next(kInf, stats);
+  EXPECT_EQ(stats.ped_computations, 16u);  // First pop needs nothing more.
+}
+
+TEST(EnumeratorComplexity, GeoPrunedNeverComputesMoreThanPlain) {
+  const Constellation& c = Constellation::qam(64);
+  Rng rng(33);
+  for (int trial = 0; trial < 200; ++trial) {
+    const cf64 center = random_center(rng, c);
+    const double budget = rng.uniform(0.5, 30.0);
+
+    DetectionStats pruned_stats, plain_stats;
+    const auto pruned = drain_strategy(Strategy::kGeoPruned, c, center, budget, pruned_stats);
+    const auto plain = drain_strategy(Strategy::kGeoPlain, c, center, budget, plain_stats);
+
+    // Identical children delivered...
+    ASSERT_EQ(pruned.size(), plain.size());
+    for (std::size_t i = 0; i < pruned.size(); ++i)
+      EXPECT_NEAR(pruned[i].cost, plain[i].cost, 1e-9);
+    // ...with no more exact-distance computations.
+    EXPECT_LE(pruned_stats.ped_computations, plain_stats.ped_computations);
+  }
+}
+
+TEST(EnumeratorComplexity, GeometricPruningSavesOnTightBudget) {
+  // With a tight sphere (high SNR regime) the lower bound should skip
+  // essentially all generation beyond the sliced point.
+  const Constellation& c = Constellation::qam(256);
+  DetectionStats pruned_stats, plain_stats;
+  const cf64 center{1.25, -0.7};  // Slices to grid (1,-1); cost ~0.15.
+  const double budget = 0.5;      // Only the sliced point fits.
+
+  const auto pruned = drain_strategy(Strategy::kGeoPruned, c, center, budget, pruned_stats);
+  const auto plain = drain_strategy(Strategy::kGeoPlain, c, center, budget, plain_stats);
+  ASSERT_EQ(pruned.size(), 1u);
+  ASSERT_EQ(plain.size(), 1u);
+  EXPECT_EQ(pruned_stats.ped_computations, 1u);  // Slice only; bound kills the rest.
+  EXPECT_GT(plain_stats.ped_computations, 1u);   // Must compute to discover the same.
+  EXPECT_GT(pruned_stats.lb_prunes, 0u);
+}
+
+}  // namespace
+}  // namespace geosphere::sphere

@@ -1,0 +1,282 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+#include "linalg/cond.h"
+#include "linalg/hermitian.h"
+#include "linalg/matrix.h"
+#include "linalg/qr.h"
+#include "linalg/solve.h"
+#include "test_util.h"
+
+namespace geosphere::linalg {
+namespace {
+
+using geosphere::testing::random_channel;
+
+double max_abs_diff(const CMatrix& a, const CMatrix& b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) m = std::max(m, std::abs(a(i, j) - b(i, j)));
+  return m;
+}
+
+TEST(Matrix, BasicOps) {
+  const CMatrix a{{cf64{1, 0}, cf64{2, 1}}, {cf64{0, -1}, cf64{3, 0}}};
+  const CMatrix i2 = CMatrix::identity(2);
+  EXPECT_LT(max_abs_diff(a * i2, a), 1e-15);
+  EXPECT_LT(max_abs_diff(i2 * a, a), 1e-15);
+
+  const CMatrix sum = a + a;
+  EXPECT_LT(max_abs_diff(sum, 2.0 * a), 1e-15);
+  EXPECT_LT(max_abs_diff(sum - a, a), 1e-15);
+}
+
+TEST(Matrix, HermitianTranspose) {
+  const CMatrix a{{cf64{1, 2}, cf64{3, 4}}, {cf64{5, 6}, cf64{7, 8}}, {cf64{9, 1}, cf64{2, 3}}};
+  const CMatrix ah = a.hermitian();
+  ASSERT_EQ(ah.rows(), 2u);
+  ASSERT_EQ(ah.cols(), 3u);
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j)
+      EXPECT_EQ(ah(j, i), std::conj(a(i, j)));
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  const CMatrix a(2, 3);
+  const CMatrix b(3, 3);
+  EXPECT_THROW(a + b, std::invalid_argument);
+  EXPECT_THROW(b * a, std::invalid_argument);
+  EXPECT_THROW(a * CVector(2), std::invalid_argument);
+}
+
+TEST(Matrix, SelectColsReorders) {
+  Rng rng(1);
+  const CMatrix a = random_channel(rng, 3, 4);
+  const CMatrix sel = a.select_cols({2, 0});
+  ASSERT_EQ(sel.cols(), 2u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(sel(i, 0), a(i, 2));
+    EXPECT_EQ(sel(i, 1), a(i, 0));
+  }
+}
+
+// ---- QR ---------------------------------------------------------------
+
+class QrProperty : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(QrProperty, ReconstructsAndIsOrthonormal) {
+  const auto [m, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 100 + n));
+  for (int trial = 0; trial < 20; ++trial) {
+    const CMatrix a = random_channel(rng, static_cast<std::size_t>(m), static_cast<std::size_t>(n));
+    const auto [q, r] = householder_qr(a);
+
+    // A = QR.
+    EXPECT_LT(max_abs_diff(q * r, a), 1e-10);
+    // Q^H Q = I.
+    EXPECT_LT(max_abs_diff(q.hermitian() * q, CMatrix::identity(static_cast<std::size_t>(n))),
+              1e-10);
+    // R upper triangular with real, non-negative diagonal.
+    for (std::size_t i = 0; i < r.rows(); ++i) {
+      for (std::size_t j = 0; j < i; ++j) EXPECT_LT(std::abs(r(i, j)), 1e-10);
+      EXPECT_NEAR(r(i, i).imag(), 0.0, 1e-10);
+      EXPECT_GE(r(i, i).real(), -1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, QrProperty,
+                         ::testing::Values(std::pair{1, 1}, std::pair{2, 2}, std::pair{4, 2},
+                                           std::pair{4, 4}, std::pair{8, 4}, std::pair{10, 10},
+                                           std::pair{16, 8}));
+
+TEST(Qr, ThrowsOnWideMatrix) {
+  const CMatrix a(2, 3);
+  EXPECT_THROW(householder_qr(a), std::invalid_argument);
+}
+
+TEST(Qr, HandlesZeroMatrix) {
+  const CMatrix a(3, 2);
+  const auto [q, r] = householder_qr(a);
+  EXPECT_LT(max_abs_diff(q * r, a), 1e-12);
+}
+
+// ---- Inverse / solve ----------------------------------------------------
+
+TEST(Solve, InverseTimesMatrixIsIdentity) {
+  Rng rng(3);
+  for (int n = 1; n <= 8; ++n) {
+    const CMatrix a = random_channel(rng, static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+    const CMatrix ainv = inverse(a);
+    EXPECT_LT(max_abs_diff(a * ainv, CMatrix::identity(static_cast<std::size_t>(n))), 1e-9)
+        << "n=" << n;
+  }
+}
+
+TEST(Solve, SolveMatchesInverse) {
+  Rng rng(4);
+  const CMatrix a = random_channel(rng, 5, 5);
+  CVector b(5);
+  for (auto& x : b) x = rng.cgaussian();
+  const CVector x = solve(a, b);
+  const CVector ax = a * x;
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_LT(std::abs(ax[i] - b[i]), 1e-9);
+}
+
+TEST(Solve, SingularMatrixThrows) {
+  CMatrix a(2, 2);
+  a(0, 0) = cf64{1, 0};
+  a(0, 1) = cf64{2, 0};
+  a(1, 0) = cf64{2, 0};
+  a(1, 1) = cf64{4, 0};  // Rank 1.
+  EXPECT_THROW(inverse(a), std::domain_error);
+}
+
+TEST(Solve, PseudoInverseOfTallMatrix) {
+  Rng rng(5);
+  const CMatrix a = random_channel(rng, 6, 3);
+  const CMatrix pinv = pseudo_inverse(a);
+  ASSERT_EQ(pinv.rows(), 3u);
+  ASSERT_EQ(pinv.cols(), 6u);
+  EXPECT_LT(max_abs_diff(pinv * a, CMatrix::identity(3)), 1e-9);
+}
+
+// ---- Hermitian eigendecomposition ----------------------------------------
+
+TEST(HermitianEig, DiagonalMatrix) {
+  CMatrix a(3, 3);
+  a(0, 0) = cf64{3, 0};
+  a(1, 1) = cf64{1, 0};
+  a(2, 2) = cf64{2, 0};
+  const auto eig = hermitian_eig(a);
+  ASSERT_EQ(eig.values.size(), 3u);
+  EXPECT_NEAR(eig.values[0], 1.0, 1e-12);
+  EXPECT_NEAR(eig.values[1], 2.0, 1e-12);
+  EXPECT_NEAR(eig.values[2], 3.0, 1e-12);
+}
+
+TEST(HermitianEig, KnownTwoByTwo) {
+  // [[2, i], [-i, 2]] has eigenvalues 1 and 3.
+  CMatrix a(2, 2);
+  a(0, 0) = cf64{2, 0};
+  a(0, 1) = cf64{0, 1};
+  a(1, 0) = cf64{0, -1};
+  a(1, 1) = cf64{2, 0};
+  const auto vals = hermitian_eigenvalues(a);
+  EXPECT_NEAR(vals[0], 1.0, 1e-10);
+  EXPECT_NEAR(vals[1], 3.0, 1e-10);
+}
+
+class HermitianEigProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(HermitianEigProperty, DecompositionSatisfiesAvEqualsLambdaV) {
+  const int n = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n));
+  for (int trial = 0; trial < 10; ++trial) {
+    const CMatrix g = random_channel(rng, static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+    const CMatrix a = g.hermitian() * g;  // Hermitian PSD.
+    const auto eig = hermitian_eig(a);
+
+    // Ascending eigenvalues.
+    for (std::size_t i = 1; i < eig.values.size(); ++i)
+      EXPECT_LE(eig.values[i - 1], eig.values[i] + 1e-12);
+
+    // A v = lambda v for every eigenpair.
+    for (std::size_t j = 0; j < static_cast<std::size_t>(n); ++j) {
+      const CVector v = eig.vectors.col(j);
+      const CVector av = a * v;
+      for (std::size_t i = 0; i < static_cast<std::size_t>(n); ++i)
+        EXPECT_LT(std::abs(av[i] - eig.values[j] * v[i]), 1e-8 * (1.0 + std::abs(eig.values[j])));
+    }
+
+    // Eigenvectors orthonormal.
+    const CMatrix vhv = eig.vectors.hermitian() * eig.vectors;
+    EXPECT_LT(max_abs_diff(vhv, CMatrix::identity(static_cast<std::size_t>(n))), 1e-9);
+
+    // Trace preserved.
+    double trace = 0.0;
+    for (int i = 0; i < n; ++i)
+      trace += a(static_cast<std::size_t>(i), static_cast<std::size_t>(i)).real();
+    double sum = 0.0;
+    for (double v : eig.values) sum += v;
+    EXPECT_NEAR(trace, sum, 1e-8 * (1.0 + std::abs(trace)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HermitianEigProperty, ::testing::Values(1, 2, 3, 4, 6, 10));
+
+// ---- Cholesky -------------------------------------------------------------
+
+TEST(Cholesky, FactorizesAndInverts) {
+  Rng rng(8);
+  for (int n = 1; n <= 6; ++n) {
+    const CMatrix g =
+        random_channel(rng, static_cast<std::size_t>(n + 2), static_cast<std::size_t>(n));
+    CMatrix a = g.hermitian() * g;
+    for (int i = 0; i < n; ++i)
+      a(static_cast<std::size_t>(i), static_cast<std::size_t>(i)) += 0.1;  // Ensure PD.
+
+    const CMatrix l = cholesky(a);
+    EXPECT_LT(max_abs_diff(l * l.hermitian(), a), 1e-9);
+
+    const CMatrix ainv = cholesky_inverse(a);
+    EXPECT_LT(max_abs_diff(a * ainv, CMatrix::identity(static_cast<std::size_t>(n))), 1e-8);
+    // Agrees with the general inverse.
+    EXPECT_LT(max_abs_diff(ainv, inverse(a)), 1e-8);
+  }
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  CMatrix a(2, 2);
+  a(0, 0) = cf64{1, 0};
+  a(1, 1) = cf64{-1, 0};
+  EXPECT_THROW(cholesky(a), std::domain_error);
+}
+
+// ---- Condition number ------------------------------------------------------
+
+TEST(Cond, IdentityHasUnitCondition) {
+  EXPECT_NEAR(condition_number(CMatrix::identity(4)), 1.0, 1e-9);
+  EXPECT_NEAR(condition_number_sq_db(CMatrix::identity(4)), 0.0, 1e-6);
+}
+
+TEST(Cond, KnownDiagonal) {
+  CMatrix a(2, 2);
+  a(0, 0) = cf64{10, 0};
+  a(1, 1) = cf64{1, 0};
+  EXPECT_NEAR(condition_number(a), 10.0, 1e-9);
+  EXPECT_NEAR(condition_number_sq_db(a), 20.0, 1e-6);  // kappa^2 = 100 -> 20 dB.
+}
+
+TEST(Cond, SingularIsInfinite) {
+  CMatrix a(2, 2);
+  a(0, 0) = cf64{1, 0};
+  a(0, 1) = cf64{1, 0};
+  a(1, 0) = cf64{1, 0};
+  a(1, 1) = cf64{1, 0};
+  EXPECT_TRUE(std::isinf(condition_number(a)));
+}
+
+TEST(Cond, SingularValuesMatchUnitaryInvariance) {
+  Rng rng(11);
+  const CMatrix a = random_channel(rng, 4, 3);
+  const auto [q, r] = householder_qr(a);
+  const auto sa = singular_values(a);
+  const auto sr = singular_values(r);
+  ASSERT_EQ(sa.size(), sr.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) EXPECT_NEAR(sa[i], sr[i], 1e-9);
+}
+
+TEST(Cond, TallMatrixUsesSmallGram) {
+  Rng rng(12);
+  const CMatrix a = random_channel(rng, 10, 2);
+  const auto sv = singular_values(a);
+  EXPECT_EQ(sv.size(), 2u);
+  EXPECT_GT(sv[0], 0.0);
+}
+
+}  // namespace
+}  // namespace geosphere::linalg

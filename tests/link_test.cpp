@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "channel/rayleigh.h"
+#include "channel/testbed_ensemble.h"
+#include "detect/factory.h"
+#include "link/link_simulator.h"
+#include "link/rate_adapt.h"
+#include "link/snr_search.h"
+#include "link/throughput.h"
+#include "link/user_selection.h"
+
+namespace geosphere::link {
+namespace {
+
+LinkScenario small_scenario(unsigned qam, double snr_db) {
+  LinkScenario s;
+  s.frame.qam_order = qam;
+  s.frame.payload_bytes = 100;  // Keep the tests fast.
+  s.snr_db = snr_db;
+  return s;
+}
+
+TEST(Throughput, PhyRateMatches80211Numbers) {
+  // Single stream, 64-QAM rate 3/4 = the classic 54 Mbps 802.11a rate.
+  EXPECT_NEAR(phy_rate_mbps(1, 64, coding::CodeRate::kThreeQuarters), 54.0, 1e-9);
+  // 16-QAM rate 1/2 = 24 Mbps; scales linearly in streams.
+  EXPECT_NEAR(phy_rate_mbps(4, 16, coding::CodeRate::kHalf), 4 * 24.0, 1e-9);
+}
+
+TEST(Throughput, NetThroughputScalesWithFer) {
+  const std::vector<double> fer{0.5, 0.0};
+  const double got = net_throughput_mbps(2, 4, coding::CodeRate::kHalf, fer);
+  const double per_client = phy_rate_mbps(1, 4, coding::CodeRate::kHalf);
+  EXPECT_NEAR(got, per_client * 1.5, 1e-9);
+  EXPECT_THROW(net_throughput_mbps(3, 4, coding::CodeRate::kHalf, fer),
+               std::invalid_argument);
+}
+
+TEST(LinkSimulator, HighSnrIsErrorFree) {
+  channel::RayleighChannel ch(4, 2);
+  LinkSimulator sim(ch, small_scenario(16, 45.0));
+  const Constellation& c = Constellation::qam(16);
+  const auto det = geosphere_factory()(c);
+  Rng rng(1);
+  const LinkStats stats = sim.run(*det, 10, rng);
+  EXPECT_EQ(stats.frames, 10u);
+  EXPECT_DOUBLE_EQ(stats.fer(), 0.0);
+  EXPECT_EQ(stats.bit_errors, 0u);
+  EXPECT_GT(stats.detection_calls, 0u);
+}
+
+TEST(LinkSimulator, FerMonotoneInSnr) {
+  channel::RayleighChannel ch(4, 4);
+  const Constellation& c = Constellation::qam(16);
+  const auto det = geosphere_factory()(c);
+
+  double prev_fer = 1.1;
+  for (const double snr : {6.0, 14.0, 30.0}) {
+    LinkSimulator sim(ch, small_scenario(16, snr));
+    Rng rng(2);
+    const double fer = sim.run(*det, 40, rng).fer();
+    EXPECT_LE(fer, prev_fer + 0.1) << "FER not (statistically) decreasing at " << snr;
+    prev_fer = fer;
+  }
+  EXPECT_LT(prev_fer, 0.2);
+}
+
+TEST(LinkSimulator, GeosphereBeatsZfOnIllConditionedEnsemble) {
+  // The paper's headline effect, end to end through coding and OFDM.
+  channel::TestbedConfig tc;
+  tc.ap_antennas = 4;
+  tc.clients = 4;
+  channel::TestbedEnsemble ch(tc);
+  const Constellation& c = Constellation::qam(16);
+  const auto geo = geosphere_factory()(c);
+  const auto zf = zf_factory()(c);
+
+  LinkSimulator sim(ch, small_scenario(16, 20.0));
+  Rng rng_a(3);
+  Rng rng_b(3);  // Identical draws for the two detectors.
+  const double fer_geo = sim.run(*geo, 60, rng_a).fer();
+  const double fer_zf = sim.run(*zf, 60, rng_b).fer();
+  EXPECT_LT(fer_geo, fer_zf);
+}
+
+TEST(LinkSimulator, ComplexityMetricsPopulated) {
+  channel::RayleighChannel ch(4, 2);
+  const Constellation& c = Constellation::qam(16);
+  const auto geo = geosphere_factory()(c);
+  LinkSimulator sim(ch, small_scenario(16, 20.0));
+  Rng rng(4);
+  const LinkStats stats = sim.run(*geo, 5, rng);
+  EXPECT_GT(stats.avg_ped_per_subcarrier(), 0.0);
+  EXPECT_GT(stats.avg_visited_nodes_per_subcarrier(), 0.0);
+  // Lower bound: at least one slice per level per call.
+  EXPECT_GE(stats.avg_ped_per_subcarrier(), 2.0);
+}
+
+TEST(LinkSimulator, DetectorConstellationMismatchThrows) {
+  channel::RayleighChannel ch(2, 2);
+  const auto det = zf_factory()(Constellation::qam(64));
+  LinkSimulator sim(ch, small_scenario(16, 20.0));
+  Rng rng(5);
+  EXPECT_THROW(sim.run(*det, 1, rng), std::invalid_argument);
+}
+
+TEST(RateAdapt, PicksLowOrderAtLowSnrHighOrderAtHighSnr) {
+  channel::RayleighChannel ch(4, 2);
+  LinkScenario base = small_scenario(16, 0.0);
+
+  base.snr_db = 2.0;
+  const RateChoice low = best_rate(ch, base, geosphere_factory(), 25, 7, {4, 16, 64});
+  base.snr_db = 38.0;
+  const RateChoice high = best_rate(ch, base, geosphere_factory(), 25, 7, {4, 16, 64});
+  EXPECT_LT(low.qam_order, high.qam_order);
+  EXPECT_EQ(high.qam_order, 64u);
+  EXPECT_GT(high.throughput_mbps, low.throughput_mbps);
+}
+
+TEST(SnrSearch, FindsTargetFerOperatingPoint) {
+  channel::RayleighChannel ch(4, 2);
+  LinkScenario base = small_scenario(16, 0.0);
+  SnrSearchConfig cfg;
+  cfg.probe_frames = 30;
+  cfg.iterations = 7;
+  const double snr = find_snr_for_fer(ch, base, geosphere_factory(), cfg, 11);
+  EXPECT_GT(snr, 2.0);
+  EXPECT_LT(snr, 40.0);
+
+  // Verify the FER at the found point is in a sane band around the target.
+  base.snr_db = snr;
+  LinkSimulator sim(ch, base);
+  const auto det = geosphere_factory()(Constellation::qam(16));
+  Rng rng(12);
+  const double fer = sim.run(*det, 120, rng).fer();
+  EXPECT_GT(fer, 0.01);
+  EXPECT_LT(fer, 0.45);
+}
+
+TEST(UserSelection, SnrRange) {
+  const std::vector<double> snrs{12.0, 18.0, 21.0, 25.0, 31.0};
+  const auto sel = select_in_snr_range(snrs, 20.0, 5.0);
+  EXPECT_EQ(sel, (std::vector<std::size_t>{1, 2, 3}));
+  EXPECT_TRUE(select_in_snr_range(snrs, 50.0, 2.0).empty());
+}
+
+TEST(UserSelection, RandomSubsetProperties) {
+  Rng rng(13);
+  for (int t = 0; t < 50; ++t) {
+    const auto sel = select_random(10, 4, rng);
+    EXPECT_EQ(sel.size(), 4u);
+    for (std::size_t i = 1; i < sel.size(); ++i) EXPECT_LT(sel[i - 1], sel[i]);
+    for (const auto v : sel) EXPECT_LT(v, 10u);
+  }
+  EXPECT_THROW(select_random(3, 4, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace geosphere::link

@@ -1,0 +1,106 @@
+// Tests for the experiment drivers and table output that the bench harness
+// is built on.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "channel/rayleigh.h"
+#include "detect/factory.h"
+#include "sim/complexity_experiment.h"
+#include "sim/conditioning_experiment.h"
+#include "sim/table.h"
+#include "sim/throughput_experiment.h"
+
+namespace geosphere::sim {
+namespace {
+
+TEST(TablePrinter, AlignsAndFormats) {
+  TablePrinter table({"name", "value"});
+  table.add_row({"alpha", TablePrinter::fmt(1.2345, 2)});
+  table.add_row({"a-much-longer-name", "x"});
+  std::ostringstream os;
+  table.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("1.23"), std::string::npos);
+  EXPECT_NE(out.find("a-much-longer-name"), std::string::npos);
+  // Header rule present.
+  EXPECT_NE(out.find("----"), std::string::npos);
+  // Short rows are padded, not truncated.
+  TablePrinter padded({"a", "b", "c"});
+  padded.add_row({"only-one"});
+  std::ostringstream os2;
+  padded.print(os2);
+  EXPECT_NE(os2.str().find("only-one"), std::string::npos);
+}
+
+TEST(TablePrinter, FmtPrecision) {
+  EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::fmt(3.14159, 0), "3");
+  EXPECT_EQ(TablePrinter::fmt(-1.5, 1), "-1.5");
+}
+
+TEST(Conditioning, ProducesRequestedSeries) {
+  ConditioningConfig config;
+  config.sizes = {{2, 2}, {2, 4}};
+  config.links = 20;
+  config.subcarriers = 8;
+  const auto series = run_conditioning(config);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_EQ(series[0].clients, 2u);
+  EXPECT_EQ(series[0].antennas, 2u);
+  EXPECT_EQ(series[0].kappa_sq_db.count(), 20u * 8u);
+  EXPECT_EQ(series[1].lambda_db.count(), 20u * 8u);
+  // Lambda is nonnegative by construction.
+  EXPECT_GE(series[0].lambda_db.percentile(0.0), -1e-9);
+}
+
+TEST(Conditioning, DeterministicForFixedSeed) {
+  ConditioningConfig config;
+  config.sizes = {{2, 2}};
+  config.links = 10;
+  config.subcarriers = 4;
+  const auto a = run_conditioning(config);
+  const auto b = run_conditioning(config);
+  EXPECT_DOUBLE_EQ(a[0].kappa_sq_db.percentile(0.5), b[0].kappa_sq_db.percentile(0.5));
+}
+
+TEST(ThroughputExperiment, ReportsBestRateChoice) {
+  channel::RayleighChannel ch(4, 2);
+  ThroughputConfig config;
+  config.frames = 15;
+  config.payload_bytes = 100;
+  config.snr_jitter_db = 0.0;
+  const auto point = measure_throughput(ch, "Geosphere", geosphere_factory(), 35.0, config);
+  EXPECT_EQ(point.detector, "Geosphere");
+  EXPECT_EQ(point.clients, 2u);
+  EXPECT_EQ(point.antennas, 4u);
+  EXPECT_EQ(point.best_qam, 64u);  // At 35 dB the densest candidate wins.
+  EXPECT_NEAR(point.throughput_mbps, 72.0, 8.0);
+  EXPECT_LT(point.fer, 0.1);
+}
+
+TEST(ComplexityExperiment, SeedIdenticalWorkloads) {
+  channel::RayleighChannel ch(4, 2);
+  link::LinkScenario scenario;
+  scenario.frame.qam_order = 16;
+  scenario.frame.payload_bytes = 100;
+  scenario.snr_db = 18.0;
+  const auto points = measure_complexity(
+      ch, scenario,
+      {{"Geosphere", geosphere_factory()},
+       {"Geosphere-again", geosphere_factory()},
+       {"ETH-SD", eth_sd_factory()}},
+      10, 42);
+  ASSERT_EQ(points.size(), 3u);
+  // Identical detector on identical seed: identical counters and FER.
+  EXPECT_DOUBLE_EQ(points[0].avg_ped_per_subcarrier, points[1].avg_ped_per_subcarrier);
+  EXPECT_DOUBLE_EQ(points[0].fer, points[1].fer);
+  // Different enumeration, same traversal: same nodes, same FER, more PEDs.
+  EXPECT_DOUBLE_EQ(points[0].avg_visited_nodes, points[2].avg_visited_nodes);
+  EXPECT_DOUBLE_EQ(points[0].fer, points[2].fer);
+  EXPECT_LT(points[0].avg_ped_per_subcarrier, points[2].avg_ped_per_subcarrier);
+}
+
+}  // namespace
+}  // namespace geosphere::sim

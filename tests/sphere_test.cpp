@@ -1,0 +1,303 @@
+// The decisive correctness properties of the sphere decoders:
+//  * every variant returns the exact maximum-likelihood solution,
+//  * all Schnorr-Euchner variants traverse identical node sequences
+//    (paper Section 5.3), and
+//  * geometric pruning changes the work done, never the answer.
+#include "detect/sphere/sphere_decoder.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/db.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "detect/fsd.h"
+#include "detect/hybrid.h"
+#include "detect/kbest.h"
+#include "detect/ml_exhaustive.h"
+#include "test_util.h"
+
+namespace geosphere {
+namespace {
+
+using geosphere::testing::hypothesis_distance_sq;
+using geosphere::testing::random_channel;
+using geosphere::testing::random_indices;
+using geosphere::testing::transmit;
+
+struct MlCase {
+  unsigned order;
+  std::size_t na;
+  std::size_t nc;
+  double snr_db;
+};
+
+class SphereMlEquivalence : public ::testing::TestWithParam<MlCase> {};
+
+TEST_P(SphereMlEquivalence, AllVariantsMatchExhaustiveMl) {
+  const auto [order, na, nc, snr_db] = GetParam();
+  const Constellation& c = Constellation::qam(order);
+  const double n0 = db_to_lin(-snr_db);
+
+  MlExhaustiveDetector ml(c);
+  const auto geo = sphere::make_geosphere(c);
+  const auto geo_zz = sphere::make_geosphere_zigzag_only(c);
+  const auto eth = sphere::make_eth_sd(c);
+  const auto shabany = sphere::make_shabany_sd(c);
+
+  Rng rng(order * 1000 + na * 100 + nc * 10 + static_cast<unsigned>(snr_db));
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto h = random_channel(rng, na, nc);
+    const auto sent = random_indices(rng, c, nc);
+    const auto y = transmit(rng, h, c, sent, n0);
+
+    const auto ml_result = ml.detect(y, h, n0);
+    const double ml_dist = ml.last_distance_sq();
+
+    for (Detector* d : {geo.get(), geo_zz.get(), eth.get(), shabany.get()}) {
+      const auto result = d->detect(y, h, n0);
+      const double dist = hypothesis_distance_sq(y, h, c, result.indices);
+      EXPECT_NEAR(dist, ml_dist, 1e-9 * (1.0 + ml_dist))
+          << d->name() << " missed the ML solution (trial " << trial << ")";
+    }
+    // In the overwhelmingly common (tie-free) case the indices agree too.
+    const auto geo_result = geo->detect(y, h, n0);
+    EXPECT_EQ(geo_result.indices, ml_result.indices);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndSnrs, SphereMlEquivalence,
+    ::testing::Values(MlCase{4, 1, 1, 10.0}, MlCase{4, 2, 2, 5.0}, MlCase{4, 2, 2, 15.0},
+                      MlCase{4, 4, 4, 10.0}, MlCase{4, 4, 3, 0.0}, MlCase{16, 2, 2, 10.0},
+                      MlCase{16, 4, 2, 18.0}, MlCase{16, 4, 3, 14.0}, MlCase{16, 3, 3, 5.0},
+                      MlCase{64, 2, 2, 20.0}, MlCase{64, 4, 2, 12.0}, MlCase{64, 2, 2, 2.0},
+                      MlCase{256, 2, 2, 25.0}, MlCase{256, 4, 2, 15.0}));
+
+class SphereInvariants : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SphereInvariants, IdenticalTraversalAcrossEnumerators) {
+  // Same SE order => same visited nodes for ETH-SD, Shabany and both
+  // Geosphere variants (the paper's Section 5.3 claim), and geometric
+  // pruning must not change the result, only reduce PED computations.
+  const unsigned order = GetParam();
+  const Constellation& c = Constellation::qam(order);
+  const auto geo = sphere::make_geosphere(c);
+  const auto geo_zz = sphere::make_geosphere_zigzag_only(c);
+  const auto eth = sphere::make_eth_sd(c);
+  const auto shabany = sphere::make_shabany_sd(c);
+
+  Rng rng(order);
+  const std::size_t nc = 2 + order % 3;  // 2..4 streams.
+  const std::size_t na = nc + 1;
+  for (double snr_db : {5.0, 15.0, 25.0}) {
+    const double n0 = db_to_lin(-snr_db);
+    for (int trial = 0; trial < 20; ++trial) {
+      const auto h = random_channel(rng, na, nc);
+      const auto sent = random_indices(rng, c, nc);
+      const auto y = transmit(rng, h, c, sent, n0);
+
+      const auto r_geo = geo->detect(y, h, n0);
+      const auto r_zz = geo_zz->detect(y, h, n0);
+      const auto r_eth = eth->detect(y, h, n0);
+      const auto r_sha = shabany->detect(y, h, n0);
+
+      EXPECT_EQ(r_geo.indices, r_zz.indices);
+      EXPECT_EQ(r_geo.stats.visited_nodes, r_zz.stats.visited_nodes);
+      EXPECT_EQ(r_geo.stats.visited_nodes, r_eth.stats.visited_nodes);
+      EXPECT_EQ(r_geo.stats.visited_nodes, r_sha.stats.visited_nodes);
+      EXPECT_LE(r_geo.stats.ped_computations, r_zz.stats.ped_computations);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, SphereInvariants, ::testing::Values(4u, 16u, 64u, 256u));
+
+TEST(SphereDecoder, NoiselessRecoversExactSymbols) {
+  const Constellation& c = Constellation::qam(64);
+  const auto geo = sphere::make_geosphere(c);
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto h = random_channel(rng, 4, 4);
+    const auto sent = random_indices(rng, c, 4);
+    const auto y = transmit(rng, h, c, sent, 0.0);
+    EXPECT_EQ(geo->detect(y, h, 0.0).indices, sent);
+  }
+}
+
+TEST(SphereDecoder, NoiselessHighSnrComplexityNearZf) {
+  // Paper footnote 5 / Section 5.3.1: at high SNR Geosphere's complexity
+  // approaches linear detection; with a tiny radius after the first leaf,
+  // geometric pruning kills the rest of the tree without extra PEDs.
+  const Constellation& c = Constellation::qam(256);
+  const auto geo = sphere::make_geosphere(c);
+  Rng rng(7);
+  RunningStats peds;
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto h = random_channel(rng, 4, 4);
+    const auto sent = random_indices(rng, c, 4);
+    const auto y = transmit(rng, h, c, sent, 1e-8);
+    peds.add(static_cast<double>(geo->detect(y, h, 1e-8).stats.ped_computations));
+  }
+  // Section 5.3 discussion: the first leaf costs nc PED calculations and
+  // geometric pruning then closes the whole tree without any more -- so
+  // the mean should sit at ~nc = 4 here, comparable to linear detection.
+  EXPECT_LT(peds.mean(), 6.0);
+}
+
+TEST(SphereDecoder, SingleStreamMatchesSlicing) {
+  const Constellation& c = Constellation::qam(16);
+  const auto geo = sphere::make_geosphere(c);
+  Rng rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto h = random_channel(rng, 2, 1);
+    const auto sent = random_indices(rng, c, 1);
+    const auto y = transmit(rng, h, c, sent, 0.05);
+    const auto result = geo->detect(y, h, 0.05);
+    // For nc=1 the ML solution is matched-filter slicing.
+    const cf64 mf = linalg::dot(h.col(0), y) / linalg::norm_sq(h.col(0));
+    EXPECT_EQ(result.indices[0], c.slice(mf));
+  }
+}
+
+TEST(SphereDecoder, RankDeficientChannelThrows) {
+  const Constellation& c = Constellation::qam(4);
+  const auto geo = sphere::make_geosphere(c);
+  linalg::CMatrix h(2, 2);
+  h(0, 0) = cf64{1, 0};
+  h(0, 1) = cf64{1, 0};
+  h(1, 0) = cf64{1, 0};
+  h(1, 1) = cf64{1, 0};
+  EXPECT_THROW(geo->detect(CVector(2), h, 0.1), std::domain_error);
+}
+
+TEST(SphereDecoder, ShapeMismatchThrows) {
+  const Constellation& c = Constellation::qam(4);
+  const auto geo = sphere::make_geosphere(c);
+  Rng rng(1);
+  const auto h = random_channel(rng, 2, 3);  // Wide: nc > na.
+  EXPECT_THROW(geo->detect(CVector(2), h, 0.1), std::invalid_argument);
+  const auto h2 = random_channel(rng, 3, 2);
+  EXPECT_THROW(geo->detect(CVector(2), h2, 0.1), std::invalid_argument);  // |y| != na.
+}
+
+TEST(SphereDecoder, FiniteInitialRadiusCanFail) {
+  const Constellation& c = Constellation::qam(4);
+  sphere::SphereConfig cfg;
+  cfg.initial_radius_sq = 1e-12;  // Nothing can fit.
+  const auto geo = sphere::make_geosphere(c, cfg);
+  Rng rng(2);
+  const auto h = random_channel(rng, 2, 2);
+  const auto sent = random_indices(rng, c, 2);
+  const auto y = transmit(rng, h, c, sent, 1.0);
+  EXPECT_THROW(geo->detect(y, h, 1.0), std::runtime_error);
+}
+
+TEST(SphereDecoder, SortedQrPreprocessingPreservesMl) {
+  const Constellation& c = Constellation::qam(16);
+  sphere::SphereConfig cfg;
+  cfg.sorted_qr = true;
+  const auto sorted_geo = sphere::make_geosphere(c, cfg);
+  MlExhaustiveDetector ml(c);
+  Rng rng(3);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto h = random_channel(rng, 4, 3);
+    const auto sent = random_indices(rng, c, 3);
+    const auto y = transmit(rng, h, c, sent, db_to_lin(-12.0));
+    const auto r = sorted_geo->detect(y, h, 0.06);
+    ml.detect(y, h, 0.06);
+    EXPECT_NEAR(hypothesis_distance_sq(y, h, c, r.indices), ml.last_distance_sq(), 1e-9);
+  }
+}
+
+// ---- K-best / FSD / hybrid --------------------------------------------------
+
+TEST(KBest, FullWidthEqualsMlForTwoStreams) {
+  // With K = |O| and two streams, the sorted K-best search provably
+  // contains the ML path.
+  const Constellation& c = Constellation::qam(16);
+  KBestDetector kbest(c, 16);
+  MlExhaustiveDetector ml(c);
+  Rng rng(4);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto h = random_channel(rng, 3, 2);
+    const auto sent = random_indices(rng, c, 2);
+    const auto y = transmit(rng, h, c, sent, db_to_lin(-10.0));
+    const auto r = kbest.detect(y, h, 0.1);
+    ml.detect(y, h, 0.1);
+    EXPECT_NEAR(hypothesis_distance_sq(y, h, c, r.indices), ml.last_distance_sq(), 1e-9);
+  }
+}
+
+TEST(KBest, SmallKDegradesGracefully) {
+  // K=1 is pure successive slicing: valid output, not necessarily ML.
+  const Constellation& c = Constellation::qam(16);
+  KBestDetector kbest(c, 1);
+  Rng rng(5);
+  const auto h = random_channel(rng, 4, 4);
+  const auto sent = random_indices(rng, c, 4);
+  const auto y = transmit(rng, h, c, sent, 0.01);
+  const auto r = kbest.detect(y, h, 0.01);
+  EXPECT_EQ(r.indices.size(), 4u);
+  for (unsigned idx : r.indices) EXPECT_LT(idx, c.order());
+}
+
+TEST(KBest, RejectsZeroK) {
+  EXPECT_THROW(KBestDetector(Constellation::qam(4), 0), std::invalid_argument);
+}
+
+TEST(Fsd, SingleStreamIsExact) {
+  const Constellation& c = Constellation::qam(64);
+  FsdDetector fsd(c);
+  MlExhaustiveDetector ml(c);
+  Rng rng(6);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto h = random_channel(rng, 2, 1);
+    const auto sent = random_indices(rng, c, 1);
+    const auto y = transmit(rng, h, c, sent, 0.05);
+    const auto r = fsd.detect(y, h, 0.05);
+    ml.detect(y, h, 0.05);
+    EXPECT_NEAR(hypothesis_distance_sq(y, h, c, r.indices), ml.last_distance_sq(), 1e-9);
+  }
+}
+
+TEST(Fsd, DeterministicComplexity) {
+  // The defining property: the visited-node count is fixed by (|O|, nc),
+  // independent of channel and noise.
+  const Constellation& c = Constellation::qam(16);
+  FsdDetector fsd(c);
+  Rng rng(7);
+  std::uint64_t nodes = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto h = random_channel(rng, 4, 3);
+    const auto sent = random_indices(rng, c, 3);
+    const auto y = transmit(rng, h, c, sent, rng.uniform(0.001, 1.0));
+    const auto r = fsd.detect(y, h, 1.0);
+    if (trial == 0)
+      nodes = r.stats.visited_nodes;
+    else
+      EXPECT_EQ(r.stats.visited_nodes, nodes);
+  }
+  EXPECT_EQ(nodes, 16u + 16u * 2u);  // Full top level + one child per level below.
+}
+
+TEST(Hybrid, ThresholdRoutesBetweenDetectors) {
+  const Constellation& c = Constellation::qam(16);
+  Rng rng(8);
+  const auto h = random_channel(rng, 4, 2);
+  const auto sent = random_indices(rng, c, 2);
+  const auto y = transmit(rng, h, c, sent, 0.01);
+
+  HybridDetector always_sphere(c, -1e9);
+  always_sphere.detect(y, h, 0.01);
+  EXPECT_DOUBLE_EQ(always_sphere.sphere_fraction(), 1.0);
+
+  HybridDetector always_zf(c, 1e9);
+  always_zf.detect(y, h, 0.01);
+  EXPECT_DOUBLE_EQ(always_zf.sphere_fraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace geosphere

@@ -1,0 +1,142 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/db.h"
+#include "common/rng.h"
+
+namespace geosphere {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownSequence) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStats, MatchesDirectComputationOnRandomData) {
+  Rng rng(42);
+  RunningStats s;
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.gaussian(3.0, 2.0);
+    xs.push_back(x);
+    s.add(x);
+  }
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double var = 0.0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size() - 1);
+  EXPECT_NEAR(s.mean(), mean, 1e-9);
+  EXPECT_NEAR(s.variance(), var, 1e-9);
+}
+
+TEST(EmpiricalCdf, PercentilesOfUniformGrid) {
+  EmpiricalCdf cdf;
+  for (int i = 0; i <= 100; ++i) cdf.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(cdf.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.percentile(1.0), 100.0);
+  EXPECT_NEAR(cdf.percentile(0.5), 50.0, 1e-9);
+  EXPECT_NEAR(cdf.percentile(0.25), 25.0, 1e-9);
+}
+
+TEST(EmpiricalCdf, FractionAbove) {
+  EmpiricalCdf cdf;
+  cdf.add_all({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.fraction_above(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.fraction_above(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_above(4.0), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(2.0), 0.5);
+}
+
+TEST(EmpiricalCdf, ThrowsOnEmptyPercentile) {
+  EmpiricalCdf cdf;
+  EXPECT_THROW(cdf.percentile(0.5), std::domain_error);
+  EXPECT_THROW([] {
+    EmpiricalCdf c;
+    c.add(1.0);
+    c.percentile(1.5);
+  }(), std::invalid_argument);
+}
+
+TEST(EmpiricalCdf, CurveIsMonotone) {
+  Rng rng(7);
+  EmpiricalCdf cdf;
+  for (int i = 0; i < 500; ++i) cdf.add(rng.gaussian());
+  const auto curve = cdf.curve(21);
+  ASSERT_EQ(curve.size(), 21u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i - 1].first, curve[i].first);
+    EXPECT_LT(curve[i - 1].second, curve[i].second);
+  }
+}
+
+TEST(Decibels, RoundTrip) {
+  EXPECT_NEAR(db_to_lin(10.0), 10.0, 1e-12);
+  EXPECT_NEAR(db_to_lin(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(lin_to_db(100.0), 20.0, 1e-12);
+  for (double db : {-30.0, -3.0, 0.0, 3.0, 20.0, 45.0})
+    EXPECT_NEAR(lin_to_db(db_to_lin(db)), db, 1e-9);
+}
+
+TEST(Rng, Determinism) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, ComplexGaussianVariance) {
+  Rng rng(99);
+  RunningStats re;
+  RunningStats im;
+  RunningStats power;
+  for (int i = 0; i < 20000; ++i) {
+    const cf64 z = rng.cgaussian(2.0);
+    re.add(z.real());
+    im.add(z.imag());
+    power.add(std::norm(z));
+  }
+  EXPECT_NEAR(re.mean(), 0.0, 0.05);
+  EXPECT_NEAR(im.mean(), 0.0, 0.05);
+  EXPECT_NEAR(power.mean(), 2.0, 0.1);
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng rng(5);
+  std::vector<int> counts(7, 0);
+  for (int i = 0; i < 7000; ++i) {
+    const int v = rng.uniform_int(7);
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 7);
+    ++counts[static_cast<std::size_t>(v)];
+  }
+  for (int c : counts) EXPECT_GT(c, 700);  // Roughly uniform.
+}
+
+}  // namespace
+}  // namespace geosphere

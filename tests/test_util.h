@@ -1,0 +1,54 @@
+// Shared helpers for the test suites.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "constellation/constellation.h"
+#include "linalg/matrix.h"
+
+namespace geosphere::testing {
+
+/// i.i.d. CN(0,1) channel matrix (Rayleigh flat fading).
+inline linalg::CMatrix random_channel(Rng& rng, std::size_t na, std::size_t nc) {
+  linalg::CMatrix h(na, nc);
+  for (std::size_t i = 0; i < na; ++i)
+    for (std::size_t j = 0; j < nc; ++j) h(i, j) = rng.cgaussian(1.0);
+  return h;
+}
+
+/// Random transmitted symbol indices, one per stream.
+inline std::vector<unsigned> random_indices(Rng& rng, const Constellation& c,
+                                            std::size_t nc) {
+  std::vector<unsigned> idx(nc);
+  for (auto& v : idx) v = static_cast<unsigned>(rng.uniform_int(static_cast<int>(c.order())));
+  return idx;
+}
+
+/// y = H s + w with noise variance n0 per receive antenna.
+inline CVector transmit(Rng& rng, const linalg::CMatrix& h, const Constellation& c,
+                        const std::vector<unsigned>& indices, double n0) {
+  CVector y(h.rows());
+  for (std::size_t i = 0; i < h.rows(); ++i) {
+    cf64 acc{};
+    for (std::size_t k = 0; k < h.cols(); ++k) acc += h(i, k) * c.point(indices[k]);
+    y[i] = acc + rng.cgaussian(n0);
+  }
+  return y;
+}
+
+/// ||y - H s||^2 for symbol indices s.
+inline double hypothesis_distance_sq(const CVector& y, const linalg::CMatrix& h,
+                                     const Constellation& c,
+                                     const std::vector<unsigned>& indices) {
+  double d = 0.0;
+  for (std::size_t i = 0; i < h.rows(); ++i) {
+    cf64 acc{};
+    for (std::size_t k = 0; k < h.cols(); ++k) acc += h(i, k) * c.point(indices[k]);
+    d += std::norm(y[i] - acc);
+  }
+  return d;
+}
+
+}  // namespace geosphere::testing

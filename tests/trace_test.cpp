@@ -1,0 +1,107 @@
+#include "channel/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "channel/rayleigh.h"
+#include "channel/testbed_ensemble.h"
+
+namespace geosphere::channel {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(Trace, SaveLoadRoundTrip) {
+  RayleighChannel model(4, 2);
+  Rng rng(1);
+  const auto links = record_trace(model, 7, 12, rng);
+  const std::string path = temp_path("geo_trace_roundtrip.bin");
+  save_trace(path, links);
+  const auto loaded = load_trace(path);
+
+  ASSERT_EQ(loaded.size(), links.size());
+  for (std::size_t l = 0; l < links.size(); ++l) {
+    ASSERT_EQ(loaded[l].num_subcarriers(), 12u);
+    for (std::size_t f = 0; f < 12; ++f)
+      for (std::size_t i = 0; i < 4; ++i)
+        for (std::size_t j = 0; j < 2; ++j)
+          EXPECT_EQ(loaded[l].subcarriers[f](i, j), links[l].subcarriers[f](i, j));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Trace, ReplayIsDeterministicPerSeed) {
+  TestbedConfig tc;
+  tc.clients = 2;
+  tc.ap_antennas = 2;
+  TestbedEnsemble ensemble(tc);
+  Rng rec_rng(2);
+  TraceChannelModel trace(record_trace(ensemble, 10, 8, rec_rng));
+  EXPECT_EQ(trace.num_rx(), 2u);
+  EXPECT_EQ(trace.num_tx(), 2u);
+  EXPECT_EQ(trace.num_links(), 10u);
+
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 20; ++i) {
+    const Link la = trace.draw_link(a, 8);
+    const Link lb = trace.draw_link(b, 8);
+    for (std::size_t f = 0; f < 8; ++f)
+      EXPECT_EQ(la.subcarriers[f](0, 0), lb.subcarriers[f](0, 0));
+  }
+}
+
+TEST(Trace, SubcarrierTruncation) {
+  RayleighChannel model(2, 2);
+  Rng rng(3);
+  TraceChannelModel trace(record_trace(model, 3, 16, rng));
+  Rng draw(1);
+  EXPECT_EQ(trace.draw_link(draw, 4).num_subcarriers(), 4u);
+  EXPECT_THROW(trace.draw_link(draw, 17), std::invalid_argument);
+}
+
+TEST(Trace, RejectsBadInputs) {
+  EXPECT_THROW(save_trace(temp_path("x.bin"), {}), std::invalid_argument);
+  EXPECT_THROW(TraceChannelModel(std::vector<Link>{}), std::invalid_argument);
+  EXPECT_THROW(load_trace(temp_path("geo_trace_nonexistent.bin")), std::runtime_error);
+
+  // Garbage file: wrong magic.
+  const std::string bad = temp_path("geo_trace_bad.bin");
+  {
+    std::ofstream os(bad, std::ios::binary);
+    os << "NOTATRACEFILE____________";
+  }
+  EXPECT_THROW(load_trace(bad), std::runtime_error);
+  std::remove(bad.c_str());
+}
+
+TEST(Trace, RejectsTruncatedFile) {
+  RayleighChannel model(2, 2);
+  Rng rng(4);
+  const auto links = record_trace(model, 4, 8, rng);
+  const std::string path = temp_path("geo_trace_trunc.bin");
+  save_trace(path, links);
+  // Chop the file in half.
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size / 2);
+  EXPECT_THROW(load_trace(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, RejectsInhomogeneousLinks) {
+  RayleighChannel big(4, 2);
+  RayleighChannel small(2, 2);
+  Rng rng(5);
+  auto links = record_trace(big, 2, 8, rng);
+  links.push_back(small.draw_link(rng, 8));
+  EXPECT_THROW(save_trace(temp_path("geo_trace_mixed.bin"), links),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace geosphere::channel

@@ -1,0 +1,169 @@
+#include "detect/sphere/zigzag1d.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "detect/sphere/geometry_table.h"
+
+namespace geosphere::sphere {
+namespace {
+
+double grid_of(int level, int levels) { return static_cast<double>(2 * level - (levels - 1)); }
+
+std::vector<int> drain(Zigzag1D& z) {
+  std::vector<int> out;
+  while (!z.done()) out.push_back(z.take());
+  return out;
+}
+
+TEST(Zigzag1D, VisitsAllLevelsExactlyOnce) {
+  Rng rng(1);
+  for (int levels : {1, 2, 4, 8, 16}) {
+    for (int trial = 0; trial < 200; ++trial) {
+      Zigzag1D z;
+      z.reset(rng.uniform(-2.0 * levels, 2.0 * levels), levels);
+      const auto order = drain(z);
+      ASSERT_EQ(order.size(), static_cast<std::size_t>(levels));
+      std::set<int> unique(order.begin(), order.end());
+      EXPECT_EQ(unique.size(), order.size());
+      EXPECT_EQ(*unique.begin(), 0);
+      EXPECT_EQ(*unique.rbegin(), levels - 1);
+    }
+  }
+}
+
+TEST(Zigzag1D, OrderIsNonDecreasingDistance) {
+  Rng rng(2);
+  for (int levels : {2, 4, 8, 16}) {
+    for (int trial = 0; trial < 300; ++trial) {
+      const double center = rng.uniform(-2.5 * levels, 2.5 * levels);
+      Zigzag1D z;
+      z.reset(center, levels);
+      double prev = -1.0;
+      while (!z.done()) {
+        const double d = std::abs(grid_of(z.take(), levels) - center);
+        EXPECT_GE(d, prev - 1e-12);
+        prev = d;
+      }
+    }
+  }
+}
+
+TEST(Zigzag1D, StartIsSlicedNearestLevel) {
+  Rng rng(3);
+  for (int levels : {2, 4, 8, 16}) {
+    for (int trial = 0; trial < 200; ++trial) {
+      const double center = rng.uniform(-2.0 * levels, 2.0 * levels);
+      Zigzag1D z;
+      z.reset(center, levels);
+      const int start = z.peek_level();
+      double best = std::abs(grid_of(start, levels) - center);
+      for (int l = 0; l < levels; ++l)
+        EXPECT_LE(best, std::abs(grid_of(l, levels) - center) + 1e-12);
+    }
+  }
+}
+
+TEST(Zigzag1D, PeekOffsetsAreNonDecreasing) {
+  // The geometric-pruning close-off relies on this monotonicity.
+  Rng rng(4);
+  for (int levels : {2, 4, 8, 16}) {
+    for (int trial = 0; trial < 200; ++trial) {
+      Zigzag1D z;
+      z.reset(rng.uniform(-2.0 * levels, 2.0 * levels), levels);
+      int prev = -1;
+      while (!z.done()) {
+        const int off = z.peek_offset();
+        EXPECT_GE(off, prev);
+        prev = off;
+        z.take();
+      }
+    }
+  }
+}
+
+TEST(Zigzag1D, InteriorAlternationMatchesPaperPattern) {
+  // Center inside an interior cell: the order is start, +d, -d, +2d, ...
+  Zigzag1D z;
+  z.reset(0.9, 8);  // Levels at -7,-5,...,7; 0.9 slices to level 4 (grid 1).
+  EXPECT_EQ(z.take(), 4);
+  EXPECT_EQ(z.take(), 3);  // grid -1 at distance 1.9? No: |-1-0.9|=1.9 vs |3-0.9|=2.1.
+  EXPECT_EQ(z.take(), 5);
+  EXPECT_EQ(z.take(), 2);
+  EXPECT_EQ(z.take(), 6);
+}
+
+TEST(Zigzag1D, CloseStopsEnumeration) {
+  Zigzag1D z;
+  z.reset(0.0, 8);
+  z.take();
+  z.close();
+  EXPECT_TRUE(z.done());
+}
+
+TEST(Zigzag1D, SingleLevel) {
+  Zigzag1D z;
+  z.reset(5.0, 1);
+  EXPECT_FALSE(z.done());
+  EXPECT_EQ(z.take(), 0);
+  EXPECT_TRUE(z.done());
+}
+
+// ---- Geometric lower-bound table -------------------------------------------
+
+TEST(GeometryTable, MatchesPaperFormula) {
+  EXPECT_DOUBLE_EQ(geometric_lower_bound_sq(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(geometric_lower_bound_sq(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(geometric_lower_bound_sq(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(geometric_lower_bound_sq(1, 1), 2.0);
+  EXPECT_DOUBLE_EQ(geometric_lower_bound_sq(2, 2), 18.0);  // (2*2-1)^2 * 2.
+  EXPECT_DOUBLE_EQ(geometric_lower_bound_sq(3, 1), 26.0);  // 25 + 1.
+}
+
+TEST(GeometryTable, MonotoneInEachArgument) {
+  for (int di = 0; di < kMaxPamOffset; ++di) {
+    for (int dq = 0; dq < kMaxPamOffset; ++dq) {
+      EXPECT_LE(geometric_lower_bound_sq(di, dq), geometric_lower_bound_sq(di + 1, dq));
+      EXPECT_LE(geometric_lower_bound_sq(di, dq), geometric_lower_bound_sq(di, dq + 1));
+    }
+  }
+}
+
+TEST(GeometryTable, LowerBoundsExactCostForInteriorCenters) {
+  // For any center within the sliced point's decision cell (|residual| <= 1
+  // per axis) the bound must not exceed the exact squared distance.
+  Rng rng(7);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const double rx = rng.uniform(-1.0, 1.0);
+    const double ry = rng.uniform(-1.0, 1.0);
+    const int di = rng.uniform_int(kMaxPamOffset + 1);
+    const int dq = rng.uniform_int(kMaxPamOffset + 1);
+    // Point at grid offset (2*di, 2*dq) from the sliced point; center at
+    // (rx, ry) relative to the sliced point.
+    const double dx = 2.0 * di - rx;
+    const double dy = 2.0 * dq - ry;
+    const double exact = dx * dx + dy * dy;
+    EXPECT_LE(geometric_lower_bound_sq(di, dq), exact + 1e-12)
+        << "di=" << di << " dq=" << dq << " rx=" << rx << " ry=" << ry;
+  }
+}
+
+TEST(GeometryTable, BoundHoldsForClampedOutsideCenters) {
+  // Received symbol beyond the constellation edge: slice clamps, offsets
+  // only grow, the bound must still hold.
+  Rng rng(8);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const double beyond = rng.uniform(0.0, 10.0);  // Distance past the edge.
+    const int di = rng.uniform_int(kMaxPamOffset + 1);
+    const double dx = 2.0 * di + beyond;  // Points lie away from the center.
+    EXPECT_LE(geometric_lower_bound_sq(di, 0), dx * dx + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace geosphere::sphere

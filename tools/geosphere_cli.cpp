@@ -1,0 +1,205 @@
+// geosphere_cli: command-line front end to the library's experiment
+// drivers, for downstream users who want numbers without writing C++.
+//
+//   geosphere_cli conditioning [--links N] [--subcarriers N]
+//   geosphere_cli throughput --clients N --antennas N --snr DB
+//                 [--frames N] [--detector zf|mmse|mmse-sic|geosphere|eth-sd]
+//   geosphere_cli complexity --clients N --antennas N --qam M --snr DB
+//                 [--frames N] [--channel rayleigh|indoor]
+//   geosphere_cli trace-record --out FILE --links N --clients N --antennas N
+//   geosphere_cli trace-info FILE
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "channel/rayleigh.h"
+#include "channel/testbed_ensemble.h"
+#include "channel/trace.h"
+#include "detect/factory.h"
+#include "sim/complexity_experiment.h"
+#include "sim/conditioning_experiment.h"
+#include "sim/table.h"
+#include "sim/throughput_experiment.h"
+
+namespace {
+
+using namespace geosphere;
+
+struct Args {
+  std::string command;
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+
+  long get_int(const std::string& key, long fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::stol(it->second);
+  }
+  double get_double(const std::string& key, double fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::stod(it->second);
+  }
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  if (argc > 1) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) == 0) {
+      if (i + 1 >= argc) throw std::runtime_error("missing value for " + token);
+      args.flags[token.substr(2)] = argv[++i];
+    } else {
+      args.positional.push_back(token);
+    }
+  }
+  return args;
+}
+
+DetectorFactory factory_by_name(const std::string& name) {
+  if (name == "zf") return zf_factory();
+  if (name == "mmse") return mmse_factory();
+  if (name == "mmse-sic") return mmse_sic_factory();
+  if (name == "geosphere") return geosphere_factory();
+  if (name == "geosphere-2dzz") return geosphere_zigzag_only_factory();
+  if (name == "eth-sd") return eth_sd_factory();
+  if (name == "shabany") return shabany_factory();
+  if (name == "rvd") return rvd_factory();
+  if (name == "fsd") return fsd_factory();
+  throw std::runtime_error("unknown detector: " + name);
+}
+
+int cmd_conditioning(const Args& args) {
+  sim::ConditioningConfig config;
+  config.links = static_cast<std::size_t>(args.get_int("links", 300));
+  config.subcarriers = static_cast<std::size_t>(args.get_int("subcarriers", 48));
+  const auto series = sim::run_conditioning(config);
+
+  sim::TablePrinter table({"config", "kappa2 median (dB)", "P(kappa2>10dB)",
+                           "Lambda median (dB)", "P(Lambda>5dB)"});
+  for (const auto& s : series)
+    table.add_row({std::to_string(s.clients) + "x" + std::to_string(s.antennas),
+                   sim::TablePrinter::fmt(s.kappa_sq_db.percentile(0.5), 1),
+                   sim::TablePrinter::fmt(s.kappa_sq_db.fraction_above(10.0)),
+                   sim::TablePrinter::fmt(s.lambda_db.percentile(0.5), 1),
+                   sim::TablePrinter::fmt(s.lambda_db.fraction_above(5.0))});
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_throughput(const Args& args) {
+  channel::TestbedConfig tc;
+  tc.clients = static_cast<std::size_t>(args.get_int("clients", 4));
+  tc.ap_antennas = static_cast<std::size_t>(args.get_int("antennas", 4));
+  const channel::TestbedEnsemble ensemble(tc);
+
+  sim::ThroughputConfig config;
+  config.frames = static_cast<std::size_t>(args.get_int("frames", 60));
+  const double snr = args.get_double("snr", 20.0);
+  const std::string name = args.get("detector", "geosphere");
+
+  const auto point =
+      sim::measure_throughput(ensemble, name, factory_by_name(name), snr, config);
+  std::printf("%zu clients x %zu antennas @ %.1f dB, detector=%s\n", tc.clients,
+              tc.ap_antennas, snr, name.c_str());
+  std::printf("best QAM: %u\nnet throughput: %.2f Mbps\nFER: %.3f\n", point.best_qam,
+              point.throughput_mbps, point.fer);
+  return 0;
+}
+
+int cmd_complexity(const Args& args) {
+  const auto clients = static_cast<std::size_t>(args.get_int("clients", 4));
+  const auto antennas = static_cast<std::size_t>(args.get_int("antennas", 4));
+  const std::string channel_name = args.get("channel", "rayleigh");
+
+  std::unique_ptr<channel::ChannelModel> model;
+  if (channel_name == "rayleigh") {
+    model = std::make_unique<channel::RayleighChannel>(antennas, clients);
+  } else if (channel_name == "indoor") {
+    channel::TestbedConfig tc;
+    tc.clients = clients;
+    tc.ap_antennas = antennas;
+    model = std::make_unique<channel::TestbedEnsemble>(tc);
+  } else {
+    throw std::runtime_error("unknown channel: " + channel_name);
+  }
+
+  link::LinkScenario scenario;
+  scenario.frame.qam_order = static_cast<unsigned>(args.get_int("qam", 64));
+  scenario.frame.payload_bytes = 250;
+  scenario.snr_db = args.get_double("snr", 20.0);
+
+  const auto points = sim::measure_complexity(
+      *model, scenario,
+      {{"ETH-SD", eth_sd_factory()},
+       {"Geosphere-2DZZ", geosphere_zigzag_only_factory()},
+       {"Geosphere", geosphere_factory()}},
+      static_cast<std::size_t>(args.get_int("frames", 40)), 1);
+
+  sim::TablePrinter table({"detector", "PED/subcarrier", "nodes/subcarrier", "FER"});
+  for (const auto& p : points)
+    table.add_row({p.detector, sim::TablePrinter::fmt(p.avg_ped_per_subcarrier, 1),
+                   sim::TablePrinter::fmt(p.avg_visited_nodes, 1),
+                   sim::TablePrinter::fmt(p.fer)});
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_trace_record(const Args& args) {
+  channel::TestbedConfig tc;
+  tc.clients = static_cast<std::size_t>(args.get_int("clients", 4));
+  tc.ap_antennas = static_cast<std::size_t>(args.get_int("antennas", 4));
+  const channel::TestbedEnsemble ensemble(tc);
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+  const auto links =
+      channel::record_trace(ensemble, static_cast<std::size_t>(args.get_int("links", 100)),
+                            static_cast<std::size_t>(args.get_int("subcarriers", 48)), rng);
+  const std::string out = args.get("out", "channels.geotrace");
+  channel::save_trace(out, links);
+  std::printf("recorded %zu links (%zux%zu, %zu subcarriers) -> %s\n", links.size(),
+              tc.clients, tc.ap_antennas, links.front().num_subcarriers(), out.c_str());
+  return 0;
+}
+
+int cmd_trace_info(const Args& args) {
+  if (args.positional.empty()) throw std::runtime_error("trace-info needs a file");
+  const auto links = channel::load_trace(args.positional.front());
+  const auto& first = links.front().subcarriers.front();
+  std::printf("links: %zu\nsubcarriers: %zu\nshape: %zu rx x %zu tx\n", links.size(),
+              links.front().num_subcarriers(), first.rows(), first.cols());
+  return 0;
+}
+
+void usage() {
+  std::puts(
+      "usage: geosphere_cli <command> [flags]\n"
+      "  conditioning   [--links N] [--subcarriers N]\n"
+      "  throughput     --clients N --antennas N --snr DB [--frames N] [--detector NAME]\n"
+      "  complexity     --clients N --antennas N --qam M --snr DB [--channel rayleigh|indoor]\n"
+      "  trace-record   --out FILE --links N --clients N --antennas N [--seed N]\n"
+      "  trace-info     FILE\n"
+      "detectors: zf mmse mmse-sic geosphere geosphere-2dzz eth-sd shabany rvd fsd");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = parse(argc, argv);
+    if (args.command == "conditioning") return cmd_conditioning(args);
+    if (args.command == "throughput") return cmd_throughput(args);
+    if (args.command == "complexity") return cmd_complexity(args);
+    if (args.command == "trace-record") return cmd_trace_record(args);
+    if (args.command == "trace-info") return cmd_trace_info(args);
+    usage();
+    return args.command.empty() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
