@@ -56,12 +56,13 @@ const std::vector<EnumRow>& enum_results() {
     std::vector<EnumRow> out;
     for (const unsigned order : {16u, 64u, 256u}) {
       for (const int k : {1, 2, 3, 4}) {
+        const std::uint64_t seed = bench::seed_or(1);
         out.push_back(
             {order, k,
              avg_peds_for_k_children(
-                 sphere::GeoEnumerator({.geometric_pruning = false}), order, k, 1),
-             avg_peds_for_k_children(sphere::ShabanyEnumerator{}, order, k, 1),
-             avg_peds_for_k_children(sphere::HessEnumerator{}, order, k, 1)});
+                 sphere::GeoEnumerator({.geometric_pruning = false}), order, k, seed),
+             avg_peds_for_k_children(sphere::ShabanyEnumerator{}, order, k, seed),
+             avg_peds_for_k_children(sphere::HessEnumerator{}, order, k, seed)});
       }
     }
     return out;
@@ -87,12 +88,12 @@ const std::vector<sim::ComplexityPoint>& decoder_results() {
     scenario.frame.payload_bytes = 250;
     scenario.snr_db = 20.0;
     return sim::measure_complexity(
-        rayleigh, scenario,
+        bench::engine(), rayleigh, scenario,
         {{"Geosphere", geosphere_factory()},
          {"Geosphere-2DZZ", geosphere_zigzag_only_factory()},
          {"Shabany-SD", shabany_factory()},
          {"ETH-SD", eth_sd_factory()}},
-        geosphere::bench::frames_or(30), 5);
+        geosphere::bench::frames_or(30), geosphere::bench::point_seed(1, 5));
   }();
   return points;
 }
@@ -111,6 +112,7 @@ BENCHMARK(EnumerationCost)->DenseRange(0, 11)->Iterations(1)->Unit(benchmark::kM
 BENCHMARK(DecoderComparison)->DenseRange(0, 3)->Iterations(1)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
+  geosphere::bench::init_common(argc, argv);
   std::cout << "=== Ablation: enumeration strategies (paper Section 6.1) ===\n\n";
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -53,10 +53,10 @@ const std::vector<Row>& results() {
         scenario.frame.payload_bytes = 250;
         scenario.snr_db = 20.0;
         const auto points = sim::measure_complexity(
-            *ch, scenario,
+            bench::engine(), *ch, scenario,
             {{"Geosphere", geosphere_factory()},
              {"Geosphere+SQRD", sorted_geosphere_factory()}},
-            frames, qam);
+            frames, bench::point_seed(1, qam));
         out.push_back({name, qam, points[0], points[1]});
       }
     }
@@ -80,6 +80,7 @@ void AblationOrdering(benchmark::State& state) {
 BENCHMARK(AblationOrdering)->DenseRange(0, 3)->Iterations(1)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
+  geosphere::bench::init_common(argc, argv);
   std::cout << "=== Ablation: column-norm-sorted QR preprocessing (4x4 @ 20 dB) ===\n\n";
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -41,15 +41,16 @@ const std::vector<Row>& results() {
         search.target_fer = target;
         search.lo_db = qam == 64 ? 10.0 : 16.0;
         search.probe_frames = target < 0.05 ? 60 : 30;
-        const double snr =
-            link::find_snr_for_fer(rayleigh, scenario, geosphere_factory(), search, qam);
+        const double snr = bench::engine().find_snr_for_fer(
+            rayleigh, scenario, geosphere_factory(), search, bench::point_seed(1, qam));
         scenario.snr_db = snr;
 
         const auto points = sim::measure_complexity(
-            rayleigh, scenario,
+            bench::engine(), rayleigh, scenario,
             {{"Geosphere-2DZZ", geosphere_zigzag_only_factory()},
              {"Geosphere", geosphere_factory()}},
-            frames, qam + static_cast<std::uint64_t>(100 * target));
+            frames,
+            bench::point_seed(1, qam + static_cast<std::uint64_t>(100 * target)));
         const double gain = 100.0 * (1.0 - points[1].avg_ped_per_subcarrier /
                                                points[0].avg_ped_per_subcarrier);
         out.push_back({qam, target, snr, points[0].avg_ped_per_subcarrier,
@@ -77,6 +78,7 @@ void AblationPruning(benchmark::State& state) {
 BENCHMARK(AblationPruning)->DenseRange(0, 3)->Iterations(1)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
+  geosphere::bench::init_common(argc, argv);
   std::cout << "=== Ablation: geometric pruning gain vs target FER (4x4 Rayleigh) ===\n"
                "Paper: pruning gains grow from 13-27% at 10% FER to ~47% at 1% FER.\n\n";
   benchmark::Initialize(&argc, argv);

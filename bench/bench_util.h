@@ -6,24 +6,125 @@
 //    google-benchmark entry run for exactly one iteration; the paper's
 //    metrics are attached as user counters, so the benchmark output *is*
 //    the figure's data series.
-//  * GEOSPHERE_BENCH_FRAMES scales the Monte-Carlo effort (default noted
-//    per binary). Larger values tighten the estimates.
+//  * All experiments execute on one shared sim::Engine (thread-pooled,
+//    deterministic: results are bit-identical for any --threads value).
+//  * Every binary accepts --frames=N, --threads=N, --seed=N (stripped
+//    before google-benchmark sees argv), with environment fallbacks
+//    GEOSPHERE_BENCH_FRAMES / _THREADS / _SEED. Larger frame counts
+//    tighten the Monte-Carlo estimates.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <type_traits>
+
+#include "common/rng.h"
+#include "sim/engine.h"
 
 namespace geosphere::bench {
 
-/// Frames per Monte-Carlo point, overridable via GEOSPHERE_BENCH_FRAMES.
-inline std::size_t frames_or(std::size_t fallback) {
-  if (const char* env = std::getenv("GEOSPHERE_BENCH_FRAMES")) {
-    const long v = std::atol(env);
-    if (v > 0) return static_cast<std::size_t>(v);
+/// The shared CLI surface of every bench binary. Zero means "use the
+/// per-binary default" (frames, seed) or "hardware concurrency" (threads).
+struct CommonArgs {
+  std::size_t frames = 0;
+  std::size_t threads = 0;
+  std::uint64_t seed = 0;
+};
+
+inline CommonArgs& common() {
+  static CommonArgs args;
+  return args;
+}
+
+/// Reads GEOSPHERE_BENCH_{FRAMES,THREADS,SEED}, then strips --frames=N,
+/// --threads=N and --seed=N out of argv (flags win over environment) so
+/// benchmark::Initialize only sees its own flags. Call first in main().
+inline void init_common(int& argc, char** argv) {
+  CommonArgs& args = common();
+  // Strict integer parse: the whole token must be digits (strtoull alone
+  // would wrap "-1" to 2^64-1 and stop at the 'e' of "1e5"). Silently
+  // mangled values produce garbage Monte-Carlo statistics, so bad input
+  // aborts loudly instead. 0 is accepted and keeps the "unset" meaning
+  // (per-binary default / all cores).
+  const auto parse_u64 = [](const char* where, const char* text) -> std::uint64_t {
+    const std::string token = text;
+    const bool all_digits =
+        !token.empty() && token.find_first_not_of("0123456789") == std::string::npos;
+    errno = 0;
+    const unsigned long long v = all_digits ? std::strtoull(text, nullptr, 10) : 0;
+    if (!all_digits || errno == ERANGE) {
+      std::fprintf(stderr, "error: %s expects a non-negative integer, got \"%s\"\n",
+                   where, text);
+      std::exit(1);
+    }
+    return static_cast<std::uint64_t>(v);
+  };
+  const auto env_u64 = [&](const char* name, auto& out) {
+    if (const char* v = std::getenv(name))
+      out = static_cast<std::remove_reference_t<decltype(out)>>(parse_u64(name, v));
+  };
+  env_u64("GEOSPHERE_BENCH_FRAMES", args.frames);
+  env_u64("GEOSPHERE_BENCH_THREADS", args.threads);
+  env_u64("GEOSPHERE_BENCH_SEED", args.seed);
+
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    // Accepts both --flag=N and --flag N (geosphere_cli uses the latter;
+    // a silently ignored form would leave the default in effect).
+    const auto flag_u64 = [&](const std::string& name, auto& out) {
+      using Out = std::remove_reference_t<decltype(out)>;
+      if (token == name) {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "error: missing value for %s\n", name.c_str());
+          std::exit(1);
+        }
+        out = static_cast<Out>(parse_u64(name.c_str(), argv[++i]));
+        return true;
+      }
+      if (token.rfind(name + "=", 0) != 0) return false;
+      out = static_cast<Out>(parse_u64(name.c_str(), token.c_str() + name.size() + 1));
+      return true;
+    };
+    if (flag_u64("--frames", args.frames) || flag_u64("--threads", args.threads) ||
+        flag_u64("--seed", args.seed))
+      continue;
+    argv[kept++] = argv[i];
   }
-  return fallback;
+  argc = kept;
+  if (args.threads > 1024) {
+    std::fprintf(stderr, "error: --threads must be in [0, 1024] (0 = all cores)\n");
+    std::exit(1);
+  }
+}
+
+/// The binary's shared experiment engine, sized by --threads (default:
+/// hardware concurrency). Built on first use, after init_common().
+inline sim::Engine& engine() {
+  static sim::Engine e(common().threads);
+  return e;
+}
+
+/// Frames per Monte-Carlo point: --frames / env override, else fallback.
+inline std::size_t frames_or(std::size_t fallback) {
+  return common().frames > 0 ? common().frames : fallback;
+}
+
+/// Master seed: --seed / env override, else the binary's default.
+inline std::uint64_t seed_or(std::uint64_t fallback) {
+  return common().seed > 0 ? common().seed : fallback;
+}
+
+/// Seed for sub-experiment `index` of a binary that runs several seeded
+/// experiments: position `index` of the splitmix64 stream of the master
+/// seed (--seed override, else `fallback`). Keeps every point's workload
+/// distinct while a single --seed rotates them all.
+inline std::uint64_t point_seed(std::uint64_t fallback, std::uint64_t index) {
+  return Rng::derive_seed(seed_or(fallback), index);
 }
 
 /// Fixed counter (value, not rate).

@@ -20,7 +20,8 @@ const std::vector<sim::ConditioningSeries>& conditioning() {
   static const auto series = [] {
     sim::ConditioningConfig config;
     config.links = bench::frames_or(400);
-    return sim::run_conditioning(config);
+    config.seed = bench::seed_or(1);
+    return sim::run_conditioning(bench::engine(), config);
   }();
   return series;
 }
@@ -43,6 +44,7 @@ void Fig9(benchmark::State& state) {
 BENCHMARK(Fig9)->DenseRange(0, 3)->Iterations(1)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
+  geosphere::bench::init_common(argc, argv);
   std::cout << "=== Paper Fig. 9: CDF of kappa^2 across testbed links/subcarriers ===\n"
                "Series order: 2x2, 2x4, 3x4, 4x4 (clients x AP antennas).\n"
                "Paper claims: 2x2 above 10 dB for ~60% of links; 4x4 almost always.\n\n";

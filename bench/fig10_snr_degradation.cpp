@@ -20,8 +20,8 @@ const std::vector<sim::ConditioningSeries>& conditioning() {
   static const auto series = [] {
     sim::ConditioningConfig config;
     config.links = bench::frames_or(400);
-    config.seed = 2;
-    return sim::run_conditioning(config);
+    config.seed = bench::seed_or(2);
+    return sim::run_conditioning(bench::engine(), config);
   }();
   return series;
 }
@@ -43,6 +43,7 @@ void Fig10(benchmark::State& state) {
 BENCHMARK(Fig10)->DenseRange(0, 3)->Iterations(1)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
+  geosphere::bench::init_common(argc, argv);
   std::cout << "=== Paper Fig. 10: CDF of Lambda (worst-stream ZF SNR degradation) ===\n"
                "Series order: 2x2, 2x4, 3x4, 4x4 (clients x AP antennas).\n"
                "Paper claims: >5 dB on 30% of 2x2 / 90% of 4x4; 2x4 <3 dB for 90%.\n\n";

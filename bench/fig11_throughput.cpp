@@ -6,6 +6,10 @@
 // Paper claims reproduced here: up to 47% gain in 2x2 and >2x in 4x4;
 // modest (~6%) gains in the well-conditioned 2x4/3x4 cases; Geosphere with
 // 4 clients beats ZF with 3 clients (up to 36% at 20 dB).
+//
+// Runs as one declarative sim::SweepSpec per antenna configuration on the
+// shared thread-pooled engine: pass --threads=N to use N cores (results
+// are bit-identical for any thread count).
 #include <benchmark/benchmark.h>
 
 #include <iostream>
@@ -14,7 +18,6 @@
 #include "bench_util.h"
 #include "channel/testbed_ensemble.h"
 #include "sim/table.h"
-#include "sim/throughput_experiment.h"
 
 namespace {
 
@@ -30,29 +33,28 @@ const std::vector<double> kSnrs{15.0, 20.0, 25.0};
 struct Row {
   Config config;
   double snr;
-  sim::ThroughputPoint zf;
-  sim::ThroughputPoint geo;
+  sim::SweepCell zf;
+  sim::SweepCell geo;
 };
 
 const std::vector<Row>& results() {
   static const auto rows = [] {
     std::vector<Row> out;
-    sim::ThroughputConfig tcfg;
-    tcfg.frames = geosphere::bench::frames_or(60);
     for (const auto& cfg : kConfigs) {
       channel::TestbedConfig tc;
       tc.clients = cfg.clients;
       tc.ap_antennas = cfg.antennas;
       const channel::TestbedEnsemble ensemble(tc);
-      for (const double snr : kSnrs) {
-        tcfg.seed = static_cast<std::uint64_t>(cfg.clients * 1000 + cfg.antennas * 100 +
-                                               static_cast<std::uint64_t>(snr));
-        Row row{cfg, snr,
-                sim::measure_throughput(ensemble, "ZF", zf_factory(), snr, tcfg),
-                sim::measure_throughput(ensemble, "Geosphere", geosphere_factory(), snr,
-                                        tcfg)};
-        out.push_back(row);
-      }
+
+      sim::SweepSpec spec;
+      spec.detectors = {"zf", "geosphere"};
+      spec.snr_grid_db = kSnrs;
+      spec.frames = bench::frames_or(60);
+      spec.seed = bench::seed_or(cfg.clients * 1000 + cfg.antennas * 100);
+      const auto cells = bench::engine().run_sweep(ensemble, spec);
+
+      for (std::size_t si = 0; si < kSnrs.size(); ++si)
+        out.push_back({cfg, kSnrs[si], cells[si * 2], cells[si * 2 + 1]});
     }
     return out;
   }();
@@ -81,9 +83,11 @@ void Fig11(benchmark::State& state) {
 BENCHMARK(Fig11)->DenseRange(0, 11)->Iterations(1)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
+  geosphere::bench::init_common(argc, argv);
   std::cout << "=== Paper Fig. 11: testbed throughput, ZF vs Geosphere ===\n"
                "Ideal rate adaptation over {4,16,64}-QAM, rate-1/2 K=7 coding,\n"
-               "48-subcarrier OFDM, indoor ensemble, per-frame SNR in +/-5 dB window.\n\n";
+               "48-subcarrier OFDM, indoor ensemble, per-frame SNR in +/-5 dB window.\n"
+            << "Engine threads: " << geosphere::bench::engine().threads() << "\n\n";
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
 

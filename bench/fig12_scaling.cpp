@@ -12,7 +12,6 @@
 #include "bench_util.h"
 #include "channel/testbed_ensemble.h"
 #include "sim/table.h"
-#include "sim/throughput_experiment.h"
 
 namespace {
 
@@ -20,25 +19,26 @@ using namespace geosphere;
 
 struct Row {
   std::size_t clients;
-  sim::ThroughputPoint zf;
-  sim::ThroughputPoint geo;
+  sim::SweepCell zf;
+  sim::SweepCell geo;
 };
 
 const std::vector<Row>& results() {
   static const auto rows = [] {
     std::vector<Row> out;
-    sim::ThroughputConfig tcfg;
-    tcfg.frames = geosphere::bench::frames_or(60);
     for (const std::size_t clients : {1u, 2u, 3u, 4u}) {
       channel::TestbedConfig tc;
       tc.clients = clients;
       tc.ap_antennas = 4;
       const channel::TestbedEnsemble ensemble(tc);
-      tcfg.seed = 100 + clients;
-      out.push_back({clients,
-                     sim::measure_throughput(ensemble, "ZF", zf_factory(), 20.0, tcfg),
-                     sim::measure_throughput(ensemble, "Geosphere", geosphere_factory(),
-                                             20.0, tcfg)});
+
+      sim::SweepSpec spec;
+      spec.detectors = {"zf", "geosphere"};
+      spec.snr_grid_db = {20.0};
+      spec.frames = bench::frames_or(60);
+      spec.seed = bench::seed_or(100 + clients);
+      const auto cells = bench::engine().run_sweep(ensemble, spec);
+      out.push_back({clients, cells[0], cells[1]});
     }
     return out;
   }();
@@ -60,6 +60,7 @@ void Fig12(benchmark::State& state) {
 BENCHMARK(Fig12)->DenseRange(0, 3)->Iterations(1)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
+  geosphere::bench::init_common(argc, argv);
   std::cout << "=== Paper Fig. 12: throughput vs number of clients (4-antenna AP, 20 dB) ===\n\n";
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

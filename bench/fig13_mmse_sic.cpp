@@ -13,7 +13,6 @@
 #include "bench_util.h"
 #include "channel/rayleigh.h"
 #include "sim/table.h"
-#include "sim/throughput_experiment.h"
 
 namespace {
 
@@ -23,30 +22,30 @@ const std::vector<std::size_t> kClients{2, 4, 6, 8, 10};
 
 struct Row {
   std::size_t clients;
-  sim::ThroughputPoint zf;
-  sim::ThroughputPoint sic;
-  sim::ThroughputPoint geo;
+  sim::SweepCell zf;
+  sim::SweepCell sic;
+  sim::SweepCell geo;
 };
 
 const std::vector<Row>& results() {
   static const auto rows = [] {
     std::vector<Row> out;
-    sim::ThroughputConfig tcfg;
-    tcfg.frames = geosphere::bench::frames_or(25);
-    tcfg.payload_bytes = 200;
-    tcfg.snr_jitter_db = 0.0;  // Pure Rayleigh simulation, fixed SNR.
     for (const std::size_t clients : kClients) {
       const channel::RayleighChannel rayleigh(10, clients);
-      tcfg.seed = 500 + clients;
+
+      sim::SweepSpec spec;
+      spec.detectors = {"zf", "mmse-sic", "geosphere"};
+      spec.snr_grid_db = {20.0};
+      spec.frames = bench::frames_or(25);
+      spec.payload_bytes = 200;
+      spec.snr_jitter_db = 0.0;  // Pure Rayleigh simulation, fixed SNR.
       // At 20 dB with ten receive antennas, 4-QAM never maximizes
       // throughput for any detector (16-QAM strictly dominates it), and
       // its frames are 3x longer -- skip the wasted probe.
-      tcfg.candidate_qams = {16, 64};
-      out.push_back(
-          {clients, sim::measure_throughput(rayleigh, "ZF", zf_factory(), 20.0, tcfg),
-           sim::measure_throughput(rayleigh, "MMSE-SIC", mmse_sic_factory(), 20.0, tcfg),
-           sim::measure_throughput(rayleigh, "Geosphere", geosphere_factory(), 20.0,
-                                   tcfg)});
+      spec.candidate_qams = {16, 64};
+      spec.seed = bench::seed_or(500 + clients);
+      const auto cells = bench::engine().run_sweep(rayleigh, spec);
+      out.push_back({clients, cells[0], cells[1], cells[2]});
     }
     return out;
   }();
@@ -67,8 +66,9 @@ void Fig13(benchmark::State& state) {
 BENCHMARK(Fig13)->DenseRange(0, 4)->Iterations(1)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
+  geosphere::bench::init_common(argc, argv);
   std::cout << "=== Paper Fig. 13: 10-antenna AP over Rayleigh fading at 20 dB ===\n"
-               "ZF vs MMSE-SIC vs Geosphere, ideal rate adaptation {4,16,64}-QAM.\n\n";
+               "ZF vs MMSE-SIC vs Geosphere, ideal rate adaptation {16,64}-QAM.\n\n";
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
 

@@ -55,9 +55,9 @@ const std::vector<Row>& results() {
         scenario.snr_db = snr;
         scenario.snr_jitter_db = 5.0;
         const auto points = sim::measure_complexity(
-            ensemble, scenario,
+            bench::engine(), ensemble, scenario,
             {{"ETH-SD", eth_sd_factory()}, {"Geosphere", geosphere_factory()}}, frames,
-            static_cast<std::uint64_t>(cfg.clients * 100 + snr));
+            bench::point_seed(1, static_cast<std::uint64_t>(cfg.clients * 100 + snr)));
         out.push_back({cfg, snr, scenario.frame.qam_order, points[0], points[1]});
       }
     }
@@ -89,6 +89,7 @@ void Fig14(benchmark::State& state) {
 BENCHMARK(Fig14)->DenseRange(0, 11)->Iterations(1)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
+  geosphere::bench::init_common(argc, argv);
   std::cout << "=== Paper Fig. 14: PED calculations per subcarrier, ETH-SD vs Geosphere ===\n"
                "Same workloads as Fig. 11 (indoor ensemble, coded frames).\n\n";
   benchmark::Initialize(&argc, argv);

@@ -58,16 +58,16 @@ Row run_point(const channel::ChannelModel& ch, const std::string& channel_name,
   search.target_fer = 0.10;
   search.lo_db = snr_floor(qam);
   search.probe_frames = 30;
-  const double snr = link::find_snr_for_fer(ch, scenario, geosphere_factory(), search,
-                                            /*seed=*/qam);
+  const double snr = bench::engine().find_snr_for_fer(ch, scenario, geosphere_factory(),
+                                                      search, bench::point_seed(1, qam));
   scenario.snr_db = snr;
 
   const auto points = sim::measure_complexity(
-      ch, scenario,
+      bench::engine(), ch, scenario,
       {{"ETH-SD", eth_sd_factory()},
        {"Geosphere-2DZZ", geosphere_zigzag_only_factory()},
        {"Geosphere", geosphere_factory()}},
-      frames, /*seed=*/qam + 7);
+      frames, bench::point_seed(1, qam + 7));
   return {ch.num_tx(), channel_name, qam, snr, points[0], points[1], points[2]};
 }
 
@@ -114,6 +114,7 @@ void Fig15(benchmark::State& state) {
 BENCHMARK(Fig15)->DenseRange(0, 11)->Iterations(1)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
+  geosphere::bench::init_common(argc, argv);
   std::cout
       << "=== Paper Fig. 15: complexity at ~10% FER, by constellation size ===\n"
          "(a) 2 clients x 4 AP antennas; (b) 4 clients x 4 AP antennas.\n"

@@ -35,8 +35,9 @@ const Summary& summary() {
     // Row 1: channel characterization.
     sim::ConditioningConfig ccfg;
     ccfg.links = 200;
+    ccfg.seed = bench::seed_or(1);
     ccfg.sizes = {{2, 2}, {4, 4}};
-    const auto series = sim::run_conditioning(ccfg);
+    const auto series = sim::run_conditioning(bench::engine(), ccfg);
     out.frac_2x2_poor = series[0].kappa_sq_db.fraction_above(10.0);
     out.frac_4x4_poor = series[1].kappa_sq_db.fraction_above(10.0);
 
@@ -52,9 +53,10 @@ const Summary& summary() {
       tc.ap_antennas = clients == 2 ? 2 : 4;
       const channel::TestbedEnsemble ensemble(tc);
       for (const double snr : {15.0, 20.0, 25.0}) {
-        tcfg.seed = clients + static_cast<std::uint64_t>(snr);
-        const auto zf = sim::measure_throughput(ensemble, "ZF", zf_factory(), snr, tcfg);
-        const auto geo = sim::measure_throughput(ensemble, "Geosphere",
+        tcfg.seed = bench::point_seed(1, clients + static_cast<std::uint64_t>(snr));
+        const auto zf = sim::measure_throughput(bench::engine(), ensemble, "ZF",
+                                                zf_factory(), snr, tcfg);
+        const auto geo = sim::measure_throughput(bench::engine(), ensemble, "Geosphere",
                                                  geosphere_factory(), snr, tcfg);
         const double gain =
             zf.throughput_mbps > 0 ? geo.throughput_mbps / zf.throughput_mbps : 0.0;
@@ -69,9 +71,9 @@ const Summary& summary() {
     scenario.frame.payload_bytes = 250;
     scenario.snr_db = 26.0;  // Near the 10% FER point (see fig15 bench).
     const auto points = sim::measure_complexity(
-        rayleigh, scenario,
+        bench::engine(), rayleigh, scenario,
         {{"ETH-SD", eth_sd_factory()}, {"Geosphere", geosphere_factory()}}, frames / 2 + 1,
-        3);
+        bench::point_seed(1, 1000));
     out.complexity_savings =
         1.0 - points[1].avg_ped_per_subcarrier / points[0].avg_ped_per_subcarrier;
     return out;
@@ -94,6 +96,7 @@ void Table1(benchmark::State& state) {
 BENCHMARK(Table1)->Iterations(1)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
+  geosphere::bench::init_common(argc, argv);
   std::cout << "=== Paper Table 1: summary of major experimental results ===\n\n";
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -17,7 +17,8 @@ int main(int argc, char** argv) {
   sim::ConditioningConfig config;
   config.links = argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 300;
 
-  const auto series = sim::run_conditioning(config);
+  sim::Engine engine;  // All cores; results identical for any thread count.
+  const auto series = sim::run_conditioning(engine, config);
 
   sim::TablePrinter kappa({"config", "kappa^2 median (dB)", "p90 (dB)",
                            "P(kappa^2 > 10 dB)"});

@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   const std::size_t frames = argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 20;
 
   const channel::RayleighChannel rayleigh(4, 4);
+  sim::Engine engine;  // All cores; results identical for any thread count.
   sim::TablePrinter table({"QAM", "detector", "PED calcs / subcarrier",
                            "visited nodes / subcarrier", "FER"});
 
@@ -35,7 +36,7 @@ int main(int argc, char** argv) {
     scenario.snr_db = snr;
 
     const auto points = sim::measure_complexity(
-        rayleigh, scenario,
+        engine, rayleigh, scenario,
         {{"ETH-SD", eth_sd_factory()},
          {"Geosphere (2D zigzag only)", geosphere_zigzag_only_factory()},
          {"Geosphere (full)", geosphere_factory()}},

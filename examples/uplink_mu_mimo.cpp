@@ -13,6 +13,7 @@
 #include "detect/factory.h"
 #include "link/rate_adapt.h"
 #include "link/throughput.h"
+#include "sim/engine.h"
 #include "sim/table.h"
 
 using namespace geosphere;
@@ -24,6 +25,7 @@ int main(int argc, char** argv) {
   tc.ap_antennas = 4;
   tc.clients = 4;
   const channel::TestbedEnsemble ensemble(tc);
+  sim::Engine engine;  // All cores; results identical for any thread count.
 
   sim::TablePrinter table(
       {"SNR (dB)", "detector", "best QAM", "throughput (Mbps)", "FER"});
@@ -40,7 +42,7 @@ int main(int argc, char** argv) {
       scenario.snr_jitter_db = 5.0;  // The paper's SNR-range user selection.
 
       const link::RateChoice choice =
-          link::best_rate(ensemble, scenario, factory, frames, /*seed=*/42);
+          engine.best_rate(ensemble, scenario, factory, frames, /*seed=*/42);
       table.add_row({sim::TablePrinter::fmt(snr, 0), name,
                      std::to_string(choice.qam_order),
                      sim::TablePrinter::fmt(choice.throughput_mbps),

@@ -11,9 +11,31 @@ namespace geosphere {
 /// Deterministic random source. Every experiment takes an explicit Rng so
 /// that channel draws, payloads and noise are reproducible from a seed and
 /// identical across the detectors being compared.
+///
+/// Parallel experiments use counter-based seeding: `Rng::for_frame(seed, f)`
+/// derives an independent generator for frame `f` from the master seed, so a
+/// frame's draws depend only on (seed, f) -- never on which thread ran it or
+/// in what order. This is what makes `sim::Engine` results bit-identical
+/// regardless of thread count.
 class Rng {
  public:
   explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// splitmix64 output at position `index` of the stream seeded by `master`:
+  /// a statistically independent 64-bit value per (master, index) pair.
+  /// Used to derive per-frame / per-sweep-point seeds from one master seed.
+  static std::uint64_t derive_seed(std::uint64_t master, std::uint64_t index) {
+    std::uint64_t z = master + (index + 1) * 0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// The dedicated generator for frame `frame_index` of the experiment with
+  /// master seed `master_seed` (counter-based per-frame seeding).
+  static Rng for_frame(std::uint64_t master_seed, std::uint64_t frame_index) {
+    return Rng(derive_seed(master_seed, frame_index));
+  }
 
   /// Uniform double in [0, 1).
   double uniform() { return unit_(engine_); }
@@ -21,9 +43,24 @@ class Rng {
   /// Uniform double in [lo, hi).
   double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
 
-  /// Uniform integer in [0, n). Requires n > 0.
+  /// Uniform integer in [0, n). Requires n > 0. Lemire's multiply-shift
+  /// bounded rejection over the low 32 bits of each engine draw: no
+  /// per-call distribution construction, one 64-bit multiply per draw and
+  /// a rejection branch that almost never triggers. Plain 64-bit math
+  /// (n < 2^31), so it is portable to compilers without __int128.
   int uniform_int(int n) {
-    return static_cast<int>(std::uniform_int_distribution<int>(0, n - 1)(engine_));
+    const std::uint32_t range = static_cast<std::uint32_t>(n);
+    std::uint64_t m =
+        static_cast<std::uint64_t>(static_cast<std::uint32_t>(engine_())) * range;
+    auto lo = static_cast<std::uint32_t>(m);
+    if (lo < range) {
+      const std::uint32_t threshold = (0u - range) % range;
+      while (lo < threshold) {
+        m = static_cast<std::uint64_t>(static_cast<std::uint32_t>(engine_())) * range;
+        lo = static_cast<std::uint32_t>(m);
+      }
+    }
+    return static_cast<int>(m >> 32);
   }
 
   /// Real Gaussian N(mean, stddev^2).

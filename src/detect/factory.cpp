@@ -1,0 +1,60 @@
+#include "detect/factory.h"
+
+#include <cstdlib>
+#include <map>
+#include <stdexcept>
+
+namespace geosphere {
+
+namespace {
+
+const std::map<std::string, DetectorFactory>& registry() {
+  static const std::map<std::string, DetectorFactory> map = {
+      {"zf", zf_factory()},
+      {"mmse", mmse_factory()},
+      {"mmse-sic", mmse_sic_factory()},
+      {"geosphere", geosphere_factory()},
+      {"geosphere-2dzz", geosphere_zigzag_only_factory()},
+      {"eth-sd", eth_sd_factory()},
+      {"shabany", shabany_factory()},
+      {"rvd", rvd_factory()},
+      {"fsd", fsd_factory()},
+  };
+  return map;
+}
+
+}  // namespace
+
+DetectorFactory detector_by_name(const std::string& name) {
+  if (name.rfind("kbest:", 0) == 0) {
+    // Strict parse: all digits, bounded -- "kbest:8x" and overflowing K
+    // must not silently configure a different detector.
+    const std::string digits = name.substr(6);
+    const bool all_digits =
+        !digits.empty() && digits.find_first_not_of("0123456789") == std::string::npos;
+    const unsigned long k = all_digits ? std::strtoul(digits.c_str(), nullptr, 10) : 0;
+    if (!all_digits || k == 0 || k > 4096)
+      throw std::invalid_argument("detector_by_name: kbest:K needs integer K in [1, 4096], got \"" +
+                                  name + "\"");
+    return kbest_factory(static_cast<unsigned>(k));
+  }
+  const auto it = registry().find(name);
+  if (it == registry().end()) {
+    std::string known;
+    for (const auto& n : detector_names()) known += (known.empty() ? "" : " ") + n;
+    throw std::invalid_argument("unknown detector: " + name + " (known: " + known +
+                                " kbest:K)");
+  }
+  return it->second;
+}
+
+const std::vector<std::string>& detector_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (const auto& [name, factory] : registry()) out.push_back(name);
+    return out;
+  }();
+  return names;
+}
+
+}  // namespace geosphere

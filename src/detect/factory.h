@@ -4,6 +4,8 @@
 
 #include <functional>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "detect/detector.h"
 #include "detect/fsd.h"
@@ -57,5 +59,14 @@ inline DetectorFactory fsd_factory() {
 inline DetectorFactory rvd_factory() {
   return [](const Constellation& c) { return std::make_unique<RvdSphereDecoder>(c); };
 }
+
+/// Name -> factory registry, the declarative half of sim::SweepSpec and the
+/// CLI's --detector flag. Known names: zf, mmse, mmse-sic, geosphere,
+/// geosphere-2dzz, eth-sd, shabany, rvd, fsd, plus parameterized "kbest:K"
+/// (e.g. "kbest:8"). Throws std::invalid_argument for unknown names.
+DetectorFactory detector_by_name(const std::string& name);
+
+/// The fixed registry names, in a stable order (excludes "kbest:K").
+const std::vector<std::string>& detector_names();
 
 }  // namespace geosphere

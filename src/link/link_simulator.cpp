@@ -6,6 +6,24 @@
 
 namespace geosphere::link {
 
+LinkStats& LinkStats::operator+=(const LinkStats& o) {
+  if (o.frames == 0 && o.clients == 0) return *this;
+  if (clients == 0 && frames == 0) {
+    *this = o;
+    return *this;
+  }
+  if (clients != o.clients)
+    throw std::invalid_argument("LinkStats::operator+=: client count mismatch");
+  frames += o.frames;
+  for (std::size_t k = 0; k < clients; ++k)
+    client_frame_errors[k] += o.client_frame_errors[k];
+  bit_errors += o.bit_errors;
+  payload_bits += o.payload_bits;
+  detection += o.detection;
+  detection_calls += o.detection_calls;
+  return *this;
+}
+
 double LinkStats::fer() const {
   if (frames == 0 || clients == 0) return 0.0;
   double total = 0.0;
@@ -42,19 +60,26 @@ double LinkStats::avg_visited_nodes_per_subcarrier() const {
 LinkSimulator::LinkSimulator(const channel::ChannelModel& channel, LinkScenario scenario)
     : channel_(&channel), scenario_(scenario), codec_(scenario.frame) {}
 
-LinkStats LinkSimulator::run_soft(SoftGeosphereDetector& detector, std::size_t frames,
-                                  Rng& rng) const {
+void LinkSimulator::init_stats(LinkStats& stats) const {
+  const std::size_t nc = channel_->num_tx();
+  if (stats.clients == 0) {
+    stats.clients = nc;
+    stats.client_frame_errors.assign(nc, 0);
+  } else if (stats.clients != nc) {
+    throw std::invalid_argument("LinkSimulator: stats accumulated for a different link");
+  }
+}
+
+void LinkSimulator::simulate_frame_soft(SoftGeosphereDetector& detector, Rng& rng,
+                                        LinkStats& stats) const {
   if (detector.constellation().order() != scenario_.frame.qam_order)
     throw std::invalid_argument("LinkSimulator: detector/frame constellation mismatch");
+  init_stats(stats);
 
   const std::size_t nc = channel_->num_tx();
   const std::size_t nsc = scenario_.frame.data_subcarriers;
   const std::size_t ofdm_symbols = codec_.ofdm_symbols_per_frame();
   const unsigned q = detector.constellation().bits_per_symbol();
-
-  LinkStats stats;
-  stats.clients = nc;
-  stats.client_frame_errors.assign(nc, 0);
 
   std::vector<phy::EncodedFrame> tx(nc);
   // Per client: per-coded-bit confidences in transmitted order.
@@ -62,114 +87,136 @@ LinkStats LinkSimulator::run_soft(SoftGeosphereDetector& detector, std::size_t f
   CVector x(nc);
   CVector y;
 
-  for (std::size_t frame = 0; frame < frames; ++frame) {
-    const channel::Link link = channel_->draw_link(rng, nsc);
-    const double snr_db =
-        scenario_.snr_db + (scenario_.snr_jitter_db > 0.0
-                                ? rng.uniform(-scenario_.snr_jitter_db, scenario_.snr_jitter_db)
-                                : 0.0);
-    const double n0 = channel::noise_variance_for_snr_db(snr_db);
+  const channel::Link link = channel_->draw_link(rng, nsc);
+  const double snr_db =
+      scenario_.snr_db + (scenario_.snr_jitter_db > 0.0
+                              ? rng.uniform(-scenario_.snr_jitter_db, scenario_.snr_jitter_db)
+                              : 0.0);
+  const double n0 = channel::noise_variance_for_snr_db(snr_db);
 
-    for (std::size_t k = 0; k < nc; ++k) {
-      tx[k] = codec_.encode(rng.bits(scenario_.frame.payload_bits()));
-      rx_conf[k].assign(ofdm_symbols * nsc * q, 0.5);
-    }
-
-    for (std::size_t sym = 0; sym < ofdm_symbols; ++sym) {
-      for (std::size_t sc = 0; sc < nsc; ++sc) {
-        const linalg::CMatrix& h = link.subcarriers[sc];
-        for (std::size_t k = 0; k < nc; ++k)
-          x[k] = detector.constellation().point(tx[k].symbol_at(sym, sc, nsc));
-        y = h * x;
-        channel::add_awgn(y, n0, rng);
-
-        const SoftDetectionResult result = detector.detect(y, h, n0);
-        stats.detection += result.stats;
-        ++stats.detection_calls;
-        const auto conf = SoftGeosphereDetector::llrs_to_confidence(result.llrs);
-        for (std::size_t k = 0; k < nc; ++k)
-          for (unsigned b = 0; b < q; ++b)
-            rx_conf[k][(sym * nsc + sc) * q + b] = conf[k * q + b];
-      }
-    }
-
-    for (std::size_t k = 0; k < nc; ++k) {
-      const BitVector decoded = codec_.decode_soft(rx_conf[k], ofdm_symbols);
-      bool frame_error = false;
-      for (std::size_t b = 0; b < decoded.size(); ++b) {
-        if (decoded[b] != tx[k].payload[b]) {
-          ++stats.bit_errors;
-          frame_error = true;
-        }
-      }
-      stats.payload_bits += decoded.size();
-      stats.client_frame_errors[k] += frame_error ? 1 : 0;
-    }
-    ++stats.frames;
+  for (std::size_t k = 0; k < nc; ++k) {
+    tx[k] = codec_.encode(rng.bits(scenario_.frame.payload_bits()));
+    rx_conf[k].assign(ofdm_symbols * nsc * q, 0.5);
   }
-  return stats;
+
+  for (std::size_t sym = 0; sym < ofdm_symbols; ++sym) {
+    for (std::size_t sc = 0; sc < nsc; ++sc) {
+      const linalg::CMatrix& h = link.subcarriers[sc];
+      for (std::size_t k = 0; k < nc; ++k)
+        x[k] = detector.constellation().point(tx[k].symbol_at(sym, sc, nsc));
+      y = h * x;
+      channel::add_awgn(y, n0, rng);
+
+      const SoftDetectionResult result = detector.detect(y, h, n0);
+      stats.detection += result.stats;
+      ++stats.detection_calls;
+      const auto conf = SoftGeosphereDetector::llrs_to_confidence(result.llrs);
+      for (std::size_t k = 0; k < nc; ++k)
+        for (unsigned b = 0; b < q; ++b)
+          rx_conf[k][(sym * nsc + sc) * q + b] = conf[k * q + b];
+    }
+  }
+
+  for (std::size_t k = 0; k < nc; ++k) {
+    const BitVector decoded = codec_.decode_soft(rx_conf[k], ofdm_symbols);
+    bool frame_error = false;
+    for (std::size_t b = 0; b < decoded.size(); ++b) {
+      if (decoded[b] != tx[k].payload[b]) {
+        ++stats.bit_errors;
+        frame_error = true;
+      }
+    }
+    stats.payload_bits += decoded.size();
+    stats.client_frame_errors[k] += frame_error ? 1 : 0;
+  }
+  ++stats.frames;
 }
 
-LinkStats LinkSimulator::run(Detector& detector, std::size_t frames, Rng& rng) const {
+void LinkSimulator::simulate_frame(Detector& detector, Rng& rng, LinkStats& stats) const {
   if (detector.constellation().order() != scenario_.frame.qam_order)
     throw std::invalid_argument("LinkSimulator: detector/frame constellation mismatch");
+  init_stats(stats);
 
   const std::size_t nc = channel_->num_tx();
   const std::size_t nsc = scenario_.frame.data_subcarriers;
   const std::size_t ofdm_symbols = codec_.ofdm_symbols_per_frame();
-
-  LinkStats stats;
-  stats.clients = nc;
-  stats.client_frame_errors.assign(nc, 0);
 
   std::vector<phy::EncodedFrame> tx(nc);
   std::vector<std::vector<unsigned>> rx(nc);
   CVector x(nc);
   CVector y;
 
-  for (std::size_t frame = 0; frame < frames; ++frame) {
-    const channel::Link link = channel_->draw_link(rng, nsc);
-    const double snr_db =
-        scenario_.snr_db + (scenario_.snr_jitter_db > 0.0
-                                ? rng.uniform(-scenario_.snr_jitter_db, scenario_.snr_jitter_db)
-                                : 0.0);
-    const double n0 = channel::noise_variance_for_snr_db(snr_db);
+  const channel::Link link = channel_->draw_link(rng, nsc);
+  const double snr_db =
+      scenario_.snr_db + (scenario_.snr_jitter_db > 0.0
+                              ? rng.uniform(-scenario_.snr_jitter_db, scenario_.snr_jitter_db)
+                              : 0.0);
+  const double n0 = channel::noise_variance_for_snr_db(snr_db);
 
-    for (std::size_t k = 0; k < nc; ++k) {
-      tx[k] = codec_.encode(rng.bits(scenario_.frame.payload_bits()));
-      rx[k].assign(ofdm_symbols * nsc, 0);
+  for (std::size_t k = 0; k < nc; ++k) {
+    tx[k] = codec_.encode(rng.bits(scenario_.frame.payload_bits()));
+    rx[k].assign(ofdm_symbols * nsc, 0);
+  }
+
+  for (std::size_t sym = 0; sym < ofdm_symbols; ++sym) {
+    for (std::size_t sc = 0; sc < nsc; ++sc) {
+      const linalg::CMatrix& h = link.subcarriers[sc];
+      for (std::size_t k = 0; k < nc; ++k)
+        x[k] = detector.constellation().point(tx[k].symbol_at(sym, sc, nsc));
+      y = h * x;
+      channel::add_awgn(y, n0, rng);
+
+      const DetectionResult result = detector.detect(y, h, n0);
+      stats.detection += result.stats;
+      ++stats.detection_calls;
+      for (std::size_t k = 0; k < nc; ++k) rx[k][sym * nsc + sc] = result.indices[k];
     }
+  }
 
-    for (std::size_t sym = 0; sym < ofdm_symbols; ++sym) {
-      for (std::size_t sc = 0; sc < nsc; ++sc) {
-        const linalg::CMatrix& h = link.subcarriers[sc];
-        for (std::size_t k = 0; k < nc; ++k)
-          x[k] = detector.constellation().point(tx[k].symbol_at(sym, sc, nsc));
-        y = h * x;
-        channel::add_awgn(y, n0, rng);
-
-        const DetectionResult result = detector.detect(y, h, n0);
-        stats.detection += result.stats;
-        ++stats.detection_calls;
-        for (std::size_t k = 0; k < nc; ++k) rx[k][sym * nsc + sc] = result.indices[k];
+  for (std::size_t k = 0; k < nc; ++k) {
+    const BitVector decoded = codec_.decode(rx[k], ofdm_symbols);
+    bool frame_error = false;
+    for (std::size_t b = 0; b < decoded.size(); ++b) {
+      if (decoded[b] != tx[k].payload[b]) {
+        ++stats.bit_errors;
+        frame_error = true;
       }
     }
+    stats.payload_bits += decoded.size();
+    stats.client_frame_errors[k] += frame_error ? 1 : 0;
+  }
+  ++stats.frames;
+}
 
-    for (std::size_t k = 0; k < nc; ++k) {
-      const BitVector decoded = codec_.decode(rx[k], ofdm_symbols);
-      bool frame_error = false;
-      for (std::size_t b = 0; b < decoded.size(); ++b) {
-        if (decoded[b] != tx[k].payload[b]) {
-          ++stats.bit_errors;
-          frame_error = true;
-        }
-      }
-      stats.payload_bits += decoded.size();
-      stats.client_frame_errors[k] += frame_error ? 1 : 0;
-    }
-    ++stats.frames;
+LinkStats LinkSimulator::run(Detector& detector, std::size_t frames,
+                             std::uint64_t seed) const {
+  LinkStats stats;
+  init_stats(stats);
+  for (std::size_t f = 0; f < frames; ++f) {
+    Rng rng = Rng::for_frame(seed, f);
+    simulate_frame(detector, rng, stats);
   }
   return stats;
+}
+
+LinkStats LinkSimulator::run_soft(SoftGeosphereDetector& detector, std::size_t frames,
+                                  std::uint64_t seed) const {
+  LinkStats stats;
+  init_stats(stats);
+  for (std::size_t f = 0; f < frames; ++f) {
+    Rng rng = Rng::for_frame(seed, f);
+    simulate_frame_soft(detector, rng, stats);
+  }
+  return stats;
+}
+
+FrameBatchRunner sequential_runner() {
+  return [](const LinkSimulator& sim, const DetectorFactory& factory, std::size_t frames,
+            std::uint64_t seed) {
+    const Constellation& c = Constellation::qam(sim.scenario().frame.qam_order);
+    const auto detector = factory(c);
+    return sim.run(*detector, frames, seed);
+  };
 }
 
 }  // namespace geosphere::link

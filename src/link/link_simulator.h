@@ -4,11 +4,14 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "channel/channel_model.h"
 #include "common/rng.h"
 #include "detect/detector.h"
+#include "detect/factory.h"
 #include "detect/soft_output.h"
 #include "phy/frame.h"
 
@@ -31,6 +34,11 @@ struct LinkStats {
   DetectionStats detection;
   std::size_t detection_calls = 0;
 
+  /// Associative, commutative merge of independently accumulated partials
+  /// (all fields are integer counters), so a parallel run merged in any
+  /// order is bit-identical to the sequential accumulation.
+  LinkStats& operator+=(const LinkStats& o);
+
   double fer() const;                        ///< Mean FER across clients.
   std::vector<double> per_client_fer() const;
   double ber() const;
@@ -47,23 +55,50 @@ class LinkSimulator {
   /// `scenario.frame`.
   LinkSimulator(const channel::ChannelModel& channel, LinkScenario scenario);
 
-  /// Simulates `frames` independent frames (fresh channel, payloads and
-  /// noise per frame) and accumulates link statistics.
-  LinkStats run(Detector& detector, std::size_t frames, Rng& rng) const;
+  /// Simulates ONE independent frame (fresh channel, payloads and noise,
+  /// all drawn from `rng`) and accumulates into `stats`. This is the unit
+  /// of parallelism: feed it Rng::for_frame(seed, frame_index) and the
+  /// frame's result depends only on (seed, frame_index).
+  void simulate_frame(Detector& detector, Rng& rng, LinkStats& stats) const;
 
   /// Soft-decision variant: max-log LLRs from the soft Geosphere detector
   /// feed the soft Viterbi decoder (the full-system version of the paper's
   /// Section 7 extension). Considerably more computation per subcarrier
   /// (one constrained search per bit).
+  void simulate_frame_soft(SoftGeosphereDetector& detector, Rng& rng,
+                           LinkStats& stats) const;
+
+  /// Simulates `frames` independent frames with counter-based per-frame
+  /// seeding (frame f uses Rng::for_frame(seed, f)) and accumulates link
+  /// statistics. sim::Engine::run_link with the same seed is bit-identical
+  /// to this for any thread count.
+  LinkStats run(Detector& detector, std::size_t frames, std::uint64_t seed) const;
+
+  /// Soft-decision counterpart of run().
   LinkStats run_soft(SoftGeosphereDetector& detector, std::size_t frames,
-                     Rng& rng) const;
+                     std::uint64_t seed) const;
 
   const LinkScenario& scenario() const { return scenario_; }
+
+  /// Prepares an empty accumulator for this link (sets clients and the
+  /// per-client error counters) or validates one that is already in use.
+  void init_stats(LinkStats& stats) const;
 
  private:
   const channel::ChannelModel* channel_;
   LinkScenario scenario_;
   phy::FrameCodec codec_;
 };
+
+/// Strategy for running a batch of frames through a detector built by
+/// `factory` for the scenario's constellation. The link-layer helpers
+/// (best_rate, find_snr_for_fer) take one of these so sim::Engine can
+/// inject a thread-pooled runner without the link layer knowing about
+/// threads; the default runs sequentially via LinkSimulator::run.
+using FrameBatchRunner = std::function<LinkStats(
+    const LinkSimulator&, const DetectorFactory&, std::size_t frames, std::uint64_t seed)>;
+
+/// The default single-threaded FrameBatchRunner.
+FrameBatchRunner sequential_runner();
 
 }  // namespace geosphere::link

@@ -6,17 +6,16 @@ namespace geosphere::link {
 
 RateChoice best_rate(const channel::ChannelModel& channel, LinkScenario base,
                      const DetectorFactory& factory, std::size_t frames,
-                     std::uint64_t seed, const std::vector<unsigned>& candidate_qams) {
+                     std::uint64_t seed, const std::vector<unsigned>& candidate_qams,
+                     const FrameBatchRunner& runner) {
   RateChoice best;
   for (const unsigned qam : candidate_qams) {
     LinkScenario scenario = base;
     scenario.frame.qam_order = qam;
 
-    const Constellation& c = Constellation::qam(qam);
-    const auto detector = factory(c);
     LinkSimulator sim(channel, scenario);
-    Rng rng(seed);  // Identical draws for every candidate.
-    const LinkStats stats = sim.run(*detector, frames, rng);
+    // Identical draws for every candidate: same seed, per-frame seeding.
+    const LinkStats stats = runner(sim, factory, frames, seed);
 
     const double mbps =
         net_throughput_mbps(channel.num_tx(), qam, scenario.frame.code_rate,

@@ -23,10 +23,13 @@ struct RateChoice {
 /// Simulates every candidate QAM order (at the scenario's code rate) and
 /// returns the choice with the highest net throughput. `base.frame.qam_order`
 /// is overridden per candidate. The same seed is reused per candidate so
-/// every modulation sees identical channel/noise draws.
+/// every modulation sees identical channel/noise draws. `runner` executes
+/// each candidate's frame batch; the default runs sequentially, sim::Engine
+/// injects its thread-pooled runner (same results, any thread count).
 RateChoice best_rate(const channel::ChannelModel& channel, LinkScenario base,
                      const DetectorFactory& factory, std::size_t frames,
                      std::uint64_t seed,
-                     const std::vector<unsigned>& candidate_qams = {4, 16, 64});
+                     const std::vector<unsigned>& candidate_qams = {4, 16, 64},
+                     const FrameBatchRunner& runner = sequential_runner());
 
 }  // namespace geosphere::link

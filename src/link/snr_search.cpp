@@ -4,10 +4,7 @@ namespace geosphere::link {
 
 double find_snr_for_fer(const channel::ChannelModel& channel, LinkScenario base,
                         const DetectorFactory& factory, const SnrSearchConfig& config,
-                        std::uint64_t seed) {
-  const Constellation& c = Constellation::qam(base.frame.qam_order);
-  const auto detector = factory(c);
-
+                        std::uint64_t seed, const FrameBatchRunner& runner) {
   double lo = config.lo_db;
   double hi = config.hi_db;
   for (int it = 0; it < config.iterations; ++it) {
@@ -15,8 +12,8 @@ double find_snr_for_fer(const channel::ChannelModel& channel, LinkScenario base,
     LinkScenario scenario = base;
     scenario.snr_db = mid;
     LinkSimulator sim(channel, scenario);
-    Rng rng(seed + static_cast<std::uint64_t>(it));
-    const LinkStats stats = sim.run(*detector, config.probe_frames, rng);
+    const LinkStats stats =
+        runner(sim, factory, config.probe_frames, seed + static_cast<std::uint64_t>(it));
     if (stats.fer() > config.target_fer)
       lo = mid;  // Too many errors: need more SNR.
     else

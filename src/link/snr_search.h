@@ -20,9 +20,11 @@ struct SnrSearchConfig {
 /// Bisects on SNR (FER is statistically monotone decreasing in SNR).
 /// Detection uses the supplied factory -- for sphere decoders the FER is
 /// identical across all ML variants, so the cheapest (full Geosphere) is
-/// the sensible choice for calibration.
+/// the sensible choice for calibration. `runner` executes each probe batch
+/// (default: sequential; sim::Engine injects its thread-pooled runner).
 double find_snr_for_fer(const channel::ChannelModel& channel, LinkScenario base,
                         const DetectorFactory& factory, const SnrSearchConfig& config,
-                        std::uint64_t seed);
+                        std::uint64_t seed,
+                        const FrameBatchRunner& runner = sequential_runner());
 
 }  // namespace geosphere::link

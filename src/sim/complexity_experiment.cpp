@@ -3,18 +3,17 @@
 namespace geosphere::sim {
 
 std::vector<ComplexityPoint> measure_complexity(
-    const channel::ChannelModel& channel, const link::LinkScenario& scenario,
+    Engine& engine, const channel::ChannelModel& channel,
+    const link::LinkScenario& scenario,
     const std::vector<std::pair<std::string, DetectorFactory>>& detectors,
     std::size_t frames, std::uint64_t seed) {
   std::vector<ComplexityPoint> out;
   out.reserve(detectors.size());
-  const Constellation& c = Constellation::qam(scenario.frame.qam_order);
 
   for (const auto& [name, factory] : detectors) {
-    const auto detector = factory(c);
     link::LinkSimulator sim(channel, scenario);
-    Rng rng(seed);  // Identical workload per detector.
-    const link::LinkStats stats = sim.run(*detector, frames, rng);
+    // Identical workload per detector: same seed, per-frame seeding.
+    const link::LinkStats stats = engine.run_link(sim, factory, frames, seed);
 
     ComplexityPoint point;
     point.detector = name;

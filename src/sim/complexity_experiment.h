@@ -1,15 +1,17 @@
 // Complexity experiments (paper Figs. 14-15): average partial-Euclidean-
 // distance computations per subcarrier for each sphere-decoder variant on
-// identical workloads.
+// identical workloads, executed on the parallel deterministic engine.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "channel/channel_model.h"
 #include "detect/factory.h"
 #include "link/link_simulator.h"
+#include "sim/engine.h"
 
 namespace geosphere::sim {
 
@@ -23,7 +25,8 @@ struct ComplexityPoint {
 /// Runs the same frame workload (seed-identical channel/payload/noise)
 /// through each named detector and reports the paper's complexity metrics.
 std::vector<ComplexityPoint> measure_complexity(
-    const channel::ChannelModel& channel, const link::LinkScenario& scenario,
+    Engine& engine, const channel::ChannelModel& channel,
+    const link::LinkScenario& scenario,
     const std::vector<std::pair<std::string, DetectorFactory>>& detectors,
     std::size_t frames, std::uint64_t seed);
 

@@ -5,7 +5,8 @@
 
 namespace geosphere::sim {
 
-std::vector<ConditioningSeries> run_conditioning(const ConditioningConfig& config) {
+std::vector<ConditioningSeries> run_conditioning(Engine& engine,
+                                                 const ConditioningConfig& config) {
   std::vector<ConditioningSeries> out;
   out.reserve(config.sizes.size());
 
@@ -19,13 +20,24 @@ std::vector<ConditioningSeries> run_conditioning(const ConditioningConfig& confi
     series.clients = clients;
     series.antennas = antennas;
 
-    Rng rng(config.seed + clients * 131 + antennas * 17);
-    for (std::size_t l = 0; l < config.links; ++l) {
+    const std::uint64_t size_seed = config.seed + clients * 131 + antennas * 17;
+    // Per-link metric samples land in per-link slots and are folded into
+    // the CDFs in link order afterwards: identical for any thread count.
+    std::vector<std::vector<double>> kappa(config.links);
+    std::vector<std::vector<double>> lambda(config.links);
+    engine.parallel_for(config.links, [&](std::size_t l) {
+      Rng rng = Rng::for_frame(size_seed, l);
       const channel::Link link = ensemble.draw_link(rng, config.subcarriers);
+      kappa[l].reserve(link.subcarriers.size());
+      lambda[l].reserve(link.subcarriers.size());
       for (const auto& h : link.subcarriers) {
-        series.kappa_sq_db.add(channel::kappa_sq_db(h));
-        series.lambda_db.add(channel::lambda_max_db(h));
+        kappa[l].push_back(channel::kappa_sq_db(h));
+        lambda[l].push_back(channel::lambda_max_db(h));
       }
+    });
+    for (std::size_t l = 0; l < config.links; ++l) {
+      series.kappa_sq_db.add_all(kappa[l]);
+      series.lambda_db.add_all(lambda[l]);
     }
     out.push_back(std::move(series));
   }

@@ -1,6 +1,9 @@
 // Channel-conditioning experiment (paper Section 5.1, Figs. 9-10): CDFs of
 // kappa^2 and Lambda across links and OFDM subcarriers of the synthetic
 // indoor ensemble, for each (clients x AP antennas) configuration.
+// Link draws are distributed over the engine's thread pool with per-link
+// counter-based seeding, so the collected samples are identical for any
+// thread count.
 #pragma once
 
 #include <cstdint>
@@ -9,6 +12,7 @@
 
 #include "channel/testbed_ensemble.h"
 #include "common/stats.h"
+#include "sim/engine.h"
 
 namespace geosphere::sim {
 
@@ -29,6 +33,7 @@ struct ConditioningSeries {
   EmpiricalCdf lambda_db;    ///< Per subcarrier, across links (Fig. 10).
 };
 
-std::vector<ConditioningSeries> run_conditioning(const ConditioningConfig& config);
+std::vector<ConditioningSeries> run_conditioning(Engine& engine,
+                                                 const ConditioningConfig& config);
 
 }  // namespace geosphere::sim

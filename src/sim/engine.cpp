@@ -1,0 +1,80 @@
+#include "sim/engine.h"
+
+#include <atomic>
+
+namespace geosphere::sim {
+
+link::LinkStats Engine::run_link(const link::LinkSimulator& sim,
+                                 const DetectorFactory& factory, std::size_t frames,
+                                 std::uint64_t seed) {
+  const Constellation& c = Constellation::qam(sim.scenario().frame.qam_order);
+  std::vector<link::LinkStats> partial(pool_.size());
+  std::atomic<std::size_t> next{0};
+  pool_.run_on_workers([&](std::size_t worker) {
+    const auto detector = factory(c);
+    link::LinkStats& local = partial[worker];
+    for (std::size_t f; (f = next.fetch_add(1, std::memory_order_relaxed)) < frames;) {
+      Rng rng = Rng::for_frame(seed, f);
+      sim.simulate_frame(*detector, rng, local);
+    }
+  });
+
+  link::LinkStats total;
+  sim.init_stats(total);  // frames == 0 parity with LinkSimulator::run.
+  for (const auto& p : partial) total += p;
+  return total;
+}
+
+link::FrameBatchRunner Engine::runner() {
+  return [this](const link::LinkSimulator& sim, const DetectorFactory& factory,
+                std::size_t frames, std::uint64_t seed) {
+    return run_link(sim, factory, frames, seed);
+  };
+}
+
+link::RateChoice Engine::best_rate(const channel::ChannelModel& channel,
+                                   link::LinkScenario base, const DetectorFactory& factory,
+                                   std::size_t frames, std::uint64_t seed,
+                                   const std::vector<unsigned>& candidate_qams) {
+  return link::best_rate(channel, base, factory, frames, seed, candidate_qams, runner());
+}
+
+double Engine::find_snr_for_fer(const channel::ChannelModel& channel,
+                                link::LinkScenario base, const DetectorFactory& factory,
+                                const link::SnrSearchConfig& config, std::uint64_t seed) {
+  return link::find_snr_for_fer(channel, base, factory, config, seed, runner());
+}
+
+std::vector<SweepCell> Engine::run_sweep(const channel::ChannelModel& channel,
+                                         const SweepSpec& spec) {
+  std::vector<SweepCell> out;
+  out.reserve(spec.snr_grid_db.size() * spec.detectors.size());
+
+  link::LinkScenario base;
+  base.frame.payload_bytes = spec.payload_bytes;
+  base.frame.code_rate = spec.code_rate;
+  base.snr_jitter_db = spec.snr_jitter_db;
+
+  for (std::size_t si = 0; si < spec.snr_grid_db.size(); ++si) {
+    base.snr_db = spec.snr_grid_db[si];
+    // One derived seed per SNR point, shared across detectors so their
+    // comparison is paired on identical channel/noise draws.
+    const std::uint64_t point_seed = Rng::derive_seed(spec.seed, si);
+    for (const std::string& name : spec.detectors) {
+      const link::RateChoice choice = best_rate(channel, base, detector_by_name(name),
+                                                spec.frames, point_seed,
+                                                spec.candidate_qams);
+      SweepCell cell;
+      cell.detector = name;
+      cell.snr_db = base.snr_db;
+      cell.best_qam = choice.qam_order;
+      cell.code_rate = choice.code_rate;
+      cell.throughput_mbps = choice.throughput_mbps;
+      cell.stats = choice.stats;
+      out.push_back(std::move(cell));
+    }
+  }
+  return out;
+}
+
+}  // namespace geosphere::sim

@@ -1,0 +1,96 @@
+// The parallel deterministic Monte-Carlo experiment engine. Every
+// throughput / complexity / conditioning experiment in the repo runs
+// through this: frames are distributed over a fixed thread pool, each
+// frame's randomness is derived from (master seed, frame index) alone
+// (Rng::for_frame), and partial statistics merge associatively -- so
+// results are bit-identical for any thread count, including a direct
+// sequential LinkSimulator::run with the same seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "channel/channel_model.h"
+#include "coding/convolutional.h"
+#include "detect/factory.h"
+#include "link/link_simulator.h"
+#include "link/rate_adapt.h"
+#include "link/snr_search.h"
+#include "sim/thread_pool.h"
+
+namespace geosphere::sim {
+
+/// A declarative Monte-Carlo sweep: detectors (registry names, see
+/// detector_by_name) x SNR grid, with ideal rate adaptation over
+/// `candidate_qams` at each point. One master seed covers the whole sweep;
+/// each SNR point gets a derived seed, shared by every detector at that
+/// point so detector comparisons are paired on identical channel/noise
+/// draws (the paper's methodology, Section 5.2).
+struct SweepSpec {
+  std::vector<std::string> detectors;
+  std::vector<double> snr_grid_db;
+  std::vector<unsigned> candidate_qams = {4, 16, 64};
+  std::size_t frames = 120;
+  std::size_t payload_bytes = 500;
+  double snr_jitter_db = 5.0;  ///< The paper's +/-5 dB SNR selection window.
+  coding::CodeRate code_rate = coding::CodeRate::kHalf;
+  std::uint64_t seed = 1;
+};
+
+/// One (detector, SNR point) cell of a sweep.
+struct SweepCell {
+  std::string detector;
+  double snr_db = 0.0;
+  unsigned best_qam = 0;
+  coding::CodeRate code_rate = coding::CodeRate::kHalf;
+  double throughput_mbps = 0.0;
+  link::LinkStats stats;
+};
+
+class Engine {
+ public:
+  /// `threads` == 0 selects the hardware concurrency.
+  explicit Engine(std::size_t threads = 0) : pool_(threads) {}
+
+  std::size_t threads() const { return pool_.size(); }
+
+  /// Parallel equivalent of `sim.run(detector-from-factory, frames, seed)`:
+  /// bit-identical to it for any thread count. One detector instance is
+  /// created per worker (Detector instances are not thread-safe).
+  link::LinkStats run_link(const link::LinkSimulator& sim, const DetectorFactory& factory,
+                           std::size_t frames, std::uint64_t seed);
+
+  /// A FrameBatchRunner that dispatches onto this engine, for the
+  /// link-layer helpers (best_rate, find_snr_for_fer).
+  link::FrameBatchRunner runner();
+
+  /// Thread-pooled ideal rate adaptation (link::best_rate semantics).
+  link::RateChoice best_rate(const channel::ChannelModel& channel,
+                             link::LinkScenario base, const DetectorFactory& factory,
+                             std::size_t frames, std::uint64_t seed,
+                             const std::vector<unsigned>& candidate_qams = {4, 16, 64});
+
+  /// Thread-pooled SNR calibration (link::find_snr_for_fer semantics).
+  double find_snr_for_fer(const channel::ChannelModel& channel, link::LinkScenario base,
+                          const DetectorFactory& factory,
+                          const link::SnrSearchConfig& config, std::uint64_t seed);
+
+  /// Executes a declarative sweep. Cells are ordered SNR-major then
+  /// detector (the spec's detector order), `snr_grid_db.size() *
+  /// detectors.size()` in total.
+  std::vector<SweepCell> run_sweep(const channel::ChannelModel& channel,
+                                   const SweepSpec& spec);
+
+  /// Runs body(i) for i in [0, n) across the pool; iterations must be
+  /// independent. For experiment loops that are not frame batches (e.g.
+  /// the conditioning experiment's link draws).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body) {
+    pool_.parallel_for(n, body);
+  }
+
+ private:
+  ThreadPool pool_;
+};
+
+}  // namespace geosphere::sim

@@ -1,0 +1,94 @@
+#include "sim/thread_pool.h"
+
+#include <utility>
+
+namespace geosphere::sim {
+
+std::size_t ThreadPool::hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = hardware_threads();
+  workers_.reserve(threads - 1);
+  try {
+    for (std::size_t i = 1; i < threads; ++i)
+      workers_.emplace_back([this, i] { worker_loop(i); });
+  } catch (...) {
+    // A std::thread spawn failed partway (resource limits): shut down the
+    // workers already running, or their joinable destructors would
+    // std::terminate when workers_ is destroyed.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    start_cv_.notify_all();
+    for (auto& t : workers_) t.join();
+    throw;
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::run_guarded(std::size_t index) {
+  try {
+    (*job_)(index);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
+      if (stop_) return;
+      seen_generation = generation_;
+    }
+    run_guarded(index);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --remaining_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::run_on_workers(const std::function<void(std::size_t)>& body) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &body;
+    first_error_ = nullptr;
+    remaining_ = workers_.size();
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  run_guarded(0);  // The calling thread is worker 0.
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return remaining_ == 0; });
+    job_ = nullptr;
+    if (first_error_) std::rethrow_exception(std::exchange(first_error_, nullptr));
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  std::atomic<std::size_t> next{0};
+  run_on_workers([&](std::size_t) {
+    for (std::size_t i; (i = next.fetch_add(1, std::memory_order_relaxed)) < n;) body(i);
+  });
+}
+
+}  // namespace geosphere::sim

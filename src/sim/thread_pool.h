@@ -1,0 +1,63 @@
+// Fixed-size pool of persistent worker threads for the experiment engine.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace geosphere::sim {
+
+/// A work-stealing-free fixed thread pool. One job runs at a time:
+/// run_on_workers() broadcasts a callable to every worker (the calling
+/// thread participates as worker 0) and returns when all workers finish.
+/// Callers partition work themselves, typically by pulling frame indices
+/// from a shared atomic counter -- determinism comes from counter-based
+/// per-frame seeding (Rng::for_frame), not from the work partition.
+class ThreadPool {
+ public:
+  /// `threads` == 0 selects std::thread::hardware_concurrency(). A pool of
+  /// size 1 spawns no threads at all: jobs run inline on the caller.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total workers, including the calling thread.
+  std::size_t size() const { return workers_.size() + 1; }
+
+  /// Runs body(worker_index) on every worker concurrently, worker indices
+  /// 0..size()-1, and blocks until all return. If any invocation throws,
+  /// the first exception is rethrown on the calling thread after the job
+  /// drains. Not reentrant.
+  void run_on_workers(const std::function<void(std::size_t)>& body);
+
+  /// Runs body(i) for every i in [0, n), dynamically load-balanced across
+  /// the pool. Iterations must be independent of each other.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  static std::size_t hardware_threads();
+
+ private:
+  void worker_loop(std::size_t index);
+  void run_guarded(std::size_t index);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  std::size_t remaining_ = 0;
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+};
+
+}  // namespace geosphere::sim

@@ -2,7 +2,7 @@
 
 namespace geosphere::sim {
 
-ThroughputPoint measure_throughput(const channel::ChannelModel& channel,
+ThroughputPoint measure_throughput(Engine& engine, const channel::ChannelModel& channel,
                                    const std::string& detector_name,
                                    const DetectorFactory& factory, double snr_db,
                                    const ThroughputConfig& config) {
@@ -11,7 +11,7 @@ ThroughputPoint measure_throughput(const channel::ChannelModel& channel,
   scenario.snr_db = snr_db;
   scenario.snr_jitter_db = config.snr_jitter_db;
 
-  const link::RateChoice choice = link::best_rate(
+  const link::RateChoice choice = engine.best_rate(
       channel, scenario, factory, config.frames, config.seed, config.candidate_qams);
 
   ThroughputPoint point;

@@ -1,5 +1,6 @@
 // Throughput experiments (paper Figs. 11-13): ideal-rate-adapted net
-// throughput per detector over a channel ensemble.
+// throughput per detector over a channel ensemble, executed on the
+// parallel deterministic engine.
 #pragma once
 
 #include <cstdint>
@@ -10,6 +11,7 @@
 #include "detect/factory.h"
 #include "link/link_simulator.h"
 #include "link/rate_adapt.h"
+#include "sim/engine.h"
 
 namespace geosphere::sim {
 
@@ -32,8 +34,9 @@ struct ThroughputPoint {
 };
 
 /// Best-rate throughput of one detector on one channel/SNR point. Channel
-/// and noise draws are seed-identical across detectors at the same point.
-ThroughputPoint measure_throughput(const channel::ChannelModel& channel,
+/// and noise draws are seed-identical across detectors at the same point,
+/// and bit-identical for any engine thread count.
+ThroughputPoint measure_throughput(Engine& engine, const channel::ChannelModel& channel,
                                    const std::string& detector_name,
                                    const DetectorFactory& factory, double snr_db,
                                    const ThroughputConfig& config);

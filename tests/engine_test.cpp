@@ -1,0 +1,236 @@
+// Tests for the parallel deterministic experiment engine: the thread
+// pool, bit-identical results across thread counts, parity with the
+// sequential LinkSimulator, and the declarative sweep runner.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+
+#include "channel/rayleigh.h"
+#include "channel/testbed_ensemble.h"
+#include "detect/factory.h"
+#include "link/link_simulator.h"
+#include "sim/conditioning_experiment.h"
+#include "sim/engine.h"
+#include "sim/thread_pool.h"
+
+namespace geosphere::sim {
+namespace {
+
+link::LinkScenario small_scenario(unsigned qam, double snr_db) {
+  link::LinkScenario s;
+  s.frame.qam_order = qam;
+  s.frame.payload_bytes = 100;
+  s.snr_db = snr_db;
+  return s;
+}
+
+void expect_identical(const link::LinkStats& a, const link::LinkStats& b) {
+  EXPECT_EQ(a.frames, b.frames);
+  EXPECT_EQ(a.clients, b.clients);
+  EXPECT_EQ(a.client_frame_errors, b.client_frame_errors);
+  EXPECT_EQ(a.bit_errors, b.bit_errors);
+  EXPECT_EQ(a.payload_bits, b.payload_bits);
+  EXPECT_EQ(a.detection_calls, b.detection_calls);
+  EXPECT_EQ(a.detection.ped_computations, b.detection.ped_computations);
+  EXPECT_EQ(a.detection.visited_nodes, b.detection.visited_nodes);
+  EXPECT_EQ(a.detection.lb_lookups, b.detection.lb_lookups);
+  EXPECT_EQ(a.detection.lb_prunes, b.detection.lb_prunes);
+  EXPECT_EQ(a.detection.slicer_ops, b.detection.slicer_ops);
+  EXPECT_EQ(a.detection.queue_ops, b.detection.queue_ops);
+  EXPECT_DOUBLE_EQ(a.fer(), b.fer());
+  EXPECT_DOUBLE_EQ(a.ber(), b.ber());
+}
+
+TEST(ThreadPool, RunsEveryWorkerExactlyOnce) {
+  ThreadPool pool(4);
+  ASSERT_EQ(pool.size(), 4u);
+  std::atomic<int> calls{0};
+  std::set<std::size_t> indices;
+  std::mutex mu;
+  pool.run_on_workers([&](std::size_t w) {
+    ++calls;
+    std::lock_guard<std::mutex> lock(mu);
+    indices.insert(w);
+  });
+  EXPECT_EQ(calls.load(), 4);
+  EXPECT_EQ(indices, (std::set<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndicesOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(100, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, PropagatesWorkerExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.run_on_workers([](std::size_t) { throw std::runtime_error("boom"); }),
+      std::runtime_error);
+  // The pool must survive a failed job.
+  std::atomic<int> calls{0};
+  pool.run_on_workers([&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 2);
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  const auto caller = std::this_thread::get_id();
+  pool.run_on_workers([&](std::size_t w) {
+    EXPECT_EQ(w, 0u);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(Engine, SingleThreadMatchesDirectLinkSimulatorRun) {
+  channel::RayleighChannel ch(4, 2);
+  link::LinkSimulator sim(ch, small_scenario(16, 14.0));
+  const Constellation& c = Constellation::qam(16);
+  const auto det = geosphere_factory()(c);
+  const link::LinkStats direct = sim.run(*det, 30, /*seed=*/42);
+
+  Engine engine(1);
+  const link::LinkStats pooled = engine.run_link(sim, geosphere_factory(), 30, 42);
+  expect_identical(direct, pooled);
+}
+
+TEST(Engine, ResultsBitIdenticalAcrossThreadCounts) {
+  // The issue's headline guarantee: 1 thread vs 8 threads, same master
+  // seed => identical LinkStats (FER, BER, PED counts, everything).
+  channel::TestbedConfig tc;
+  tc.clients = 2;
+  tc.ap_antennas = 4;
+  const channel::TestbedEnsemble ch(tc);
+  link::LinkSimulator sim(ch, small_scenario(16, 14.0));
+
+  Engine one(1);
+  Engine eight(8);
+  const link::LinkStats a = one.run_link(sim, geosphere_factory(), 40, 7);
+  const link::LinkStats b = eight.run_link(sim, geosphere_factory(), 40, 7);
+  EXPECT_GT(a.frames, 0u);
+  EXPECT_GT(a.detection.ped_computations, 0u);
+  expect_identical(a, b);
+}
+
+TEST(Engine, ZeroFramesYieldsEmptyInitializedStats) {
+  channel::RayleighChannel ch(2, 2);
+  link::LinkSimulator sim(ch, small_scenario(4, 20.0));
+  Engine engine(2);
+  const link::LinkStats stats = engine.run_link(sim, zf_factory(), 0, 1);
+  EXPECT_EQ(stats.frames, 0u);
+  EXPECT_EQ(stats.clients, 2u);
+  EXPECT_DOUBLE_EQ(stats.fer(), 0.0);
+}
+
+TEST(Engine, BestRateMatchesSequentialBestRate) {
+  channel::RayleighChannel ch(4, 2);
+  link::LinkScenario base = small_scenario(16, 30.0);
+  const link::RateChoice seq =
+      link::best_rate(ch, base, geosphere_factory(), 15, 9, {4, 16, 64});
+  Engine engine(3);
+  const link::RateChoice par =
+      engine.best_rate(ch, base, geosphere_factory(), 15, 9, {4, 16, 64});
+  EXPECT_EQ(seq.qam_order, par.qam_order);
+  EXPECT_DOUBLE_EQ(seq.throughput_mbps, par.throughput_mbps);
+  expect_identical(seq.stats, par.stats);
+}
+
+TEST(Engine, RunSweepProducesSnrMajorDetectorOrderedCells) {
+  channel::TestbedConfig tc;
+  tc.clients = 2;
+  tc.ap_antennas = 2;
+  const channel::TestbedEnsemble ch(tc);
+
+  SweepSpec spec;
+  spec.detectors = {"zf", "geosphere"};
+  spec.snr_grid_db = {15.0, 25.0};
+  spec.candidate_qams = {4, 16};
+  spec.frames = 10;
+  spec.payload_bytes = 100;
+  spec.seed = 5;
+
+  Engine engine(2);
+  const auto cells = engine.run_sweep(ch, spec);
+  ASSERT_EQ(cells.size(), 4u);
+  EXPECT_EQ(cells[0].detector, "zf");
+  EXPECT_EQ(cells[1].detector, "geosphere");
+  EXPECT_DOUBLE_EQ(cells[0].snr_db, 15.0);
+  EXPECT_DOUBLE_EQ(cells[2].snr_db, 25.0);
+  for (const auto& cell : cells) {
+    EXPECT_GT(cell.best_qam, 0u);
+    EXPECT_EQ(cell.stats.frames, 10u);
+  }
+  // Paired workloads: both detectors at one SNR point see the same frames,
+  // so the ML detector can't do worse than linear ZF on FER.
+  EXPECT_LE(cells[1].stats.fer(), cells[0].stats.fer() + 1e-12);
+}
+
+TEST(Engine, RunSweepDeterministicAcrossThreadCounts) {
+  channel::RayleighChannel ch(4, 2);
+  SweepSpec spec;
+  spec.detectors = {"geosphere"};
+  spec.snr_grid_db = {18.0};
+  spec.candidate_qams = {16};
+  spec.frames = 12;
+  spec.payload_bytes = 100;
+  spec.seed = 11;
+
+  Engine one(1);
+  Engine four(4);
+  const auto a = one.run_sweep(ch, spec);
+  const auto b = four.run_sweep(ch, spec);
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(a[0].best_qam, b[0].best_qam);
+  EXPECT_DOUBLE_EQ(a[0].throughput_mbps, b[0].throughput_mbps);
+  expect_identical(a[0].stats, b[0].stats);
+}
+
+TEST(Engine, ConditioningDeterministicAcrossThreadCounts) {
+  ConditioningConfig config;
+  config.sizes = {{2, 2}};
+  config.links = 16;
+  config.subcarriers = 4;
+  Engine one(1);
+  Engine four(4);
+  const auto a = run_conditioning(one, config);
+  const auto b = run_conditioning(four, config);
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_EQ(a[0].kappa_sq_db.count(), 16u * 4u);
+  // Sample-for-sample identical CDFs regardless of thread count.
+  for (const double p : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    EXPECT_DOUBLE_EQ(a[0].kappa_sq_db.percentile(p), b[0].kappa_sq_db.percentile(p));
+    EXPECT_DOUBLE_EQ(a[0].lambda_db.percentile(p), b[0].lambda_db.percentile(p));
+  }
+}
+
+TEST(DetectorRegistry, KnowsAllFixedNamesAndParsesKbest) {
+  for (const auto& name : detector_names()) {
+    const DetectorFactory factory = detector_by_name(name);
+    const auto detector = factory(Constellation::qam(16));
+    ASSERT_NE(detector, nullptr) << name;
+    EXPECT_FALSE(detector->name().empty());
+  }
+  const auto kbest = detector_by_name("kbest:8")(Constellation::qam(16));
+  ASSERT_NE(kbest, nullptr);
+  EXPECT_THROW(detector_by_name("does-not-exist"), std::invalid_argument);
+  EXPECT_THROW(detector_by_name("kbest:0"), std::invalid_argument);
+}
+
+TEST(Engine, MismatchedDetectorThrowsThroughThePool) {
+  channel::RayleighChannel ch(2, 2);
+  link::LinkSimulator sim(ch, small_scenario(16, 20.0));
+  Engine engine(2);
+  // Factory builds 64-QAM detectors but the scenario is 16-QAM.
+  const DetectorFactory bad = [](const Constellation&) {
+    return zf_factory()(Constellation::qam(64));
+  };
+  EXPECT_THROW(engine.run_link(sim, bad, 4, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace geosphere::sim

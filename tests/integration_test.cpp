@@ -173,14 +173,12 @@ TEST(Integration, CodedBeatsUncodedAtModerateSnr) {
   scenario.frame.payload_bytes = 100;
   scenario.snr_db = 14.0;
   link::LinkSimulator sim14(ch, scenario);
-  Rng rng(6);
-  const auto stats14 = sim14.run(*det, 40, rng);
+  const auto stats14 = sim14.run(*det, 40, /*seed=*/6);
   EXPECT_LT(stats14.ber(), 0.02);
 
   scenario.snr_db = 5.0;
   link::LinkSimulator sim5(ch, scenario);
-  Rng rng5(6);
-  const auto stats5 = sim5.run(*det, 40, rng5);
+  const auto stats5 = sim5.run(*det, 40, /*seed=*/6);
   EXPECT_GT(stats5.ber(), 4.0 * std::max(stats14.ber(), 1e-4));
 }
 
@@ -204,10 +202,8 @@ TEST(Integration, TraceReplayMatchesLiveEnsembleStatistics) {
 
   link::LinkSimulator sim_live(live, scenario);
   link::LinkSimulator sim_trace(trace, scenario);
-  Rng ra(8);
-  Rng rb(8);
-  const double fer_live = sim_live.run(*det_a, 50, ra).fer();
-  const double fer_trace = sim_trace.run(*det_b, 50, rb).fer();
+  const double fer_live = sim_live.run(*det_a, 50, /*seed=*/8).fer();
+  const double fer_trace = sim_trace.run(*det_b, 50, /*seed=*/8).fer();
   EXPECT_NEAR(fer_live, fer_trace, 0.25);  // Same environment, coarse match.
 }
 

@@ -8,11 +8,17 @@
 #include "detect/factory.h"
 #include "sim/complexity_experiment.h"
 #include "sim/conditioning_experiment.h"
+#include "sim/engine.h"
 #include "sim/table.h"
 #include "sim/throughput_experiment.h"
 
 namespace geosphere::sim {
 namespace {
+
+Engine& test_engine() {
+  static Engine engine(2);
+  return engine;
+}
 
 TEST(TablePrinter, AlignsAndFormats) {
   TablePrinter table({"name", "value"});
@@ -45,7 +51,7 @@ TEST(Conditioning, ProducesRequestedSeries) {
   config.sizes = {{2, 2}, {2, 4}};
   config.links = 20;
   config.subcarriers = 8;
-  const auto series = run_conditioning(config);
+  const auto series = run_conditioning(test_engine(), config);
   ASSERT_EQ(series.size(), 2u);
   EXPECT_EQ(series[0].clients, 2u);
   EXPECT_EQ(series[0].antennas, 2u);
@@ -60,8 +66,8 @@ TEST(Conditioning, DeterministicForFixedSeed) {
   config.sizes = {{2, 2}};
   config.links = 10;
   config.subcarriers = 4;
-  const auto a = run_conditioning(config);
-  const auto b = run_conditioning(config);
+  const auto a = run_conditioning(test_engine(), config);
+  const auto b = run_conditioning(test_engine(), config);
   EXPECT_DOUBLE_EQ(a[0].kappa_sq_db.percentile(0.5), b[0].kappa_sq_db.percentile(0.5));
 }
 
@@ -71,7 +77,8 @@ TEST(ThroughputExperiment, ReportsBestRateChoice) {
   config.frames = 15;
   config.payload_bytes = 100;
   config.snr_jitter_db = 0.0;
-  const auto point = measure_throughput(ch, "Geosphere", geosphere_factory(), 35.0, config);
+  const auto point =
+      measure_throughput(test_engine(), ch, "Geosphere", geosphere_factory(), 35.0, config);
   EXPECT_EQ(point.detector, "Geosphere");
   EXPECT_EQ(point.clients, 2u);
   EXPECT_EQ(point.antennas, 4u);
@@ -87,7 +94,7 @@ TEST(ComplexityExperiment, SeedIdenticalWorkloads) {
   scenario.frame.payload_bytes = 100;
   scenario.snr_db = 18.0;
   const auto points = measure_complexity(
-      ch, scenario,
+      test_engine(), ch, scenario,
       {{"Geosphere", geosphere_factory()},
        {"Geosphere-again", geosphere_factory()},
        {"ETH-SD", eth_sd_factory()}},

@@ -148,8 +148,7 @@ TEST(Stress, FerOrderedByConstellationDensity) {
     scenario.snr_db = 12.0;
     link::LinkSimulator sim(ch, scenario);
     const auto det = geosphere_factory()(Constellation::qam(qam));
-    Rng rng(5);
-    const double fer = sim.run(*det, 40, rng).fer();
+    const double fer = sim.run(*det, 40, /*seed=*/5).fer();
     EXPECT_GE(fer, prev_fer - 0.05) << "QAM" << qam;
     prev_fer = fer;
   }

@@ -1,16 +1,24 @@
 // geosphere_cli: command-line front end to the library's experiment
 // drivers, for downstream users who want numbers without writing C++.
+// Every experiment runs on the thread-pooled deterministic engine: results
+// are bit-identical for any --threads value.
 //
 //   geosphere_cli conditioning [--links N] [--subcarriers N]
 //   geosphere_cli throughput --clients N --antennas N --snr DB
-//                 [--frames N] [--detector zf|mmse|mmse-sic|geosphere|eth-sd]
+//                 [--detector zf|mmse|mmse-sic|geosphere|eth-sd|...]
 //   geosphere_cli complexity --clients N --antennas N --qam M --snr DB
-//                 [--frames N] [--channel rayleigh|indoor]
+//                 [--channel rayleigh|indoor]
+//   geosphere_cli sweep --clients N --antennas N
+//                 [--detectors zf,geosphere] [--snrs 15,20,25]
+//                 [--qams 4,16,64] [--channel rayleigh|indoor]
 //   geosphere_cli trace-record --out FILE --links N --clients N --antennas N
 //   geosphere_cli trace-info FILE
+//
+// Common flags: --threads N (default: all cores), --frames N, --seed N.
 #include <cstdio>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,6 +28,7 @@
 #include "detect/factory.h"
 #include "sim/complexity_experiment.h"
 #include "sim/conditioning_experiment.h"
+#include "sim/engine.h"
 #include "sim/table.h"
 #include "sim/throughput_experiment.h"
 
@@ -32,18 +41,70 @@ struct Args {
   std::vector<std::string> positional;
   std::map<std::string, std::string> flags;
 
+  // All numeric parsing is strict (the full token must parse): stol/stod
+  // stopping at the first bad character would silently run a different
+  // experiment than the user asked for.
   long get_int(const std::string& key, long fallback) const {
     const auto it = flags.find(key);
-    return it == flags.end() ? fallback : std::stol(it->second);
+    if (it == flags.end()) return fallback;
+    return parse_long("--" + key, it->second);
+  }
+  std::size_t get_size(const std::string& key, std::size_t fallback) const {
+    const long v = get_int(key, static_cast<long>(fallback));
+    if (v < 0) throw std::runtime_error("--" + key + " must be non-negative");
+    return static_cast<std::size_t>(v);
   }
   double get_double(const std::string& key, double fallback) const {
     const auto it = flags.find(key);
-    return it == flags.end() ? fallback : std::stod(it->second);
+    if (it == flags.end()) return fallback;
+    return parse_double("--" + key, it->second);
+  }
+
+  static long parse_long(const std::string& what, const std::string& text) {
+    std::size_t pos = 0;
+    long v = 0;
+    try {
+      v = std::stol(text, &pos);
+    } catch (const std::exception&) {
+      pos = std::string::npos;
+    }
+    if (pos != text.size())
+      throw std::runtime_error(what + " expects an integer, got \"" + text + "\"");
+    return v;
+  }
+  static double parse_double(const std::string& what, const std::string& text) {
+    std::size_t pos = 0;
+    double v = 0.0;
+    try {
+      v = std::stod(text, &pos);
+    } catch (const std::exception&) {
+      pos = std::string::npos;
+    }
+    if (pos != text.size())
+      throw std::runtime_error(what + " expects a number, got \"" + text + "\"");
+    return v;
   }
   std::string get(const std::string& key, const std::string& fallback) const {
     const auto it = flags.find(key);
     return it == flags.end() ? fallback : it->second;
   }
+
+  /// The shared engine, sized by --threads (0 = hardware concurrency).
+  sim::Engine& engine() const {
+    if (!engine_) {
+      const long threads = get_int("threads", 0);
+      if (threads < 0 || threads > 1024)
+        throw std::runtime_error("--threads must be in [0, 1024] (0 = all cores)");
+      engine_ = std::make_unique<sim::Engine>(static_cast<std::size_t>(threads));
+    }
+    return *engine_;
+  }
+  std::uint64_t seed() const {
+    return static_cast<std::uint64_t>(get_size("seed", 1));
+  }
+
+ private:
+  mutable std::unique_ptr<sim::Engine> engine_;
 };
 
 Args parse(int argc, char** argv) {
@@ -61,24 +122,38 @@ Args parse(int argc, char** argv) {
   return args;
 }
 
-DetectorFactory factory_by_name(const std::string& name) {
-  if (name == "zf") return zf_factory();
-  if (name == "mmse") return mmse_factory();
-  if (name == "mmse-sic") return mmse_sic_factory();
-  if (name == "geosphere") return geosphere_factory();
-  if (name == "geosphere-2dzz") return geosphere_zigzag_only_factory();
-  if (name == "eth-sd") return eth_sd_factory();
-  if (name == "shabany") return shabany_factory();
-  if (name == "rvd") return rvd_factory();
-  if (name == "fsd") return fsd_factory();
-  throw std::runtime_error("unknown detector: " + name);
+std::vector<std::string> split_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::string item = csv.substr(start, comma - start);
+    if (!item.empty()) out.push_back(item);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+std::unique_ptr<channel::ChannelModel> channel_by_name(const std::string& name,
+                                                       std::size_t clients,
+                                                       std::size_t antennas) {
+  if (name == "rayleigh") return std::make_unique<channel::RayleighChannel>(antennas, clients);
+  if (name == "indoor") {
+    channel::TestbedConfig tc;
+    tc.clients = clients;
+    tc.ap_antennas = antennas;
+    return std::make_unique<channel::TestbedEnsemble>(tc);
+  }
+  throw std::runtime_error("unknown channel: " + name);
 }
 
 int cmd_conditioning(const Args& args) {
   sim::ConditioningConfig config;
-  config.links = static_cast<std::size_t>(args.get_int("links", 300));
-  config.subcarriers = static_cast<std::size_t>(args.get_int("subcarriers", 48));
-  const auto series = sim::run_conditioning(config);
+  config.links = args.get_size("links", 300);
+  config.subcarriers = args.get_size("subcarriers", 48);
+  config.seed = args.seed();
+  const auto series = sim::run_conditioning(args.engine(), config);
 
   sim::TablePrinter table({"config", "kappa2 median (dB)", "P(kappa2>10dB)",
                            "Lambda median (dB)", "P(Lambda>5dB)"});
@@ -94,40 +169,29 @@ int cmd_conditioning(const Args& args) {
 
 int cmd_throughput(const Args& args) {
   channel::TestbedConfig tc;
-  tc.clients = static_cast<std::size_t>(args.get_int("clients", 4));
-  tc.ap_antennas = static_cast<std::size_t>(args.get_int("antennas", 4));
+  tc.clients = args.get_size("clients", 4);
+  tc.ap_antennas = args.get_size("antennas", 4);
   const channel::TestbedEnsemble ensemble(tc);
 
   sim::ThroughputConfig config;
-  config.frames = static_cast<std::size_t>(args.get_int("frames", 60));
+  config.frames = args.get_size("frames", 60);
+  config.seed = args.seed();
   const double snr = args.get_double("snr", 20.0);
   const std::string name = args.get("detector", "geosphere");
 
-  const auto point =
-      sim::measure_throughput(ensemble, name, factory_by_name(name), snr, config);
-  std::printf("%zu clients x %zu antennas @ %.1f dB, detector=%s\n", tc.clients,
-              tc.ap_antennas, snr, name.c_str());
+  const auto point = sim::measure_throughput(args.engine(), ensemble, name,
+                                             detector_by_name(name), snr, config);
+  std::printf("%zu clients x %zu antennas @ %.1f dB, detector=%s, threads=%zu\n",
+              tc.clients, tc.ap_antennas, snr, name.c_str(), args.engine().threads());
   std::printf("best QAM: %u\nnet throughput: %.2f Mbps\nFER: %.3f\n", point.best_qam,
               point.throughput_mbps, point.fer);
   return 0;
 }
 
 int cmd_complexity(const Args& args) {
-  const auto clients = static_cast<std::size_t>(args.get_int("clients", 4));
-  const auto antennas = static_cast<std::size_t>(args.get_int("antennas", 4));
-  const std::string channel_name = args.get("channel", "rayleigh");
-
-  std::unique_ptr<channel::ChannelModel> model;
-  if (channel_name == "rayleigh") {
-    model = std::make_unique<channel::RayleighChannel>(antennas, clients);
-  } else if (channel_name == "indoor") {
-    channel::TestbedConfig tc;
-    tc.clients = clients;
-    tc.ap_antennas = antennas;
-    model = std::make_unique<channel::TestbedEnsemble>(tc);
-  } else {
-    throw std::runtime_error("unknown channel: " + channel_name);
-  }
+  const auto clients = args.get_size("clients", 4);
+  const auto antennas = args.get_size("antennas", 4);
+  const auto model = channel_by_name(args.get("channel", "rayleigh"), clients, antennas);
 
   link::LinkScenario scenario;
   scenario.frame.qam_order = static_cast<unsigned>(args.get_int("qam", 64));
@@ -135,11 +199,11 @@ int cmd_complexity(const Args& args) {
   scenario.snr_db = args.get_double("snr", 20.0);
 
   const auto points = sim::measure_complexity(
-      *model, scenario,
+      args.engine(), *model, scenario,
       {{"ETH-SD", eth_sd_factory()},
        {"Geosphere-2DZZ", geosphere_zigzag_only_factory()},
        {"Geosphere", geosphere_factory()}},
-      static_cast<std::size_t>(args.get_int("frames", 40)), 1);
+      args.get_size("frames", 40), args.seed());
 
   sim::TablePrinter table({"detector", "PED/subcarrier", "nodes/subcarrier", "FER"});
   for (const auto& p : points)
@@ -150,15 +214,54 @@ int cmd_complexity(const Args& args) {
   return 0;
 }
 
+int cmd_sweep(const Args& args) {
+  const auto clients = args.get_size("clients", 4);
+  const auto antennas = args.get_size("antennas", 4);
+  const auto model = channel_by_name(args.get("channel", "indoor"), clients, antennas);
+
+  sim::SweepSpec spec;
+  spec.detectors = split_list(args.get("detectors", "zf,geosphere"));
+  for (const auto& s : split_list(args.get("snrs", "15,20,25")))
+    spec.snr_grid_db.push_back(Args::parse_double("--snrs", s));
+  spec.candidate_qams.clear();
+  for (const auto& q : split_list(args.get("qams", "4,16,64"))) {
+    const long qam = Args::parse_long("--qams", q);
+    if (qam <= 0) throw std::runtime_error("--qams entries must be positive");
+    spec.candidate_qams.push_back(static_cast<unsigned>(qam));
+  }
+  if (spec.detectors.empty() || spec.snr_grid_db.empty() || spec.candidate_qams.empty())
+    throw std::runtime_error("sweep needs non-empty --detectors, --snrs and --qams");
+  spec.frames = args.get_size("frames", 60);
+  spec.payload_bytes = args.get_size("payload", 500);
+  spec.snr_jitter_db = args.get_double("jitter", 5.0);
+  spec.seed = args.seed();
+
+  const auto cells = args.engine().run_sweep(*model, spec);
+
+  std::printf("%zu clients x %zu antennas, %zu frames/point, seed %llu, threads %zu\n\n",
+              clients, antennas, spec.frames,
+              static_cast<unsigned long long>(spec.seed), args.engine().threads());
+  sim::TablePrinter table({"SNR (dB)", "detector", "best QAM", "throughput (Mbps)",
+                           "FER", "PED/sc"});
+  for (const auto& cell : cells)
+    table.add_row({sim::TablePrinter::fmt(cell.snr_db, 0), cell.detector,
+                   std::to_string(cell.best_qam),
+                   sim::TablePrinter::fmt(cell.throughput_mbps),
+                   sim::TablePrinter::fmt(cell.stats.fer()),
+                   sim::TablePrinter::fmt(cell.stats.avg_ped_per_subcarrier(), 1)});
+  table.print(std::cout);
+  return 0;
+}
+
 int cmd_trace_record(const Args& args) {
   channel::TestbedConfig tc;
-  tc.clients = static_cast<std::size_t>(args.get_int("clients", 4));
-  tc.ap_antennas = static_cast<std::size_t>(args.get_int("antennas", 4));
+  tc.clients = args.get_size("clients", 4);
+  tc.ap_antennas = args.get_size("antennas", 4);
   const channel::TestbedEnsemble ensemble(tc);
-  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+  Rng rng(args.seed());
   const auto links =
-      channel::record_trace(ensemble, static_cast<std::size_t>(args.get_int("links", 100)),
-                            static_cast<std::size_t>(args.get_int("subcarriers", 48)), rng);
+      channel::record_trace(ensemble, args.get_size("links", 100),
+                            args.get_size("subcarriers", 48), rng);
   const std::string out = args.get("out", "channels.geotrace");
   channel::save_trace(out, links);
   std::printf("recorded %zu links (%zux%zu, %zu subcarriers) -> %s\n", links.size(),
@@ -176,14 +279,22 @@ int cmd_trace_info(const Args& args) {
 }
 
 void usage() {
+  std::string detectors;
+  for (const auto& n : detector_names()) detectors += (detectors.empty() ? "" : " ") + n;
   std::puts(
-      "usage: geosphere_cli <command> [flags]\n"
-      "  conditioning   [--links N] [--subcarriers N]\n"
-      "  throughput     --clients N --antennas N --snr DB [--frames N] [--detector NAME]\n"
-      "  complexity     --clients N --antennas N --qam M --snr DB [--channel rayleigh|indoor]\n"
-      "  trace-record   --out FILE --links N --clients N --antennas N [--seed N]\n"
-      "  trace-info     FILE\n"
-      "detectors: zf mmse mmse-sic geosphere geosphere-2dzz eth-sd shabany rvd fsd");
+      ("usage: geosphere_cli <command> [flags]\n"
+       "  conditioning   [--links N] [--subcarriers N]\n"
+       "  throughput     --clients N --antennas N --snr DB [--detector NAME]\n"
+       "  complexity     --clients N --antennas N --qam M --snr DB [--channel rayleigh|indoor]\n"
+       "  sweep          --clients N --antennas N [--detectors A,B] [--snrs 15,20,25]\n"
+       "                 [--qams 4,16,64] [--payload BYTES] [--jitter DB] [--channel rayleigh|indoor]\n"
+       "  trace-record   --out FILE --links N --clients N --antennas N\n"
+       "  trace-info     FILE\n"
+       "common flags: --threads N (default all cores; results identical for any N),\n"
+       "              --frames N, --seed N\n"
+       "detectors: " +
+       detectors + " kbest:K")
+          .c_str());
 }
 
 }  // namespace
@@ -194,6 +305,7 @@ int main(int argc, char** argv) {
     if (args.command == "conditioning") return cmd_conditioning(args);
     if (args.command == "throughput") return cmd_throughput(args);
     if (args.command == "complexity") return cmd_complexity(args);
+    if (args.command == "sweep") return cmd_sweep(args);
     if (args.command == "trace-record") return cmd_trace_record(args);
     if (args.command == "trace-info") return cmd_trace_info(args);
     usage();
