@@ -89,10 +89,10 @@ const std::vector<sim::ComplexityPoint>& decoder_results() {
     scenario.snr_db = 20.0;
     return sim::measure_complexity(
         bench::engine(), rayleigh, scenario,
-        {{"Geosphere", geosphere_factory()},
-         {"Geosphere-2DZZ", geosphere_zigzag_only_factory()},
-         {"Shabany-SD", shabany_factory()},
-         {"ETH-SD", eth_sd_factory()}},
+        {{"Geosphere", DetectorSpec::parse("geosphere")},
+         {"Geosphere-2DZZ", DetectorSpec::parse("geosphere-2dzz")},
+         {"Shabany-SD", DetectorSpec::parse("shabany")},
+         {"ETH-SD", DetectorSpec::parse("eth-sd")}},
         geosphere::bench::frames_or(30), geosphere::bench::point_seed(1, 5));
   }();
   return points;

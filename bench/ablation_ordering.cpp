@@ -11,21 +11,13 @@
 #include "bench_util.h"
 #include "channel/rayleigh.h"
 #include "channel/testbed_ensemble.h"
-#include "detect/sphere/sphere_decoder.h"
+#include "detect/spec.h"
 #include "sim/complexity_experiment.h"
 #include "sim/table.h"
 
 namespace {
 
 using namespace geosphere;
-
-DetectorFactory sorted_geosphere_factory() {
-  return [](const Constellation& c) {
-    sphere::SphereConfig cfg;
-    cfg.sorted_qr = true;
-    return sphere::make_geosphere(c, cfg);
-  };
-}
 
 struct Row {
   std::string channel_name;
@@ -54,8 +46,8 @@ const std::vector<Row>& results() {
         scenario.snr_db = 20.0;
         const auto points = sim::measure_complexity(
             bench::engine(), *ch, scenario,
-            {{"Geosphere", geosphere_factory()},
-             {"Geosphere+SQRD", sorted_geosphere_factory()}},
+            {{"Geosphere", DetectorSpec::parse("geosphere")},
+             {"Geosphere+SQRD", DetectorSpec::parse("geosphere-sqrd")}},
             frames, bench::point_seed(1, qam));
         out.push_back({name, qam, points[0], points[1]});
       }

@@ -42,13 +42,14 @@ const std::vector<Row>& results() {
         search.lo_db = qam == 64 ? 10.0 : 16.0;
         search.probe_frames = target < 0.05 ? 60 : 30;
         const double snr = bench::engine().find_snr_for_fer(
-            rayleigh, scenario, geosphere_factory(), search, bench::point_seed(1, qam));
+            rayleigh, scenario, DetectorSpec::parse("geosphere"), search,
+            bench::point_seed(1, qam));
         scenario.snr_db = snr;
 
         const auto points = sim::measure_complexity(
             bench::engine(), rayleigh, scenario,
-            {{"Geosphere-2DZZ", geosphere_zigzag_only_factory()},
-             {"Geosphere", geosphere_factory()}},
+            {{"Geosphere-2DZZ", DetectorSpec::parse("geosphere-2dzz")},
+             {"Geosphere", DetectorSpec::parse("geosphere")}},
             frames,
             bench::point_seed(1, qam + static_cast<std::uint64_t>(100 * target)));
         const double gain = 100.0 * (1.0 - points[1].avg_ped_per_subcarrier /

@@ -11,7 +11,7 @@
 #include "channel/noise.h"
 #include "channel/rayleigh.h"
 #include "common/rng.h"
-#include "detect/factory.h"
+#include "detect/spec.h"
 
 namespace {
 
@@ -47,10 +47,10 @@ const Workload& workload(unsigned order) {
   return it->second;
 }
 
-void run_detector(benchmark::State& state, const DetectorFactory& factory) {
+void run_detector(benchmark::State& state, const DetectorSpec& spec) {
   const auto order = static_cast<unsigned>(state.range(0));
   const Constellation& c = Constellation::qam(order);
-  const auto detector = factory(c);
+  const auto detector = spec.create(c);
   const Workload& w = workload(order);
   std::size_t i = 0;
   std::uint64_t peds = 0;
@@ -66,15 +66,15 @@ void run_detector(benchmark::State& state, const DetectorFactory& factory) {
       benchmark::Counter(calls ? static_cast<double>(peds) / static_cast<double>(calls) : 0);
 }
 
-void BM_ZF(benchmark::State& s) { run_detector(s, zf_factory()); }
-void BM_MMSE(benchmark::State& s) { run_detector(s, mmse_factory()); }
-void BM_MMSE_SIC(benchmark::State& s) { run_detector(s, mmse_sic_factory()); }
-void BM_Geosphere(benchmark::State& s) { run_detector(s, geosphere_factory()); }
-void BM_Geosphere2DZZ(benchmark::State& s) { run_detector(s, geosphere_zigzag_only_factory()); }
-void BM_EthSd(benchmark::State& s) { run_detector(s, eth_sd_factory()); }
-void BM_ShabanySd(benchmark::State& s) { run_detector(s, shabany_factory()); }
-void BM_KBest8(benchmark::State& s) { run_detector(s, kbest_factory(8)); }
-void BM_Fsd(benchmark::State& s) { run_detector(s, fsd_factory()); }
+void BM_ZF(benchmark::State& s) { run_detector(s, DetectorSpec::parse("zf")); }
+void BM_MMSE(benchmark::State& s) { run_detector(s, DetectorSpec::parse("mmse")); }
+void BM_MMSE_SIC(benchmark::State& s) { run_detector(s, DetectorSpec::parse("mmse-sic")); }
+void BM_Geosphere(benchmark::State& s) { run_detector(s, DetectorSpec::parse("geosphere")); }
+void BM_Geosphere2DZZ(benchmark::State& s) { run_detector(s, DetectorSpec::parse("geosphere-2dzz")); }
+void BM_EthSd(benchmark::State& s) { run_detector(s, DetectorSpec::parse("eth-sd")); }
+void BM_ShabanySd(benchmark::State& s) { run_detector(s, DetectorSpec::parse("shabany")); }
+void BM_KBest8(benchmark::State& s) { run_detector(s, DetectorSpec::parse("kbest:8")); }
+void BM_Fsd(benchmark::State& s) { run_detector(s, DetectorSpec::parse("fsd")); }
 
 }  // namespace
 

@@ -56,7 +56,9 @@ const std::vector<Row>& results() {
         scenario.snr_jitter_db = 5.0;
         const auto points = sim::measure_complexity(
             bench::engine(), ensemble, scenario,
-            {{"ETH-SD", eth_sd_factory()}, {"Geosphere", geosphere_factory()}}, frames,
+            {{"ETH-SD", DetectorSpec::parse("eth-sd")},
+             {"Geosphere", DetectorSpec::parse("geosphere")}},
+            frames,
             bench::point_seed(1, static_cast<std::uint64_t>(cfg.clients * 100 + snr)));
         out.push_back({cfg, snr, scenario.frame.qam_order, points[0], points[1]});
       }

@@ -58,15 +58,15 @@ Row run_point(const channel::ChannelModel& ch, const std::string& channel_name,
   search.target_fer = 0.10;
   search.lo_db = snr_floor(qam);
   search.probe_frames = 30;
-  const double snr = bench::engine().find_snr_for_fer(ch, scenario, geosphere_factory(),
-                                                      search, bench::point_seed(1, qam));
+  const double snr = bench::engine().find_snr_for_fer(
+      ch, scenario, DetectorSpec::parse("geosphere"), search, bench::point_seed(1, qam));
   scenario.snr_db = snr;
 
   const auto points = sim::measure_complexity(
       bench::engine(), ch, scenario,
-      {{"ETH-SD", eth_sd_factory()},
-       {"Geosphere-2DZZ", geosphere_zigzag_only_factory()},
-       {"Geosphere", geosphere_factory()}},
+      {{"ETH-SD", DetectorSpec::parse("eth-sd")},
+       {"Geosphere-2DZZ", DetectorSpec::parse("geosphere-2dzz")},
+       {"Geosphere", DetectorSpec::parse("geosphere")}},
       frames, bench::point_seed(1, qam + 7));
   return {ch.num_tx(), channel_name, qam, snr, points[0], points[1], points[2]};
 }

@@ -55,9 +55,9 @@ const Summary& summary() {
       for (const double snr : {15.0, 20.0, 25.0}) {
         tcfg.seed = bench::point_seed(1, clients + static_cast<std::uint64_t>(snr));
         const auto zf = sim::measure_throughput(bench::engine(), ensemble, "ZF",
-                                                zf_factory(), snr, tcfg);
+                                                DetectorSpec::parse("zf"), snr, tcfg);
         const auto geo = sim::measure_throughput(bench::engine(), ensemble, "Geosphere",
-                                                 geosphere_factory(), snr, tcfg);
+                                                 DetectorSpec::parse("geosphere"), snr, tcfg);
         const double gain =
             zf.throughput_mbps > 0 ? geo.throughput_mbps / zf.throughput_mbps : 0.0;
         *out_gain = std::max(*out_gain, gain);
@@ -72,7 +72,9 @@ const Summary& summary() {
     scenario.snr_db = 26.0;  // Near the 10% FER point (see fig15 bench).
     const auto points = sim::measure_complexity(
         bench::engine(), rayleigh, scenario,
-        {{"ETH-SD", eth_sd_factory()}, {"Geosphere", geosphere_factory()}}, frames / 2 + 1,
+        {{"ETH-SD", DetectorSpec::parse("eth-sd")},
+         {"Geosphere", DetectorSpec::parse("geosphere")}},
+        frames / 2 + 1,
         bench::point_seed(1, 1000));
     out.complexity_savings =
         1.0 - points[1].avg_ped_per_subcarrier / points[0].avg_ped_per_subcarrier;

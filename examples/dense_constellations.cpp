@@ -10,7 +10,7 @@
 #include <iostream>
 
 #include "channel/rayleigh.h"
-#include "detect/factory.h"
+#include "detect/spec.h"
 #include "sim/complexity_experiment.h"
 #include "sim/table.h"
 
@@ -37,9 +37,9 @@ int main(int argc, char** argv) {
 
     const auto points = sim::measure_complexity(
         engine, rayleigh, scenario,
-        {{"ETH-SD", eth_sd_factory()},
-         {"Geosphere (2D zigzag only)", geosphere_zigzag_only_factory()},
-         {"Geosphere (full)", geosphere_factory()}},
+        {{"ETH-SD", DetectorSpec::parse("eth-sd")},
+         {"Geosphere (2D zigzag only)", DetectorSpec::parse("geosphere-2dzz")},
+         {"Geosphere (full)", DetectorSpec::parse("geosphere")}},
         frames, /*seed=*/7);
 
     for (const auto& p : points)

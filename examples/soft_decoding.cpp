@@ -13,6 +13,7 @@
 #include "common/db.h"
 #include "common/rng.h"
 #include "detect/soft_output.h"
+#include "detect/spec.h"
 #include "sim/table.h"
 #include "test_util_shim.h"
 
@@ -21,7 +22,10 @@ using namespace geosphere;
 int main(int argc, char** argv) {
   const int frames = argc > 1 ? std::atoi(argv[1]) : 40;
   const Constellation& c = Constellation::qam(16);
-  SoftGeosphereDetector soft(c, 30.0);
+  // The registry's soft detector, exactly as the CLI's --detector
+  // soft-geosphere creates it; soft() exposes the LLR interface.
+  const auto detector = DetectorSpec::parse("soft-geosphere:30").create(c);
+  SoftDetector& soft = *detector->soft();
   coding::ConvolutionalEncoder enc;
   coding::ViterbiDecoder dec;
 
@@ -48,9 +52,9 @@ int main(int argc, char** argv) {
         // indices; keep a 1x2 SIMO link for clarity.
         const auto h = example::random_channel(rng, 2, 1);
         const auto y = example::transmit(rng, h, c, {idx}, n0);
-        const auto r = soft.detect(y, h, n0);
+        const auto r = soft.detect_soft(y, h, n0);
         c.bits_from_index(r.indices[0], sym_bits.data());
-        const auto bit_conf = SoftGeosphereDetector::llrs_to_confidence(r.llrs);
+        const auto bit_conf = llrs_to_confidence(r.llrs);
         for (unsigned b = 0; b < c.bits_per_symbol(); ++b) {
           hard[s * c.bits_per_symbol() + b] = sym_bits[b];
           conf[s * c.bits_per_symbol() + b] = bit_conf[b];

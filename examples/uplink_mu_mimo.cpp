@@ -10,7 +10,7 @@
 #include <iostream>
 
 #include "channel/testbed_ensemble.h"
-#include "detect/factory.h"
+#include "detect/spec.h"
 #include "link/rate_adapt.h"
 #include "link/throughput.h"
 #include "sim/engine.h"
@@ -31,18 +31,18 @@ int main(int argc, char** argv) {
       {"SNR (dB)", "detector", "best QAM", "throughput (Mbps)", "FER"});
 
   for (const double snr : {15.0, 20.0, 25.0}) {
-    for (const auto& [name, factory] :
-         std::vector<std::pair<std::string, DetectorFactory>>{
-             {"ZF", zf_factory()},
-             {"MMSE-SIC", mmse_sic_factory()},
-             {"Geosphere", geosphere_factory()}}) {
+    for (const auto& [name, spec] :
+         std::vector<std::pair<std::string, DetectorSpec>>{
+             {"ZF", DetectorSpec::parse("zf")},
+             {"MMSE-SIC", DetectorSpec::parse("mmse-sic")},
+             {"Geosphere", DetectorSpec::parse("geosphere")}}) {
       link::LinkScenario scenario;
       scenario.frame.payload_bytes = 500;
       scenario.snr_db = snr;
       scenario.snr_jitter_db = 5.0;  // The paper's SNR-range user selection.
 
       const link::RateChoice choice =
-          engine.best_rate(ensemble, scenario, factory, frames, /*seed=*/42);
+          engine.best_rate(ensemble, scenario, spec, frames, /*seed=*/42);
       table.add_row({sim::TablePrinter::fmt(snr, 0), name,
                      std::to_string(choice.qam_order),
                      sim::TablePrinter::fmt(choice.throughput_mbps),

@@ -1,7 +1,11 @@
 // Common interface for MIMO detectors, plus the complexity counters the
-// paper's evaluation is built around (Section 5.3).
+// paper's evaluation is built around (Section 5.3). Hard and soft decision
+// detection share this one surface: every detector produces hard decisions
+// via detect(); detectors that can also emit max-log LLRs (the paper's
+// Section 7 extension) expose that capability through soft().
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -12,6 +16,15 @@
 #include "linalg/matrix.h"
 
 namespace geosphere {
+
+/// Which decision the link layer asks a detector for: hard symbol indices
+/// or per-bit max-log LLRs. A DetectorSpec carries one of these, and
+/// LinkSimulator::simulate_frame dispatches on it.
+enum class DecisionMode { kHard, kSoft };
+
+inline const char* to_string(DecisionMode mode) {
+  return mode == DecisionMode::kSoft ? "soft" : "hard";
+}
 
 /// Per-call complexity counters. The paper's primary metric is the number
 /// of partial Euclidean distance (PED) calculations; visited tree nodes are
@@ -42,6 +55,27 @@ struct DetectionResult {
   DetectionStats stats;
 };
 
+/// Soft-decision result: the hard (ML) decisions plus per-bit max-log LLRs.
+struct SoftDetectionResult {
+  std::vector<unsigned> indices;  ///< Hard (ML) decisions per stream.
+  /// LLRs, stream-major: llrs[k * Q + b] for bit b of stream k, with the
+  /// bit order of Constellation::bits_from_index. Positive = bit 0 likely.
+  std::vector<double> llrs;
+  DetectionStats stats;
+};
+
+/// Sub-interface for detectors that can produce max-log LLRs. Obtained
+/// through Detector::soft(); never owned separately from its Detector.
+class SoftDetector {
+ public:
+  virtual ~SoftDetector() = default;
+
+  /// Soft-decision counterpart of Detector::detect(): same inputs, hard
+  /// decisions plus one LLR per transmitted bit.
+  virtual SoftDetectionResult detect_soft(const CVector& y, const linalg::CMatrix& h,
+                                          double noise_var) = 0;
+};
+
 /// A MIMO detector configured for one constellation. Implementations own
 /// preallocated workspaces and are therefore not thread-safe per instance;
 /// create one instance per thread.
@@ -57,6 +91,11 @@ class Detector {
   /// receive antenna. Requires n_a >= n_c >= 1.
   virtual DetectionResult detect(const CVector& y, const linalg::CMatrix& h,
                                  double noise_var) = 0;
+
+  /// Non-null iff this detector can produce soft (max-log LLR) output. The
+  /// returned interface aliases this object: same lifetime, same
+  /// thread-safety rules (one instance per thread).
+  virtual SoftDetector* soft() { return nullptr; }
 
   virtual std::string name() const = 0;
 
@@ -78,5 +117,14 @@ class Detector {
  private:
   const Constellation* constellation_;
 };
+
+/// Maps LLRs to per-bit "confidence the bit is 1" in [0,1], the input
+/// format of coding::ViterbiDecoder::decode_soft.
+inline std::vector<double> llrs_to_confidence(const std::vector<double>& llrs) {
+  std::vector<double> out(llrs.size());
+  for (std::size_t i = 0; i < llrs.size(); ++i)
+    out[i] = 1.0 / (1.0 + std::exp(llrs[i]));
+  return out;
+}
 
 }  // namespace geosphere

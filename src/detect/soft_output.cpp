@@ -13,7 +13,7 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 }
 
 SoftGeosphereDetector::SoftGeosphereDetector(const Constellation& c, double llr_clamp)
-    : constellation_(&c), llr_clamp_(llr_clamp) {
+    : Detector(c), llr_clamp_(llr_clamp) {
   if (llr_clamp <= 0.0)
     throw std::invalid_argument("SoftGeosphereDetector: llr_clamp must be positive");
 }
@@ -22,7 +22,7 @@ SoftGeosphereDetector::Search SoftGeosphereDetector::search(
     double radius_sq, std::ptrdiff_t mask_level, const std::vector<std::uint8_t>* mask,
     DetectionStats& stats) {
   const std::size_t nc = scale_.size();
-  const Constellation& cons = *constellation_;
+  const Constellation& cons = constellation();
   const double alpha = cons.scale();
 
   Search out;
@@ -70,16 +70,15 @@ SoftGeosphereDetector::Search SoftGeosphereDetector::search(
   return out;
 }
 
-SoftDetectionResult SoftGeosphereDetector::detect(const CVector& y,
-                                                  const linalg::CMatrix& h,
-                                                  double noise_var) {
+void SoftGeosphereDetector::prepare(const CVector& y, const linalg::CMatrix& h,
+                                    double noise_var) {
   const std::size_t nc = h.cols();
   if (nc == 0 || h.rows() < nc || y.size() != h.rows())
     throw std::invalid_argument("SoftGeosphereDetector: shape mismatch");
   if (noise_var <= 0.0)
     throw std::invalid_argument("SoftGeosphereDetector: needs positive noise variance");
 
-  const Constellation& cons = *constellation_;
+  const Constellation& cons = constellation();
   const auto [q, r] = linalg::householder_qr(h);
   const double rank_tol = 1e-10 * std::sqrt(std::max(h.frobenius_norm_sq(), 1e-300));
   for (std::size_t l = 0; l < nc; ++l)
@@ -101,6 +100,22 @@ SoftDetectionResult SoftGeosphereDetector::detect(const CVector& y,
     current_.assign(nc, 0);
     partial_.assign(nc + 1, 0.0);
   }
+}
+
+DetectionResult SoftGeosphereDetector::detect(const CVector& y, const linalg::CMatrix& h,
+                                              double noise_var) {
+  prepare(y, h, noise_var);
+  DetectionStats stats;
+  const Search ml = search(kInf, -1, nullptr, stats);
+  return make_result(ml.best, stats);
+}
+
+SoftDetectionResult SoftGeosphereDetector::detect_soft(const CVector& y,
+                                                       const linalg::CMatrix& h,
+                                                       double noise_var) {
+  prepare(y, h, noise_var);
+  const std::size_t nc = h.cols();
+  const Constellation& cons = constellation();
 
   SoftDetectionResult result;
   DetectionStats stats;
@@ -140,14 +155,6 @@ SoftDetectionResult SoftGeosphereDetector::detect(const CVector& y,
   }
   result.stats = stats;
   return result;
-}
-
-std::vector<double> SoftGeosphereDetector::llrs_to_confidence(
-    const std::vector<double>& llrs) {
-  std::vector<double> out(llrs.size());
-  for (std::size_t i = 0; i < llrs.size(); ++i)
-    out[i] = 1.0 / (1.0 + std::exp(llrs[i]));
-  return out;
 }
 
 }  // namespace geosphere

@@ -11,6 +11,10 @@
 // (the "repeated tree search" strategy). All searches reuse Geosphere's
 // zigzag enumeration and geometric pruning, so the per-bit searches stay
 // cheap at practical SNR.
+//
+// SoftGeosphereDetector is a full Detector: detect() runs only the
+// unconstrained search (ML-equivalent hard decisions), detect_soft()
+// (via Detector::soft()) adds the per-bit counter-hypothesis searches.
 #pragma once
 
 #include <vector>
@@ -23,29 +27,27 @@
 
 namespace geosphere {
 
-struct SoftDetectionResult {
-  std::vector<unsigned> indices;  ///< Hard (ML) decisions per stream.
-  /// LLRs, stream-major: llrs[k * Q + b] for bit b of stream k, with the
-  /// bit order of Constellation::bits_from_index. Positive = bit 0 likely.
-  std::vector<double> llrs;
-  DetectionStats stats;
-};
-
-class SoftGeosphereDetector {
+class SoftGeosphereDetector final : public Detector, public SoftDetector {
  public:
   /// `llr_clamp`: counter-hypothesis searches are bounded; when no
   /// counter-hypothesis lies within the clamp radius the LLR saturates at
   /// +/- llr_clamp (standard max-log practice).
   explicit SoftGeosphereDetector(const Constellation& c, double llr_clamp = 30.0);
 
-  SoftDetectionResult detect(const CVector& y, const linalg::CMatrix& h,
-                             double noise_var);
+  /// Hard decisions only: the unconstrained Geosphere search (same ML
+  /// solution as the hard Geosphere detector, no counter-hypothesis cost).
+  DetectionResult detect(const CVector& y, const linalg::CMatrix& h,
+                         double noise_var) override;
 
-  const Constellation& constellation() const { return *constellation_; }
+  /// Hard decisions plus max-log LLRs for every transmitted bit.
+  SoftDetectionResult detect_soft(const CVector& y, const linalg::CMatrix& h,
+                                  double noise_var) override;
 
-  /// Convenience: map LLRs to per-bit "confidence the bit is 1" in [0,1],
-  /// the input format of coding::ViterbiDecoder::decode_soft.
-  static std::vector<double> llrs_to_confidence(const std::vector<double>& llrs);
+  SoftDetector* soft() override { return this; }
+
+  std::string name() const override { return "soft-geosphere"; }
+
+  double llr_clamp() const { return llr_clamp_; }
 
  private:
   struct Search {
@@ -54,12 +56,15 @@ class SoftGeosphereDetector {
     bool found = false;
   };
 
+  /// Validates inputs and computes the QR-reduced tree problem shared by
+  /// the unconstrained and per-bit searches.
+  void prepare(const CVector& y, const linalg::CMatrix& h, double noise_var);
+
   /// Depth-first search; `mask_level`/`mask` optionally restrict the symbol
   /// at one tree level to a subset of constellation indices.
   Search search(double radius_sq, std::ptrdiff_t mask_level,
                 const std::vector<std::uint8_t>* mask, DetectionStats& stats);
 
-  const Constellation* constellation_;
   double llr_clamp_;
 
   // Problem state shared across the unconstrained and per-bit searches.

@@ -70,10 +70,17 @@ void LinkSimulator::init_stats(LinkStats& stats) const {
   }
 }
 
-void LinkSimulator::simulate_frame_soft(SoftGeosphereDetector& detector, Rng& rng,
-                                        LinkStats& stats) const {
+void LinkSimulator::simulate_frame(Detector& detector, DecisionMode mode, Rng& rng,
+                                   LinkStats& stats) const {
   if (detector.constellation().order() != scenario_.frame.qam_order)
     throw std::invalid_argument("LinkSimulator: detector/frame constellation mismatch");
+  SoftDetector* soft = nullptr;
+  if (mode == DecisionMode::kSoft) {
+    soft = detector.soft();
+    if (soft == nullptr)
+      throw std::invalid_argument("LinkSimulator: detector \"" + detector.name() +
+                                  "\" cannot produce soft decisions");
+  }
   init_stats(stats);
 
   const std::size_t nc = channel_->num_tx();
@@ -82,11 +89,15 @@ void LinkSimulator::simulate_frame_soft(SoftGeosphereDetector& detector, Rng& rn
   const unsigned q = detector.constellation().bits_per_symbol();
 
   std::vector<phy::EncodedFrame> tx(nc);
-  // Per client: per-coded-bit confidences in transmitted order.
-  std::vector<std::vector<double>> rx_conf(nc);
+  // Hard path: per-client detected symbol indices in transmitted order.
+  std::vector<std::vector<unsigned>> rx(soft == nullptr ? nc : 0);
+  // Soft path: per-client per-coded-bit confidences in transmitted order.
+  std::vector<std::vector<double>> rx_conf(soft != nullptr ? nc : 0);
   CVector x(nc);
   CVector y;
 
+  // Identical draw order in both modes (link, jitter, payloads, noise), so
+  // hard and soft runs of the same seed are paired on identical channels.
   const channel::Link link = channel_->draw_link(rng, nsc);
   const double snr_db =
       scenario_.snr_db + (scenario_.snr_jitter_db > 0.0
@@ -96,7 +107,10 @@ void LinkSimulator::simulate_frame_soft(SoftGeosphereDetector& detector, Rng& rn
 
   for (std::size_t k = 0; k < nc; ++k) {
     tx[k] = codec_.encode(rng.bits(scenario_.frame.payload_bits()));
-    rx_conf[k].assign(ofdm_symbols * nsc * q, 0.5);
+    if (soft != nullptr)
+      rx_conf[k].assign(ofdm_symbols * nsc * q, 0.5);
+    else
+      rx[k].assign(ofdm_symbols * nsc, 0);
   }
 
   for (std::size_t sym = 0; sym < ofdm_symbols; ++sym) {
@@ -107,18 +121,27 @@ void LinkSimulator::simulate_frame_soft(SoftGeosphereDetector& detector, Rng& rn
       y = h * x;
       channel::add_awgn(y, n0, rng);
 
-      const SoftDetectionResult result = detector.detect(y, h, n0);
-      stats.detection += result.stats;
-      ++stats.detection_calls;
-      const auto conf = SoftGeosphereDetector::llrs_to_confidence(result.llrs);
-      for (std::size_t k = 0; k < nc; ++k)
-        for (unsigned b = 0; b < q; ++b)
-          rx_conf[k][(sym * nsc + sc) * q + b] = conf[k * q + b];
+      if (soft != nullptr) {
+        const SoftDetectionResult result = soft->detect_soft(y, h, n0);
+        stats.detection += result.stats;
+        ++stats.detection_calls;
+        const auto conf = llrs_to_confidence(result.llrs);
+        for (std::size_t k = 0; k < nc; ++k)
+          for (unsigned b = 0; b < q; ++b)
+            rx_conf[k][(sym * nsc + sc) * q + b] = conf[k * q + b];
+      } else {
+        const DetectionResult result = detector.detect(y, h, n0);
+        stats.detection += result.stats;
+        ++stats.detection_calls;
+        for (std::size_t k = 0; k < nc; ++k) rx[k][sym * nsc + sc] = result.indices[k];
+      }
     }
   }
 
   for (std::size_t k = 0; k < nc; ++k) {
-    const BitVector decoded = codec_.decode_soft(rx_conf[k], ofdm_symbols);
+    const BitVector decoded = soft != nullptr
+                                  ? codec_.decode_soft(rx_conf[k], ofdm_symbols)
+                                  : codec_.decode(rx[k], ofdm_symbols);
     bool frame_error = false;
     for (std::size_t b = 0; b < decoded.size(); ++b) {
       if (decoded[b] != tx[k].payload[b]) {
@@ -132,90 +155,23 @@ void LinkSimulator::simulate_frame_soft(SoftGeosphereDetector& detector, Rng& rn
   ++stats.frames;
 }
 
-void LinkSimulator::simulate_frame(Detector& detector, Rng& rng, LinkStats& stats) const {
-  if (detector.constellation().order() != scenario_.frame.qam_order)
-    throw std::invalid_argument("LinkSimulator: detector/frame constellation mismatch");
-  init_stats(stats);
-
-  const std::size_t nc = channel_->num_tx();
-  const std::size_t nsc = scenario_.frame.data_subcarriers;
-  const std::size_t ofdm_symbols = codec_.ofdm_symbols_per_frame();
-
-  std::vector<phy::EncodedFrame> tx(nc);
-  std::vector<std::vector<unsigned>> rx(nc);
-  CVector x(nc);
-  CVector y;
-
-  const channel::Link link = channel_->draw_link(rng, nsc);
-  const double snr_db =
-      scenario_.snr_db + (scenario_.snr_jitter_db > 0.0
-                              ? rng.uniform(-scenario_.snr_jitter_db, scenario_.snr_jitter_db)
-                              : 0.0);
-  const double n0 = channel::noise_variance_for_snr_db(snr_db);
-
-  for (std::size_t k = 0; k < nc; ++k) {
-    tx[k] = codec_.encode(rng.bits(scenario_.frame.payload_bits()));
-    rx[k].assign(ofdm_symbols * nsc, 0);
-  }
-
-  for (std::size_t sym = 0; sym < ofdm_symbols; ++sym) {
-    for (std::size_t sc = 0; sc < nsc; ++sc) {
-      const linalg::CMatrix& h = link.subcarriers[sc];
-      for (std::size_t k = 0; k < nc; ++k)
-        x[k] = detector.constellation().point(tx[k].symbol_at(sym, sc, nsc));
-      y = h * x;
-      channel::add_awgn(y, n0, rng);
-
-      const DetectionResult result = detector.detect(y, h, n0);
-      stats.detection += result.stats;
-      ++stats.detection_calls;
-      for (std::size_t k = 0; k < nc; ++k) rx[k][sym * nsc + sc] = result.indices[k];
-    }
-  }
-
-  for (std::size_t k = 0; k < nc; ++k) {
-    const BitVector decoded = codec_.decode(rx[k], ofdm_symbols);
-    bool frame_error = false;
-    for (std::size_t b = 0; b < decoded.size(); ++b) {
-      if (decoded[b] != tx[k].payload[b]) {
-        ++stats.bit_errors;
-        frame_error = true;
-      }
-    }
-    stats.payload_bits += decoded.size();
-    stats.client_frame_errors[k] += frame_error ? 1 : 0;
-  }
-  ++stats.frames;
-}
-
-LinkStats LinkSimulator::run(Detector& detector, std::size_t frames,
+LinkStats LinkSimulator::run(Detector& detector, DecisionMode mode, std::size_t frames,
                              std::uint64_t seed) const {
   LinkStats stats;
   init_stats(stats);
   for (std::size_t f = 0; f < frames; ++f) {
     Rng rng = Rng::for_frame(seed, f);
-    simulate_frame(detector, rng, stats);
-  }
-  return stats;
-}
-
-LinkStats LinkSimulator::run_soft(SoftGeosphereDetector& detector, std::size_t frames,
-                                  std::uint64_t seed) const {
-  LinkStats stats;
-  init_stats(stats);
-  for (std::size_t f = 0; f < frames; ++f) {
-    Rng rng = Rng::for_frame(seed, f);
-    simulate_frame_soft(detector, rng, stats);
+    simulate_frame(detector, mode, rng, stats);
   }
   return stats;
 }
 
 FrameBatchRunner sequential_runner() {
-  return [](const LinkSimulator& sim, const DetectorFactory& factory, std::size_t frames,
+  return [](const LinkSimulator& sim, const DetectorSpec& spec, std::size_t frames,
             std::uint64_t seed) {
     const Constellation& c = Constellation::qam(sim.scenario().frame.qam_order);
-    const auto detector = factory(c);
-    return sim.run(*detector, frames, seed);
+    const auto detector = spec.create(c);
+    return sim.run(*detector, spec.decision(), frames, seed);
   };
 }
 

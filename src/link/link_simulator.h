@@ -1,6 +1,9 @@
 // Frame-level Monte-Carlo simulation of the uplink multi-user MIMO system:
 // per-client coding chains, per-subcarrier joint detection, per-client
 // decoding -- the engine behind every throughput and complexity experiment.
+// Hard and soft decision detection run through one mode-dispatched path:
+// simulate_frame(detector, DecisionMode, ...) feeds either hard symbol
+// indices to the hard Viterbi or max-log LLRs to the soft Viterbi.
 #pragma once
 
 #include <cstddef>
@@ -11,8 +14,7 @@
 #include "channel/channel_model.h"
 #include "common/rng.h"
 #include "detect/detector.h"
-#include "detect/factory.h"
-#include "detect/soft_output.h"
+#include "detect/spec.h"
 #include "phy/frame.h"
 
 namespace geosphere::link {
@@ -58,25 +60,23 @@ class LinkSimulator {
   /// Simulates ONE independent frame (fresh channel, payloads and noise,
   /// all drawn from `rng`) and accumulates into `stats`. This is the unit
   /// of parallelism: feed it Rng::for_frame(seed, frame_index) and the
-  /// frame's result depends only on (seed, frame_index).
-  void simulate_frame(Detector& detector, Rng& rng, LinkStats& stats) const;
-
-  /// Soft-decision variant: max-log LLRs from the soft Geosphere detector
-  /// feed the soft Viterbi decoder (the full-system version of the paper's
-  /// Section 7 extension). Considerably more computation per subcarrier
-  /// (one constrained search per bit).
-  void simulate_frame_soft(SoftGeosphereDetector& detector, Rng& rng,
-                           LinkStats& stats) const;
+  /// frame's result depends only on (seed, frame_index, mode).
+  ///
+  /// DecisionMode::kHard feeds the detector's symbol decisions to the hard
+  /// Viterbi; DecisionMode::kSoft requires detector.soft() != nullptr
+  /// (throws std::invalid_argument otherwise) and feeds max-log LLRs to
+  /// the soft Viterbi -- the full-system version of the paper's Section 7
+  /// extension, at considerably more computation per subcarrier (one
+  /// constrained search per bit).
+  void simulate_frame(Detector& detector, DecisionMode mode, Rng& rng,
+                      LinkStats& stats) const;
 
   /// Simulates `frames` independent frames with counter-based per-frame
   /// seeding (frame f uses Rng::for_frame(seed, f)) and accumulates link
-  /// statistics. sim::Engine::run_link with the same seed is bit-identical
-  /// to this for any thread count.
-  LinkStats run(Detector& detector, std::size_t frames, std::uint64_t seed) const;
-
-  /// Soft-decision counterpart of run().
-  LinkStats run_soft(SoftGeosphereDetector& detector, std::size_t frames,
-                     std::uint64_t seed) const;
+  /// statistics. sim::Engine::run_link with the same seed and mode is
+  /// bit-identical to this for any thread count.
+  LinkStats run(Detector& detector, DecisionMode mode, std::size_t frames,
+                std::uint64_t seed) const;
 
   const LinkScenario& scenario() const { return scenario_; }
 
@@ -90,13 +90,14 @@ class LinkSimulator {
   phy::FrameCodec codec_;
 };
 
-/// Strategy for running a batch of frames through a detector built by
-/// `factory` for the scenario's constellation. The link-layer helpers
-/// (best_rate, find_snr_for_fer) take one of these so sim::Engine can
-/// inject a thread-pooled runner without the link layer knowing about
-/// threads; the default runs sequentially via LinkSimulator::run.
+/// Strategy for running a batch of frames through a detector described by
+/// `spec` (created for the scenario's constellation, run in the spec's
+/// decision mode). The link-layer helpers (best_rate, find_snr_for_fer)
+/// take one of these so sim::Engine can inject a thread-pooled runner
+/// without the link layer knowing about threads; the default runs
+/// sequentially via LinkSimulator::run.
 using FrameBatchRunner = std::function<LinkStats(
-    const LinkSimulator&, const DetectorFactory&, std::size_t frames, std::uint64_t seed)>;
+    const LinkSimulator&, const DetectorSpec&, std::size_t frames, std::uint64_t seed)>;
 
 /// The default single-threaded FrameBatchRunner.
 FrameBatchRunner sequential_runner();

@@ -5,7 +5,7 @@
 namespace geosphere::link {
 
 RateChoice best_rate(const channel::ChannelModel& channel, LinkScenario base,
-                     const DetectorFactory& factory, std::size_t frames,
+                     const DetectorSpec& spec, std::size_t frames,
                      std::uint64_t seed, const std::vector<unsigned>& candidate_qams,
                      const FrameBatchRunner& runner) {
   RateChoice best;
@@ -15,7 +15,7 @@ RateChoice best_rate(const channel::ChannelModel& channel, LinkScenario base,
 
     LinkSimulator sim(channel, scenario);
     // Identical draws for every candidate: same seed, per-frame seeding.
-    const LinkStats stats = runner(sim, factory, frames, seed);
+    const LinkStats stats = runner(sim, spec, frames, seed);
 
     const double mbps =
         net_throughput_mbps(channel.num_tx(), qam, scenario.frame.code_rate,

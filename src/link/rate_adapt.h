@@ -8,7 +8,7 @@
 #include <vector>
 
 #include "channel/channel_model.h"
-#include "detect/factory.h"
+#include "detect/spec.h"
 #include "link/link_simulator.h"
 
 namespace geosphere::link {
@@ -24,10 +24,11 @@ struct RateChoice {
 /// returns the choice with the highest net throughput. `base.frame.qam_order`
 /// is overridden per candidate. The same seed is reused per candidate so
 /// every modulation sees identical channel/noise draws. `runner` executes
-/// each candidate's frame batch; the default runs sequentially, sim::Engine
-/// injects its thread-pooled runner (same results, any thread count).
+/// each candidate's frame batch in the spec's decision mode; the default
+/// runs sequentially, sim::Engine parallelizes across candidates AND frames
+/// in Engine::best_rate (same results, any thread count).
 RateChoice best_rate(const channel::ChannelModel& channel, LinkScenario base,
-                     const DetectorFactory& factory, std::size_t frames,
+                     const DetectorSpec& spec, std::size_t frames,
                      std::uint64_t seed,
                      const std::vector<unsigned>& candidate_qams = {4, 16, 64},
                      const FrameBatchRunner& runner = sequential_runner());

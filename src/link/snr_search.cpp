@@ -3,7 +3,7 @@
 namespace geosphere::link {
 
 double find_snr_for_fer(const channel::ChannelModel& channel, LinkScenario base,
-                        const DetectorFactory& factory, const SnrSearchConfig& config,
+                        const DetectorSpec& spec, const SnrSearchConfig& config,
                         std::uint64_t seed, const FrameBatchRunner& runner) {
   double lo = config.lo_db;
   double hi = config.hi_db;
@@ -13,7 +13,7 @@ double find_snr_for_fer(const channel::ChannelModel& channel, LinkScenario base,
     scenario.snr_db = mid;
     LinkSimulator sim(channel, scenario);
     const LinkStats stats =
-        runner(sim, factory, config.probe_frames, seed + static_cast<std::uint64_t>(it));
+        runner(sim, spec, config.probe_frames, seed + static_cast<std::uint64_t>(it));
     if (stats.fer() > config.target_fer)
       lo = mid;  // Too many errors: need more SNR.
     else

@@ -4,7 +4,7 @@
 #pragma once
 
 #include "channel/channel_model.h"
-#include "detect/factory.h"
+#include "detect/spec.h"
 #include "link/link_simulator.h"
 
 namespace geosphere::link {
@@ -18,12 +18,12 @@ struct SnrSearchConfig {
 };
 
 /// Bisects on SNR (FER is statistically monotone decreasing in SNR).
-/// Detection uses the supplied factory -- for sphere decoders the FER is
+/// Detection uses the supplied spec -- for sphere decoders the FER is
 /// identical across all ML variants, so the cheapest (full Geosphere) is
 /// the sensible choice for calibration. `runner` executes each probe batch
 /// (default: sequential; sim::Engine injects its thread-pooled runner).
 double find_snr_for_fer(const channel::ChannelModel& channel, LinkScenario base,
-                        const DetectorFactory& factory, const SnrSearchConfig& config,
+                        const DetectorSpec& spec, const SnrSearchConfig& config,
                         std::uint64_t seed,
                         const FrameBatchRunner& runner = sequential_runner());
 

@@ -5,15 +5,15 @@ namespace geosphere::sim {
 std::vector<ComplexityPoint> measure_complexity(
     Engine& engine, const channel::ChannelModel& channel,
     const link::LinkScenario& scenario,
-    const std::vector<std::pair<std::string, DetectorFactory>>& detectors,
+    const std::vector<std::pair<std::string, DetectorSpec>>& detectors,
     std::size_t frames, std::uint64_t seed) {
   std::vector<ComplexityPoint> out;
   out.reserve(detectors.size());
 
-  for (const auto& [name, factory] : detectors) {
+  for (const auto& [name, spec] : detectors) {
     link::LinkSimulator sim(channel, scenario);
     // Identical workload per detector: same seed, per-frame seeding.
-    const link::LinkStats stats = engine.run_link(sim, factory, frames, seed);
+    const link::LinkStats stats = engine.run_link(sim, spec, frames, seed);
 
     ComplexityPoint point;
     point.detector = name;

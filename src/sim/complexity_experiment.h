@@ -9,7 +9,7 @@
 #include <vector>
 
 #include "channel/channel_model.h"
-#include "detect/factory.h"
+#include "detect/spec.h"
 #include "link/link_simulator.h"
 #include "sim/engine.h"
 
@@ -23,11 +23,12 @@ struct ComplexityPoint {
 };
 
 /// Runs the same frame workload (seed-identical channel/payload/noise)
-/// through each named detector and reports the paper's complexity metrics.
+/// through each labelled detector spec and reports the paper's complexity
+/// metrics.
 std::vector<ComplexityPoint> measure_complexity(
     Engine& engine, const channel::ChannelModel& channel,
     const link::LinkScenario& scenario,
-    const std::vector<std::pair<std::string, DetectorFactory>>& detectors,
+    const std::vector<std::pair<std::string, DetectorSpec>>& detectors,
     std::size_t frames, std::uint64_t seed);
 
 }  // namespace geosphere::sim

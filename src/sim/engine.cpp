@@ -2,20 +2,29 @@
 
 #include <atomic>
 
+#include "link/throughput.h"
+
 namespace geosphere::sim {
 
-link::LinkStats Engine::run_link(const link::LinkSimulator& sim,
-                                 const DetectorFactory& factory, std::size_t frames,
-                                 std::uint64_t seed) {
-  const Constellation& c = Constellation::qam(sim.scenario().frame.qam_order);
+Detector& Engine::worker_detector(std::size_t worker, const DetectorSpec& spec,
+                                  unsigned qam_order) {
+  const std::string key = spec.text() + "@" + std::to_string(qam_order);
+  auto& slot = detector_cache_[worker][key];
+  if (!slot) slot = spec.create(Constellation::qam(qam_order));
+  return *slot;
+}
+
+link::LinkStats Engine::run_link(const link::LinkSimulator& sim, const DetectorSpec& spec,
+                                 std::size_t frames, std::uint64_t seed) {
+  const unsigned qam = sim.scenario().frame.qam_order;
   std::vector<link::LinkStats> partial(pool_.size());
   std::atomic<std::size_t> next{0};
   pool_.run_on_workers([&](std::size_t worker) {
-    const auto detector = factory(c);
+    Detector& detector = worker_detector(worker, spec, qam);
     link::LinkStats& local = partial[worker];
     for (std::size_t f; (f = next.fetch_add(1, std::memory_order_relaxed)) < frames;) {
       Rng rng = Rng::for_frame(seed, f);
-      sim.simulate_frame(*detector, rng, local);
+      sim.simulate_frame(detector, spec.decision(), rng, local);
     }
   });
 
@@ -26,51 +35,163 @@ link::LinkStats Engine::run_link(const link::LinkSimulator& sim,
 }
 
 link::FrameBatchRunner Engine::runner() {
-  return [this](const link::LinkSimulator& sim, const DetectorFactory& factory,
+  return [this](const link::LinkSimulator& sim, const DetectorSpec& spec,
                 std::size_t frames, std::uint64_t seed) {
-    return run_link(sim, factory, frames, seed);
+    return run_link(sim, spec, frames, seed);
   };
 }
 
 link::RateChoice Engine::best_rate(const channel::ChannelModel& channel,
-                                   link::LinkScenario base, const DetectorFactory& factory,
+                                   link::LinkScenario base, const DetectorSpec& spec,
                                    std::size_t frames, std::uint64_t seed,
                                    const std::vector<unsigned>& candidate_qams) {
-  return link::best_rate(channel, base, factory, frames, seed, candidate_qams, runner());
+  const std::size_t nq = candidate_qams.size();
+  std::vector<link::LinkSimulator> sims;
+  sims.reserve(nq);
+  for (const unsigned qam : candidate_qams) {
+    link::LinkScenario scenario = base;
+    scenario.frame.qam_order = qam;
+    sims.emplace_back(channel, scenario);
+  }
+
+  // One flat work pool over (candidate, frame): candidates run
+  // concurrently instead of one frame batch after another. Identical
+  // draws for every candidate: same seed, per-frame seeding.
+  std::vector<std::vector<link::LinkStats>> partial(
+      pool_.size(), std::vector<link::LinkStats>(nq));
+  std::atomic<std::size_t> next{0};
+  const std::size_t total = nq * frames;
+  pool_.run_on_workers([&](std::size_t worker) {
+    for (std::size_t g; (g = next.fetch_add(1, std::memory_order_relaxed)) < total;) {
+      const std::size_t qi = g / frames;
+      const std::size_t f = g % frames;
+      Detector& detector = worker_detector(worker, spec, candidate_qams[qi]);
+      Rng rng = Rng::for_frame(seed, f);
+      sims[qi].simulate_frame(detector, spec.decision(), rng, partial[worker][qi]);
+    }
+  });
+
+  // Same selection rule as link::best_rate: candidate order, strictly
+  // greater throughput wins. Worker-ordered merge keeps the accumulation
+  // associative-deterministic (all-integer counters).
+  link::RateChoice best;
+  for (std::size_t qi = 0; qi < nq; ++qi) {
+    link::LinkStats stats;
+    sims[qi].init_stats(stats);
+    for (const auto& p : partial) stats += p[qi];
+
+    const link::LinkScenario& scenario = sims[qi].scenario();
+    const double mbps = link::net_throughput_mbps(
+        channel.num_tx(), candidate_qams[qi], scenario.frame.code_rate,
+        stats.per_client_fer(), scenario.frame.data_subcarriers);
+    if (best.qam_order == 0 || mbps > best.throughput_mbps) {
+      best.qam_order = candidate_qams[qi];
+      best.code_rate = scenario.frame.code_rate;
+      best.throughput_mbps = mbps;
+      best.stats = stats;
+    }
+  }
+  return best;
 }
 
 double Engine::find_snr_for_fer(const channel::ChannelModel& channel,
-                                link::LinkScenario base, const DetectorFactory& factory,
+                                link::LinkScenario base, const DetectorSpec& spec,
                                 const link::SnrSearchConfig& config, std::uint64_t seed) {
-  return link::find_snr_for_fer(channel, base, factory, config, seed, runner());
+  return link::find_snr_for_fer(channel, base, spec, config, seed, runner());
 }
 
 std::vector<SweepCell> Engine::run_sweep(const channel::ChannelModel& channel,
                                          const SweepSpec& spec) {
-  std::vector<SweepCell> out;
-  out.reserve(spec.snr_grid_db.size() * spec.detectors.size());
+  // Parse and validate every detector (including the decision override)
+  // before any work is scheduled.
+  std::vector<DetectorSpec> specs;
+  specs.reserve(spec.detectors.size());
+  for (const std::string& name : spec.detectors) {
+    DetectorSpec parsed = DetectorSpec::parse(name);
+    if (spec.decision) parsed = parsed.with_decision(*spec.decision);
+    specs.push_back(std::move(parsed));
+  }
+
+  const std::size_t ns = spec.snr_grid_db.size();
+  const std::size_t nd = specs.size();
+  const std::size_t nq = spec.candidate_qams.size();
+  const std::size_t frames = spec.frames;
 
   link::LinkScenario base;
   base.frame.payload_bytes = spec.payload_bytes;
   base.frame.code_rate = spec.code_rate;
   base.snr_jitter_db = spec.snr_jitter_db;
 
-  for (std::size_t si = 0; si < spec.snr_grid_db.size(); ++si) {
-    base.snr_db = spec.snr_grid_db[si];
-    // One derived seed per SNR point, shared across detectors so their
-    // comparison is paired on identical channel/noise draws.
-    const std::uint64_t point_seed = Rng::derive_seed(spec.seed, si);
-    for (const std::string& name : spec.detectors) {
-      const link::RateChoice choice = best_rate(channel, base, detector_by_name(name),
-                                                spec.frames, point_seed,
-                                                spec.candidate_qams);
+  // One LinkSimulator per (SNR point, candidate QAM); detectors share it.
+  std::vector<link::LinkSimulator> sims;
+  sims.reserve(ns * nq);
+  for (std::size_t si = 0; si < ns; ++si) {
+    for (std::size_t qi = 0; qi < nq; ++qi) {
+      link::LinkScenario scenario = base;
+      scenario.snr_db = spec.snr_grid_db[si];
+      scenario.frame.qam_order = spec.candidate_qams[qi];
+      sims.emplace_back(channel, scenario);
+    }
+  }
+
+  // One derived seed per SNR point, shared across detectors so their
+  // comparison is paired on identical channel/noise draws.
+  std::vector<std::uint64_t> point_seeds(ns);
+  for (std::size_t si = 0; si < ns; ++si)
+    point_seeds[si] = Rng::derive_seed(spec.seed, si);
+
+  // The whole sweep is one flat work pool over (SNR, detector, candidate,
+  // frame): cells and rate-adaptation candidates parallelize, not just
+  // frames within a cell. partial[worker][(si * nd + di) * nq + qi]
+  // accumulates that worker's frames for one (cell, candidate).
+  std::vector<std::vector<link::LinkStats>> partial(
+      pool_.size(), std::vector<link::LinkStats>(ns * nd * nq));
+  std::atomic<std::size_t> next{0};
+  const std::size_t total = ns * nd * nq * frames;
+  pool_.run_on_workers([&](std::size_t worker) {
+    for (std::size_t g; (g = next.fetch_add(1, std::memory_order_relaxed)) < total;) {
+      const std::size_t f = g % frames;
+      std::size_t rest = g / frames;
+      const std::size_t qi = rest % nq;
+      rest /= nq;
+      const std::size_t di = rest % nd;
+      const std::size_t si = rest / nd;
+
+      Detector& detector = worker_detector(worker, specs[di], spec.candidate_qams[qi]);
+      Rng rng = Rng::for_frame(point_seeds[si], f);
+      sims[si * nq + qi].simulate_frame(detector, specs[di].decision(), rng,
+                                        partial[worker][(si * nd + di) * nq + qi]);
+    }
+  });
+
+  // Assemble cells SNR-major then detector, applying the same selection
+  // rule as best_rate per cell (candidate order, strictly greater wins).
+  std::vector<SweepCell> out;
+  out.reserve(ns * nd);
+  for (std::size_t si = 0; si < ns; ++si) {
+    for (std::size_t di = 0; di < nd; ++di) {
       SweepCell cell;
-      cell.detector = name;
-      cell.snr_db = base.snr_db;
-      cell.best_qam = choice.qam_order;
-      cell.code_rate = choice.code_rate;
-      cell.throughput_mbps = choice.throughput_mbps;
-      cell.stats = choice.stats;
+      cell.detector = spec.detectors[di];
+      cell.decision = specs[di].decision();
+      cell.snr_db = spec.snr_grid_db[si];
+      double best_mbps = 0.0;
+      for (std::size_t qi = 0; qi < nq; ++qi) {
+        const link::LinkSimulator& sim = sims[si * nq + qi];
+        link::LinkStats stats;
+        sim.init_stats(stats);
+        for (const auto& p : partial) stats += p[(si * nd + di) * nq + qi];
+
+        const double mbps = link::net_throughput_mbps(
+            channel.num_tx(), spec.candidate_qams[qi], sim.scenario().frame.code_rate,
+            stats.per_client_fer(), sim.scenario().frame.data_subcarriers);
+        if (cell.best_qam == 0 || mbps > best_mbps) {
+          cell.best_qam = spec.candidate_qams[qi];
+          cell.code_rate = sim.scenario().frame.code_rate;
+          cell.throughput_mbps = mbps;
+          cell.stats = stats;
+          best_mbps = mbps;
+        }
+      }
       out.push_back(std::move(cell));
     }
   }

@@ -4,16 +4,21 @@
 // frame's randomness is derived from (master seed, frame index) alone
 // (Rng::for_frame), and partial statistics merge associatively -- so
 // results are bit-identical for any thread count, including a direct
-// sequential LinkSimulator::run with the same seed.
+// sequential LinkSimulator::run with the same seed. Hard and soft
+// decision detection share the same path: the DetectorSpec carries the
+// decision mode and the engine dispatches through it.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "channel/channel_model.h"
 #include "coding/convolutional.h"
-#include "detect/factory.h"
+#include "detect/spec.h"
 #include "link/link_simulator.h"
 #include "link/rate_adapt.h"
 #include "link/snr_search.h"
@@ -22,7 +27,7 @@
 namespace geosphere::sim {
 
 /// A declarative Monte-Carlo sweep: detectors (registry names, see
-/// detector_by_name) x SNR grid, with ideal rate adaptation over
+/// DetectorSpec::parse) x SNR grid, with ideal rate adaptation over
 /// `candidate_qams` at each point. One master seed covers the whole sweep;
 /// each SNR point gets a derived seed, shared by every detector at that
 /// point so detector comparisons are paired on identical channel/noise
@@ -36,11 +41,17 @@ struct SweepSpec {
   double snr_jitter_db = 5.0;  ///< The paper's +/-5 dB SNR selection window.
   coding::CodeRate code_rate = coding::CodeRate::kHalf;
   std::uint64_t seed = 1;
+  /// Decision mode override for every detector in the sweep. Unset: each
+  /// detector runs in its native mode ("soft-geosphere" runs soft,
+  /// everything else hard). Setting kSoft requires every detector to be
+  /// soft-capable; kHard forces hard decisions everywhere.
+  std::optional<DecisionMode> decision;
 };
 
 /// One (detector, SNR point) cell of a sweep.
 struct SweepCell {
   std::string detector;
+  DecisionMode decision = DecisionMode::kHard;
   double snr_db = 0.0;
   unsigned best_qam = 0;
   coding::CodeRate code_rate = coding::CodeRate::kHalf;
@@ -51,34 +62,41 @@ struct SweepCell {
 class Engine {
  public:
   /// `threads` == 0 selects the hardware concurrency.
-  explicit Engine(std::size_t threads = 0) : pool_(threads) {}
+  explicit Engine(std::size_t threads = 0)
+      : pool_(threads), detector_cache_(pool_.size()) {}
 
   std::size_t threads() const { return pool_.size(); }
 
-  /// Parallel equivalent of `sim.run(detector-from-factory, frames, seed)`:
-  /// bit-identical to it for any thread count. One detector instance is
-  /// created per worker (Detector instances are not thread-safe).
-  link::LinkStats run_link(const link::LinkSimulator& sim, const DetectorFactory& factory,
+  /// Parallel equivalent of `sim.run(*spec.create(c), spec.decision(),
+  /// frames, seed)`: bit-identical to it for any thread count. Detector
+  /// instances are per-worker (they are not thread-safe) and cached on
+  /// (spec, constellation) across calls, so short batches skip setup.
+  link::LinkStats run_link(const link::LinkSimulator& sim, const DetectorSpec& spec,
                            std::size_t frames, std::uint64_t seed);
 
   /// A FrameBatchRunner that dispatches onto this engine, for the
   /// link-layer helpers (best_rate, find_snr_for_fer).
   link::FrameBatchRunner runner();
 
-  /// Thread-pooled ideal rate adaptation (link::best_rate semantics).
+  /// Thread-pooled ideal rate adaptation (link::best_rate semantics,
+  /// bit-identical results). Parallelizes across rate-adaptation
+  /// candidates AND frames, not frames only.
   link::RateChoice best_rate(const channel::ChannelModel& channel,
-                             link::LinkScenario base, const DetectorFactory& factory,
+                             link::LinkScenario base, const DetectorSpec& spec,
                              std::size_t frames, std::uint64_t seed,
                              const std::vector<unsigned>& candidate_qams = {4, 16, 64});
 
   /// Thread-pooled SNR calibration (link::find_snr_for_fer semantics).
   double find_snr_for_fer(const channel::ChannelModel& channel, link::LinkScenario base,
-                          const DetectorFactory& factory,
+                          const DetectorSpec& spec,
                           const link::SnrSearchConfig& config, std::uint64_t seed);
 
   /// Executes a declarative sweep. Cells are ordered SNR-major then
   /// detector (the spec's detector order), `snr_grid_db.size() *
-  /// detectors.size()` in total.
+  /// detectors.size()` in total. The whole grid -- every (detector, SNR)
+  /// cell, every rate-adaptation candidate, every frame -- is one flat
+  /// work pool, so large sweeps use all cores even when a single cell
+  /// would not; results remain bit-identical for any thread count.
   std::vector<SweepCell> run_sweep(const channel::ChannelModel& channel,
                                    const SweepSpec& spec);
 
@@ -90,7 +108,15 @@ class Engine {
   }
 
  private:
+  /// The per-worker detector cache, keyed on (spec text, QAM order). Each
+  /// worker only ever touches its own map, so no locking is needed; the
+  /// cache persists across engine calls (Engine methods are not
+  /// reentrant, like the pool they run on).
+  Detector& worker_detector(std::size_t worker, const DetectorSpec& spec,
+                            unsigned qam_order);
+
   ThreadPool pool_;
+  std::vector<std::unordered_map<std::string, std::unique_ptr<Detector>>> detector_cache_;
 };
 
 }  // namespace geosphere::sim

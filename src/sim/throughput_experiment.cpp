@@ -3,19 +3,18 @@
 namespace geosphere::sim {
 
 ThroughputPoint measure_throughput(Engine& engine, const channel::ChannelModel& channel,
-                                   const std::string& detector_name,
-                                   const DetectorFactory& factory, double snr_db,
-                                   const ThroughputConfig& config) {
+                                   const std::string& label, const DetectorSpec& spec,
+                                   double snr_db, const ThroughputConfig& config) {
   link::LinkScenario scenario;
   scenario.frame.payload_bytes = config.payload_bytes;
   scenario.snr_db = snr_db;
   scenario.snr_jitter_db = config.snr_jitter_db;
 
   const link::RateChoice choice = engine.best_rate(
-      channel, scenario, factory, config.frames, config.seed, config.candidate_qams);
+      channel, scenario, spec, config.frames, config.seed, config.candidate_qams);
 
   ThroughputPoint point;
-  point.detector = detector_name;
+  point.detector = label;
   point.clients = channel.num_tx();
   point.antennas = channel.num_rx();
   point.snr_db = snr_db;

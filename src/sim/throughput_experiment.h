@@ -8,7 +8,7 @@
 #include <vector>
 
 #include "channel/channel_model.h"
-#include "detect/factory.h"
+#include "detect/spec.h"
 #include "link/link_simulator.h"
 #include "link/rate_adapt.h"
 #include "sim/engine.h"
@@ -35,10 +35,11 @@ struct ThroughputPoint {
 
 /// Best-rate throughput of one detector on one channel/SNR point. Channel
 /// and noise draws are seed-identical across detectors at the same point,
-/// and bit-identical for any engine thread count.
+/// and bit-identical for any engine thread count. `label` is the display
+/// name recorded in the point; the spec's decision mode (hard or soft)
+/// selects the detection path.
 ThroughputPoint measure_throughput(Engine& engine, const channel::ChannelModel& channel,
-                                   const std::string& detector_name,
-                                   const DetectorFactory& factory, double snr_db,
-                                   const ThroughputConfig& config);
+                                   const std::string& label, const DetectorSpec& spec,
+                                   double snr_db, const ThroughputConfig& config);
 
 }  // namespace geosphere::sim

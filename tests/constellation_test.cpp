@@ -38,11 +38,13 @@ TEST_P(ConstellationProperty, PointsAreDistinctOddGrid) {
 TEST_P(ConstellationProperty, BitsRoundTrip) {
   const Constellation& c = Constellation::qam(GetParam());
   std::vector<std::uint8_t> bits(c.bits_per_symbol());
-  std::set<std::vector<std::uint8_t>> seen;
+  std::set<unsigned> seen;
   for (unsigned i = 0; i < c.order(); ++i) {
     c.bits_from_index(i, bits.data());
     EXPECT_EQ(c.index_from_bits(bits.data()), i);
-    EXPECT_TRUE(seen.insert(bits).second) << "bit pattern not unique";
+    unsigned packed = 0;
+    for (const std::uint8_t b : bits) packed = (packed << 1) | b;
+    EXPECT_TRUE(seen.insert(packed).second) << "bit pattern not unique";
   }
 }
 

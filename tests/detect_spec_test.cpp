@@ -1,0 +1,136 @@
+// Tests for the DetectorSpec parser and registry: the single surface
+// through which the CLI, SweepSpec and the engine name detectors. Parsing
+// is strict -- malformed parameters must fail loudly with a message that
+// names the valid forms, never silently configure a different detector.
+#include "detect/spec.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "detect/soft_output.h"
+
+namespace geosphere {
+namespace {
+
+::testing::AssertionResult parse_fails_mentioning(const std::string& text,
+                                                const std::string& fragment) {
+  try {
+    (void)DetectorSpec::parse(text);
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    if (what.find(fragment) == std::string::npos)
+      return ::testing::AssertionFailure()
+             << "\"" << text << "\" failed but message lacks \"" << fragment
+             << "\": " << what;
+    if (what.find("valid forms:") == std::string::npos)
+      return ::testing::AssertionFailure()
+             << "\"" << text << "\" error does not list the valid forms: " << what;
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure() << "\"" << text << "\" parsed but should not";
+}
+
+TEST(DetectorSpec, ParsesPlainNames) {
+  const DetectorSpec geo = DetectorSpec::parse("geosphere");
+  EXPECT_EQ(geo.base(), "geosphere");
+  EXPECT_EQ(geo.text(), "geosphere");
+  EXPECT_EQ(geo.decision(), DecisionMode::kHard);
+  EXPECT_FALSE(geo.soft_capable());
+  EXPECT_NE(geo.create(Constellation::qam(16)), nullptr);
+}
+
+TEST(DetectorSpec, ParsesKbestParameter) {
+  const DetectorSpec kb = DetectorSpec::parse("kbest:8");
+  EXPECT_EQ(kb.base(), "kbest");
+  EXPECT_EQ(kb.text(), "kbest:8");
+  EXPECT_EQ(kb.param(), 8u);
+  const auto det = kb.create(Constellation::qam(16));
+  ASSERT_NE(det, nullptr);
+  EXPECT_NE(det->name().find("8"), std::string::npos);
+}
+
+TEST(DetectorSpec, RejectsMalformedParameters) {
+  // The satellite's hardening checklist: zero, non-numeric, trailing
+  // garbage, missing, forbidden and out-of-range parameters.
+  EXPECT_TRUE(parse_fails_mentioning("kbest:0", "[1, 4096]"));
+  EXPECT_TRUE(parse_fails_mentioning("kbest:8x", "[1, 4096]"));
+  EXPECT_TRUE(parse_fails_mentioning("kbest:x8", "[1, 4096]"));
+  EXPECT_TRUE(parse_fails_mentioning("kbest:", "[1, 4096]"));
+  EXPECT_TRUE(parse_fails_mentioning("kbest:-1", "[1, 4096]"));
+  EXPECT_TRUE(parse_fails_mentioning("kbest:4097", "[1, 4096]"));
+  EXPECT_TRUE(parse_fails_mentioning("kbest:99999999999999999999", "[1, 4096]"));
+  EXPECT_TRUE(parse_fails_mentioning("kbest:8:8", "[1, 4096]"));
+  EXPECT_TRUE(parse_fails_mentioning("kbest", "kbest:K"));
+  EXPECT_TRUE(parse_fails_mentioning("zf:4", "takes no parameter"));
+  EXPECT_TRUE(parse_fails_mentioning("does-not-exist", "unknown detector"));
+  EXPECT_TRUE(parse_fails_mentioning("", "unknown detector"));
+  EXPECT_TRUE(parse_fails_mentioning(":8", "unknown detector"));
+  EXPECT_TRUE(parse_fails_mentioning("GEOSPHERE", "unknown detector"));
+}
+
+TEST(DetectorSpec, SoftGeosphereIsARegistryDetector) {
+  const DetectorSpec spec = DetectorSpec::parse("soft-geosphere");
+  EXPECT_EQ(spec.decision(), DecisionMode::kSoft);
+  EXPECT_TRUE(spec.soft_capable());
+  EXPECT_TRUE(spec.supports(DecisionMode::kHard));
+  EXPECT_TRUE(spec.supports(DecisionMode::kSoft));
+
+  const auto det = spec.create(Constellation::qam(16));
+  ASSERT_NE(det, nullptr);
+  EXPECT_EQ(det->name(), "soft-geosphere");
+  ASSERT_NE(det->soft(), nullptr);
+  // The default LLR clamp matches the optional-parameter default.
+  const auto* soft = dynamic_cast<SoftGeosphereDetector*>(det.get());
+  ASSERT_NE(soft, nullptr);
+  EXPECT_DOUBLE_EQ(soft->llr_clamp(), 30.0);
+}
+
+TEST(DetectorSpec, SoftGeosphereOptionalClampParameter) {
+  // An omitted optional parameter is the same configuration as its
+  // explicit default: one canonical text, equal specs (and therefore one
+  // per-worker cache entry in the engine).
+  EXPECT_EQ(DetectorSpec::parse("soft-geosphere").text(), "soft-geosphere:30");
+  EXPECT_TRUE(DetectorSpec::parse("soft-geosphere") ==
+              DetectorSpec::parse("soft-geosphere:30"));
+
+  const DetectorSpec spec = DetectorSpec::parse("soft-geosphere:50");
+  EXPECT_EQ(spec.text(), "soft-geosphere:50");
+  const auto det = spec.create(Constellation::qam(4));
+  const auto* soft = dynamic_cast<SoftGeosphereDetector*>(det.get());
+  ASSERT_NE(soft, nullptr);
+  EXPECT_DOUBLE_EQ(soft->llr_clamp(), 50.0);
+  EXPECT_TRUE(parse_fails_mentioning("soft-geosphere:0", "[1, 1000]"));
+  EXPECT_TRUE(parse_fails_mentioning("soft-geosphere:30dB", "[1, 1000]"));
+}
+
+TEST(DetectorSpec, WithDecisionValidatesCapability) {
+  const DetectorSpec zf = DetectorSpec::parse("zf");
+  EXPECT_THROW(zf.with_decision(DecisionMode::kSoft), std::invalid_argument);
+  EXPECT_EQ(zf.with_decision(DecisionMode::kHard).decision(), DecisionMode::kHard);
+
+  const DetectorSpec soft = DetectorSpec::parse("soft-geosphere");
+  const DetectorSpec hardened = soft.with_decision(DecisionMode::kHard);
+  EXPECT_EQ(hardened.decision(), DecisionMode::kHard);
+  EXPECT_EQ(hardened.text(), soft.text());  // Same instance configuration.
+  EXPECT_FALSE(hardened == soft);           // Different run mode.
+}
+
+TEST(DetectorSpec, RegistryListsEveryDetectorOnce) {
+  const auto& registry = detector_registry();
+  EXPECT_GE(registry.size(), 12u);
+  for (std::size_t i = 0; i < registry.size(); ++i)
+    for (std::size_t j = i + 1; j < registry.size(); ++j)
+      EXPECT_NE(registry[i].name, registry[j].name);
+  // Every non-required-param entry also appears in detector_names().
+  const auto& names = detector_names();
+  for (const auto& info : registry) {
+    const bool listed =
+        std::find(names.begin(), names.end(), info.name) != names.end();
+    EXPECT_EQ(listed, !info.param_required) << info.name;
+  }
+}
+
+}  // namespace
+}  // namespace geosphere

@@ -9,10 +9,11 @@
 #include "channel/testbed_ensemble.h"
 #include "common/db.h"
 #include "common/rng.h"
-#include "detect/factory.h"
 #include "detect/hybrid.h"
+#include "detect/kbest.h"
 #include "detect/ml_exhaustive.h"
 #include "detect/rvd_sphere.h"
+#include "detect/sphere/sphere_decoder.h"
 #include "link/theory.h"
 #include "test_util.h"
 

@@ -9,7 +9,7 @@
 
 #include "channel/rayleigh.h"
 #include "channel/testbed_ensemble.h"
-#include "detect/factory.h"
+#include "detect/spec.h"
 #include "link/link_simulator.h"
 #include "sim/conditioning_experiment.h"
 #include "sim/engine.h"
@@ -90,11 +90,12 @@ TEST(Engine, SingleThreadMatchesDirectLinkSimulatorRun) {
   channel::RayleighChannel ch(4, 2);
   link::LinkSimulator sim(ch, small_scenario(16, 14.0));
   const Constellation& c = Constellation::qam(16);
-  const auto det = geosphere_factory()(c);
-  const link::LinkStats direct = sim.run(*det, 30, /*seed=*/42);
+  const DetectorSpec geo = DetectorSpec::parse("geosphere");
+  const auto det = geo.create(c);
+  const link::LinkStats direct = sim.run(*det, DecisionMode::kHard, 30, /*seed=*/42);
 
   Engine engine(1);
-  const link::LinkStats pooled = engine.run_link(sim, geosphere_factory(), 30, 42);
+  const link::LinkStats pooled = engine.run_link(sim, geo, 30, 42);
   expect_identical(direct, pooled);
 }
 
@@ -109,8 +110,9 @@ TEST(Engine, ResultsBitIdenticalAcrossThreadCounts) {
 
   Engine one(1);
   Engine eight(8);
-  const link::LinkStats a = one.run_link(sim, geosphere_factory(), 40, 7);
-  const link::LinkStats b = eight.run_link(sim, geosphere_factory(), 40, 7);
+  const DetectorSpec geo = DetectorSpec::parse("geosphere");
+  const link::LinkStats a = one.run_link(sim, geo, 40, 7);
+  const link::LinkStats b = eight.run_link(sim, geo, 40, 7);
   EXPECT_GT(a.frames, 0u);
   EXPECT_GT(a.detection.ped_computations, 0u);
   expect_identical(a, b);
@@ -120,7 +122,7 @@ TEST(Engine, ZeroFramesYieldsEmptyInitializedStats) {
   channel::RayleighChannel ch(2, 2);
   link::LinkSimulator sim(ch, small_scenario(4, 20.0));
   Engine engine(2);
-  const link::LinkStats stats = engine.run_link(sim, zf_factory(), 0, 1);
+  const link::LinkStats stats = engine.run_link(sim, DetectorSpec::parse("zf"), 0, 1);
   EXPECT_EQ(stats.frames, 0u);
   EXPECT_EQ(stats.clients, 2u);
   EXPECT_DOUBLE_EQ(stats.fer(), 0.0);
@@ -129,11 +131,10 @@ TEST(Engine, ZeroFramesYieldsEmptyInitializedStats) {
 TEST(Engine, BestRateMatchesSequentialBestRate) {
   channel::RayleighChannel ch(4, 2);
   link::LinkScenario base = small_scenario(16, 30.0);
-  const link::RateChoice seq =
-      link::best_rate(ch, base, geosphere_factory(), 15, 9, {4, 16, 64});
+  const DetectorSpec geo = DetectorSpec::parse("geosphere");
+  const link::RateChoice seq = link::best_rate(ch, base, geo, 15, 9, {4, 16, 64});
   Engine engine(3);
-  const link::RateChoice par =
-      engine.best_rate(ch, base, geosphere_factory(), 15, 9, {4, 16, 64});
+  const link::RateChoice par = engine.best_rate(ch, base, geo, 15, 9, {4, 16, 64});
   EXPECT_EQ(seq.qam_order, par.qam_order);
   EXPECT_DOUBLE_EQ(seq.throughput_mbps, par.throughput_mbps);
   expect_identical(seq.stats, par.stats);
@@ -208,28 +209,120 @@ TEST(Engine, ConditioningDeterministicAcrossThreadCounts) {
   }
 }
 
-TEST(DetectorRegistry, KnowsAllFixedNamesAndParsesKbest) {
+TEST(DetectorRegistry, EveryPlainNameCreatesADetector) {
   for (const auto& name : detector_names()) {
-    const DetectorFactory factory = detector_by_name(name);
-    const auto detector = factory(Constellation::qam(16));
+    const DetectorSpec spec = DetectorSpec::parse(name);
+    const auto detector = spec.create(Constellation::qam(16));
     ASSERT_NE(detector, nullptr) << name;
     EXPECT_FALSE(detector->name().empty());
+    // The spec's decision mode must be servable by the created instance.
+    if (spec.decision() == DecisionMode::kSoft) {
+      EXPECT_NE(detector->soft(), nullptr);
+    }
   }
-  const auto kbest = detector_by_name("kbest:8")(Constellation::qam(16));
+  const auto kbest = DetectorSpec::parse("kbest:8").create(Constellation::qam(16));
   ASSERT_NE(kbest, nullptr);
-  EXPECT_THROW(detector_by_name("does-not-exist"), std::invalid_argument);
-  EXPECT_THROW(detector_by_name("kbest:0"), std::invalid_argument);
 }
 
-TEST(Engine, MismatchedDetectorThrowsThroughThePool) {
-  channel::RayleighChannel ch(2, 2);
-  link::LinkSimulator sim(ch, small_scenario(16, 20.0));
+TEST(Engine, SoftRunLinkBitIdenticalAcrossThreadsAndMatchesSequential) {
+  // The old sequential-only run_soft semantics, preserved by the unified
+  // path: Engine::run_link with a soft spec at 1 and 8 threads both equal
+  // the direct sequential LinkSimulator::run in soft mode.
+  channel::RayleighChannel ch(4, 2);
+  link::LinkScenario scenario = small_scenario(16, 10.0);
+  scenario.frame.payload_bytes = 60;
+  link::LinkSimulator sim(ch, scenario);
+
+  const DetectorSpec spec = DetectorSpec::parse("soft-geosphere");
+  ASSERT_EQ(spec.decision(), DecisionMode::kSoft);
+  const auto det = spec.create(Constellation::qam(16));
+  const link::LinkStats direct = sim.run(*det, DecisionMode::kSoft, 10, /*seed=*/33);
+
+  Engine one(1);
+  Engine eight(8);
+  const link::LinkStats a = one.run_link(sim, spec, 10, 33);
+  const link::LinkStats b = eight.run_link(sim, spec, 10, 33);
+  EXPECT_GT(a.frames, 0u);
+  expect_identical(direct, a);
+  expect_identical(a, b);
+}
+
+TEST(Engine, RunSweepCellParallelDeterministicAcrossThreadCounts) {
+  // The sweep is one flat (cell x candidate x frame) work pool; with
+  // multiple cells and candidates, any thread count must produce the same
+  // cells bit for bit.
+  channel::RayleighChannel ch(4, 2);
+  SweepSpec spec;
+  spec.detectors = {"zf", "geosphere"};
+  spec.snr_grid_db = {14.0, 22.0};
+  spec.candidate_qams = {4, 16};
+  spec.frames = 8;
+  spec.payload_bytes = 100;
+  spec.seed = 13;
+
+  Engine one(1);
+  Engine four(4);
+  const auto a = one.run_sweep(ch, spec);
+  const auto b = four.run_sweep(ch, spec);
+  ASSERT_EQ(a.size(), 4u);
+  ASSERT_EQ(b.size(), 4u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].detector, b[i].detector);
+    EXPECT_EQ(a[i].decision, b[i].decision);
+    EXPECT_DOUBLE_EQ(a[i].snr_db, b[i].snr_db);
+    EXPECT_EQ(a[i].best_qam, b[i].best_qam);
+    EXPECT_DOUBLE_EQ(a[i].throughput_mbps, b[i].throughput_mbps);
+    expect_identical(a[i].stats, b[i].stats);
+  }
+}
+
+TEST(Engine, RunSweepSupportsSoftDetectors) {
+  channel::RayleighChannel ch(4, 2);
+  SweepSpec spec;
+  spec.detectors = {"soft-geosphere"};
+  spec.snr_grid_db = {12.0};
+  spec.candidate_qams = {4};
+  spec.frames = 4;
+  spec.payload_bytes = 60;
+  spec.seed = 3;
+
   Engine engine(2);
-  // Factory builds 64-QAM detectors but the scenario is 16-QAM.
-  const DetectorFactory bad = [](const Constellation&) {
-    return zf_factory()(Constellation::qam(64));
-  };
-  EXPECT_THROW(engine.run_link(sim, bad, 4, 1), std::invalid_argument);
+  const auto cells = engine.run_sweep(ch, spec);
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].decision, DecisionMode::kSoft);
+  EXPECT_EQ(cells[0].stats.frames, 4u);
+  EXPECT_GT(cells[0].stats.detection_calls, 0u);
+
+  // A decision override to soft must be rejected for hard-only detectors.
+  spec.detectors = {"zf"};
+  spec.decision = DecisionMode::kSoft;
+  EXPECT_THROW(engine.run_sweep(ch, spec), std::invalid_argument);
+  // ...and forcing the soft detector to hard mode is allowed.
+  spec.detectors = {"soft-geosphere"};
+  spec.decision = DecisionMode::kHard;
+  const auto hard_cells = engine.run_sweep(ch, spec);
+  ASSERT_EQ(hard_cells.size(), 1u);
+  EXPECT_EQ(hard_cells[0].decision, DecisionMode::kHard);
+}
+
+TEST(Engine, PerWorkerDetectorCacheIsTransparent) {
+  // Cached detector instances are reused across engine calls; reuse must
+  // not change any statistic (detectors reset per detect() call).
+  channel::RayleighChannel ch(4, 2);
+  link::LinkSimulator sim(ch, small_scenario(16, 14.0));
+  const DetectorSpec geo = DetectorSpec::parse("geosphere");
+
+  Engine engine(2);
+  const link::LinkStats first = engine.run_link(sim, geo, 12, 5);
+  const link::LinkStats again = engine.run_link(sim, geo, 12, 5);
+  expect_identical(first, again);
+
+  // Same cache, different constellation key: must not collide.
+  link::LinkSimulator sim64(ch, small_scenario(64, 14.0));
+  const link::LinkStats other = engine.run_link(sim64, geo, 6, 5);
+  EXPECT_EQ(other.frames, 6u);
+  const link::LinkStats third = engine.run_link(sim, geo, 12, 5);
+  expect_identical(first, third);
 }
 
 }  // namespace

@@ -15,7 +15,7 @@
 #include "channel/trace.h"
 #include "common/db.h"
 #include "common/rng.h"
-#include "detect/factory.h"
+#include "detect/spec.h"
 #include "detect/sphere/sphere_decoder.h"
 #include "link/link_simulator.h"
 #include "phy/channel_estimation.h"
@@ -166,19 +166,19 @@ TEST(Integration, CodedBeatsUncodedAtModerateSnr) {
   // payload BER must be far lower (and strongly monotone in SNR).
   channel::RayleighChannel ch(4, 2);
   const Constellation& c = Constellation::qam(16);
-  const auto det = geosphere_factory()(c);
+  const auto det = DetectorSpec::parse("geosphere").create(c);
 
   link::LinkScenario scenario;
   scenario.frame.qam_order = 16;
   scenario.frame.payload_bytes = 100;
   scenario.snr_db = 14.0;
   link::LinkSimulator sim14(ch, scenario);
-  const auto stats14 = sim14.run(*det, 40, /*seed=*/6);
+  const auto stats14 = sim14.run(*det, DecisionMode::kHard, 40, /*seed=*/6);
   EXPECT_LT(stats14.ber(), 0.02);
 
   scenario.snr_db = 5.0;
   link::LinkSimulator sim5(ch, scenario);
-  const auto stats5 = sim5.run(*det, 40, /*seed=*/6);
+  const auto stats5 = sim5.run(*det, DecisionMode::kHard, 40, /*seed=*/6);
   EXPECT_GT(stats5.ber(), 4.0 * std::max(stats14.ber(), 1e-4));
 }
 
@@ -193,8 +193,8 @@ TEST(Integration, TraceReplayMatchesLiveEnsembleStatistics) {
   channel::TraceChannelModel trace(channel::record_trace(live, 200, 48, rec));
 
   const Constellation& c = Constellation::qam(16);
-  const auto det_a = geosphere_factory()(c);
-  const auto det_b = geosphere_factory()(c);
+  const auto det_a = DetectorSpec::parse("geosphere").create(c);
+  const auto det_b = DetectorSpec::parse("geosphere").create(c);
   link::LinkScenario scenario;
   scenario.frame.qam_order = 16;
   scenario.frame.payload_bytes = 100;
@@ -202,8 +202,8 @@ TEST(Integration, TraceReplayMatchesLiveEnsembleStatistics) {
 
   link::LinkSimulator sim_live(live, scenario);
   link::LinkSimulator sim_trace(trace, scenario);
-  const double fer_live = sim_live.run(*det_a, 50, /*seed=*/8).fer();
-  const double fer_trace = sim_trace.run(*det_b, 50, /*seed=*/8).fer();
+  const double fer_live = sim_live.run(*det_a, DecisionMode::kHard, 50, /*seed=*/8).fer();
+  const double fer_trace = sim_trace.run(*det_b, DecisionMode::kHard, 50, /*seed=*/8).fer();
   EXPECT_NEAR(fer_live, fer_trace, 0.25);  // Same environment, coarse match.
 }
 

@@ -2,7 +2,7 @@
 
 #include "channel/rayleigh.h"
 #include "channel/testbed_ensemble.h"
-#include "detect/factory.h"
+#include "detect/spec.h"
 #include "link/link_simulator.h"
 #include "link/rate_adapt.h"
 #include "link/snr_search.h"
@@ -40,8 +40,8 @@ TEST(LinkSimulator, HighSnrIsErrorFree) {
   channel::RayleighChannel ch(4, 2);
   LinkSimulator sim(ch, small_scenario(16, 45.0));
   const Constellation& c = Constellation::qam(16);
-  const auto det = geosphere_factory()(c);
-  const LinkStats stats = sim.run(*det, 10, /*seed=*/1);
+  const auto det = DetectorSpec::parse("geosphere").create(c);
+  const LinkStats stats = sim.run(*det, DecisionMode::kHard, 10, /*seed=*/1);
   EXPECT_EQ(stats.frames, 10u);
   EXPECT_DOUBLE_EQ(stats.fer(), 0.0);
   EXPECT_EQ(stats.bit_errors, 0u);
@@ -51,12 +51,12 @@ TEST(LinkSimulator, HighSnrIsErrorFree) {
 TEST(LinkSimulator, FerMonotoneInSnr) {
   channel::RayleighChannel ch(4, 4);
   const Constellation& c = Constellation::qam(16);
-  const auto det = geosphere_factory()(c);
+  const auto det = DetectorSpec::parse("geosphere").create(c);
 
   double prev_fer = 1.1;
   for (const double snr : {6.0, 14.0, 30.0}) {
     LinkSimulator sim(ch, small_scenario(16, snr));
-    const double fer = sim.run(*det, 40, /*seed=*/2).fer();
+    const double fer = sim.run(*det, DecisionMode::kHard, 40, /*seed=*/2).fer();
     EXPECT_LE(fer, prev_fer + 0.1) << "FER not (statistically) decreasing at " << snr;
     prev_fer = fer;
   }
@@ -70,22 +70,22 @@ TEST(LinkSimulator, GeosphereBeatsZfOnIllConditionedEnsemble) {
   tc.clients = 4;
   channel::TestbedEnsemble ch(tc);
   const Constellation& c = Constellation::qam(16);
-  const auto geo = geosphere_factory()(c);
-  const auto zf = zf_factory()(c);
+  const auto geo = DetectorSpec::parse("geosphere").create(c);
+  const auto zf = DetectorSpec::parse("zf").create(c);
 
   LinkSimulator sim(ch, small_scenario(16, 20.0));
   // Identical draws for the two detectors: same seed, per-frame seeding.
-  const double fer_geo = sim.run(*geo, 60, /*seed=*/3).fer();
-  const double fer_zf = sim.run(*zf, 60, /*seed=*/3).fer();
+  const double fer_geo = sim.run(*geo, DecisionMode::kHard, 60, /*seed=*/3).fer();
+  const double fer_zf = sim.run(*zf, DecisionMode::kHard, 60, /*seed=*/3).fer();
   EXPECT_LT(fer_geo, fer_zf);
 }
 
 TEST(LinkSimulator, ComplexityMetricsPopulated) {
   channel::RayleighChannel ch(4, 2);
   const Constellation& c = Constellation::qam(16);
-  const auto geo = geosphere_factory()(c);
+  const auto geo = DetectorSpec::parse("geosphere").create(c);
   LinkSimulator sim(ch, small_scenario(16, 20.0));
-  const LinkStats stats = sim.run(*geo, 5, /*seed=*/4);
+  const LinkStats stats = sim.run(*geo, DecisionMode::kHard, 5, /*seed=*/4);
   EXPECT_GT(stats.avg_ped_per_subcarrier(), 0.0);
   EXPECT_GT(stats.avg_visited_nodes_per_subcarrier(), 0.0);
   // Lower bound: at least one slice per level per call.
@@ -94,9 +94,23 @@ TEST(LinkSimulator, ComplexityMetricsPopulated) {
 
 TEST(LinkSimulator, DetectorConstellationMismatchThrows) {
   channel::RayleighChannel ch(2, 2);
-  const auto det = zf_factory()(Constellation::qam(64));
+  const auto det = DetectorSpec::parse("zf").create(Constellation::qam(64));
   LinkSimulator sim(ch, small_scenario(16, 20.0));
-  EXPECT_THROW(sim.run(*det, 1, /*seed=*/5), std::invalid_argument);
+  EXPECT_THROW(sim.run(*det, DecisionMode::kHard, 1, /*seed=*/5), std::invalid_argument);
+}
+
+TEST(LinkSimulator, SoftModeNeedsSoftCapableDetector) {
+  // The unified mode-dispatched path must reject DecisionMode::kSoft for a
+  // detector with no soft() interface, loudly and before any simulation.
+  channel::RayleighChannel ch(2, 2);
+  const auto hard = DetectorSpec::parse("zf").create(Constellation::qam(16));
+  LinkSimulator sim(ch, small_scenario(16, 20.0));
+  EXPECT_THROW(sim.run(*hard, DecisionMode::kSoft, 1, /*seed=*/5), std::invalid_argument);
+
+  const auto soft = DetectorSpec::parse("soft-geosphere").create(Constellation::qam(16));
+  EXPECT_NE(soft->soft(), nullptr);
+  const LinkStats stats = sim.run(*soft, DecisionMode::kSoft, 2, /*seed=*/5);
+  EXPECT_EQ(stats.frames, 2u);
 }
 
 TEST(RateAdapt, PicksLowOrderAtLowSnrHighOrderAtHighSnr) {
@@ -104,9 +118,10 @@ TEST(RateAdapt, PicksLowOrderAtLowSnrHighOrderAtHighSnr) {
   LinkScenario base = small_scenario(16, 0.0);
 
   base.snr_db = 2.0;
-  const RateChoice low = best_rate(ch, base, geosphere_factory(), 25, 7, {4, 16, 64});
+  const DetectorSpec geo = DetectorSpec::parse("geosphere");
+  const RateChoice low = best_rate(ch, base, geo, 25, 7, {4, 16, 64});
   base.snr_db = 38.0;
-  const RateChoice high = best_rate(ch, base, geosphere_factory(), 25, 7, {4, 16, 64});
+  const RateChoice high = best_rate(ch, base, geo, 25, 7, {4, 16, 64});
   EXPECT_LT(low.qam_order, high.qam_order);
   EXPECT_EQ(high.qam_order, 64u);
   EXPECT_GT(high.throughput_mbps, low.throughput_mbps);
@@ -118,15 +133,15 @@ TEST(SnrSearch, FindsTargetFerOperatingPoint) {
   SnrSearchConfig cfg;
   cfg.probe_frames = 30;
   cfg.iterations = 7;
-  const double snr = find_snr_for_fer(ch, base, geosphere_factory(), cfg, 11);
+  const double snr = find_snr_for_fer(ch, base, DetectorSpec::parse("geosphere"), cfg, 11);
   EXPECT_GT(snr, 2.0);
   EXPECT_LT(snr, 40.0);
 
   // Verify the FER at the found point is in a sane band around the target.
   base.snr_db = snr;
   LinkSimulator sim(ch, base);
-  const auto det = geosphere_factory()(Constellation::qam(16));
-  const double fer = sim.run(*det, 120, /*seed=*/12).fer();
+  const auto det = DetectorSpec::parse("geosphere").create(Constellation::qam(16));
+  const double fer = sim.run(*det, DecisionMode::kHard, 120, /*seed=*/12).fer();
   EXPECT_GT(fer, 0.01);
   EXPECT_LT(fer, 0.45);
 }

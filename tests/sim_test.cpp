@@ -5,7 +5,7 @@
 #include <sstream>
 
 #include "channel/rayleigh.h"
-#include "detect/factory.h"
+#include "detect/spec.h"
 #include "sim/complexity_experiment.h"
 #include "sim/conditioning_experiment.h"
 #include "sim/engine.h"
@@ -77,8 +77,8 @@ TEST(ThroughputExperiment, ReportsBestRateChoice) {
   config.frames = 15;
   config.payload_bytes = 100;
   config.snr_jitter_db = 0.0;
-  const auto point =
-      measure_throughput(test_engine(), ch, "Geosphere", geosphere_factory(), 35.0, config);
+  const auto point = measure_throughput(test_engine(), ch, "Geosphere",
+                                        DetectorSpec::parse("geosphere"), 35.0, config);
   EXPECT_EQ(point.detector, "Geosphere");
   EXPECT_EQ(point.clients, 2u);
   EXPECT_EQ(point.antennas, 4u);
@@ -95,9 +95,9 @@ TEST(ComplexityExperiment, SeedIdenticalWorkloads) {
   scenario.snr_db = 18.0;
   const auto points = measure_complexity(
       test_engine(), ch, scenario,
-      {{"Geosphere", geosphere_factory()},
-       {"Geosphere-again", geosphere_factory()},
-       {"ETH-SD", eth_sd_factory()}},
+      {{"Geosphere", DetectorSpec::parse("geosphere")},
+       {"Geosphere-again", DetectorSpec::parse("geosphere")},
+       {"ETH-SD", DetectorSpec::parse("eth-sd")}},
       10, 42);
   ASSERT_EQ(points.size(), 3u);
   // Identical detector on identical seed: identical counters and FER.

@@ -70,7 +70,7 @@ TEST(SoftOutput, MatchesExhaustiveMaxLog) {
       const auto sent = random_indices(rng, c, 2);
       const auto y = transmit(rng, h, c, sent, n0);
 
-      const auto result = soft.detect(y, h, n0);
+      const auto result = soft.detect_soft(y, h, n0);
       const auto expected = exhaustive_llrs(y, h, c, n0, 30.0);
       ASSERT_EQ(result.llrs.size(), expected.size());
       for (std::size_t i = 0; i < expected.size(); ++i)
@@ -90,9 +90,14 @@ TEST(SoftOutput, HardDecisionsAreMl) {
     const auto h = random_channel(rng, 4, 3);
     const auto sent = random_indices(rng, c, 3);
     const auto y = transmit(rng, h, c, sent, n0);
-    const auto result = soft.detect(y, h, n0);
+    const auto result = soft.detect_soft(y, h, n0);
     const auto truth = ml.detect(y, h, n0);
     EXPECT_EQ(result.indices, truth.indices);
+    // detect() (the Detector interface, unconstrained search only) must
+    // yield the same ML decisions without the counter-hypothesis cost.
+    const auto hard = soft.detect(y, h, n0);
+    EXPECT_EQ(hard.indices, truth.indices);
+    EXPECT_LT(hard.stats.ped_computations, result.stats.ped_computations);
   }
 }
 
@@ -107,7 +112,7 @@ TEST(SoftOutput, LlrSignsAgreeWithHardBits) {
     const auto h = random_channel(rng, 4, 2);
     const auto sent = random_indices(rng, c, 2);
     const auto y = transmit(rng, h, c, sent, n0);
-    const auto result = soft.detect(y, h, n0);
+    const auto result = soft.detect_soft(y, h, n0);
     for (std::size_t k = 0; k < 2; ++k) {
       c.bits_from_index(result.indices[k], bits.data());
       for (unsigned b = 0; b < c.bits_per_symbol(); ++b) {
@@ -133,7 +138,7 @@ TEST(SoftOutput, ConfidenceGrowsWithSnr) {
       const auto h = random_channel(rng, 4, 2);
       const auto sent = random_indices(rng, c, 2);
       const auto y = transmit(rng, h, c, sent, n0);
-      for (const double llr : soft.detect(y, h, n0).llrs) mag.add(std::abs(llr));
+      for (const double llr : soft.detect_soft(y, h, n0).llrs) mag.add(std::abs(llr));
     }
     EXPECT_GT(mag.mean(), prev_mean);
     prev_mean = mag.mean();
@@ -147,7 +152,7 @@ TEST(SoftOutput, ClampBoundsLlrs) {
   const auto h = random_channel(rng, 2, 2);
   const auto sent = random_indices(rng, c, 2);
   const auto y = transmit(rng, h, c, sent, 1e-6);  // Virtually noiseless.
-  const auto result = soft.detect(y, h, 1e-6);
+  const auto result = soft.detect_soft(y, h, 1e-6);
   for (const double llr : result.llrs) {
     EXPECT_LE(std::abs(llr), 5.0 + 1e-12);
     EXPECT_GT(std::abs(llr), 4.99);  // Noiseless: every bit saturates.
@@ -162,10 +167,12 @@ TEST(SoftOutput, RejectsBadInputs) {
   const auto h = random_channel(rng, 2, 2);
   EXPECT_THROW(soft.detect(CVector(2), h, 0.0), std::invalid_argument);
   EXPECT_THROW(soft.detect(CVector(3), h, 0.1), std::invalid_argument);
+  EXPECT_THROW(soft.detect_soft(CVector(2), h, 0.0), std::invalid_argument);
+  EXPECT_THROW(soft.detect_soft(CVector(3), h, 0.1), std::invalid_argument);
 }
 
 TEST(SoftOutput, LlrToConfidenceMapping) {
-  const auto conf = SoftGeosphereDetector::llrs_to_confidence({0.0, 50.0, -50.0, 1.0});
+  const auto conf = llrs_to_confidence({0.0, 50.0, -50.0, 1.0});
   EXPECT_NEAR(conf[0], 0.5, 1e-12);   // Undecided.
   EXPECT_NEAR(conf[1], 0.0, 1e-12);   // Strongly bit 0.
   EXPECT_NEAR(conf[2], 1.0, 1e-12);   // Strongly bit 1.
@@ -199,9 +206,9 @@ TEST(SoftOutput, SoftDecodingBeatsHardAtLowSnr) {
       const unsigned idx = c.index_from_bits(&coded[s * c.bits_per_symbol()]);
       const auto h = random_channel(rng, 2, 1);
       const auto y = transmit(rng, h, c, {idx}, n0);
-      const auto r = soft.detect(y, h, n0);
+      const auto r = soft.detect_soft(y, h, n0);
       c.bits_from_index(r.indices[0], sym_bits.data());
-      const auto conf = SoftGeosphereDetector::llrs_to_confidence(r.llrs);
+      const auto conf = llrs_to_confidence(r.llrs);
       for (unsigned b = 0; b < c.bits_per_symbol(); ++b) {
         hard_bits[s * c.bits_per_symbol() + b] = sym_bits[b];
         soft_conf[s * c.bits_per_symbol() + b] = conf[b];
@@ -234,8 +241,8 @@ TEST(SoftLink, SoftSystemBeatsHardSystemAtLowSnr) {
   SoftGeosphereDetector soft(c, 30.0);
 
   // Identical channels/payloads/noise: same seed, per-frame seeding.
-  const auto hard_stats = sim.run(*hard, 25, /*seed=*/21);
-  const auto soft_stats = sim.run_soft(soft, 25, /*seed=*/21);
+  const auto hard_stats = sim.run(*hard, DecisionMode::kHard, 25, /*seed=*/21);
+  const auto soft_stats = sim.run(soft, DecisionMode::kSoft, 25, /*seed=*/21);
   EXPECT_LE(soft_stats.fer(), hard_stats.fer());
   EXPECT_LT(soft_stats.ber(), hard_stats.ber() + 1e-9);
   EXPECT_GT(hard_stats.ber(), 0.0);  // Genuinely noisy operating point.
@@ -249,7 +256,7 @@ TEST(SoftLink, CleanChannelRoundTrip) {
   scenario.snr_db = 40.0;
   link::LinkSimulator sim(ch, scenario);
   SoftGeosphereDetector soft(Constellation::qam(16));
-  const auto stats = sim.run_soft(soft, 5, /*seed=*/22);
+  const auto stats = sim.run(soft, DecisionMode::kSoft, 5, /*seed=*/22);
   EXPECT_DOUBLE_EQ(stats.fer(), 0.0);
   EXPECT_EQ(stats.bit_errors, 0u);
 }

@@ -10,7 +10,7 @@
 #include "channel/rayleigh.h"
 #include "common/db.h"
 #include "common/rng.h"
-#include "detect/factory.h"
+#include "detect/spec.h"
 #include "detect/ml_exhaustive.h"
 #include "detect/sphere/enumerators.h"
 #include "detect/sphere/sphere_decoder.h"
@@ -147,8 +147,8 @@ TEST(Stress, FerOrderedByConstellationDensity) {
     scenario.frame.payload_bytes = 100;
     scenario.snr_db = 12.0;
     link::LinkSimulator sim(ch, scenario);
-    const auto det = geosphere_factory()(Constellation::qam(qam));
-    const double fer = sim.run(*det, 40, /*seed=*/5).fer();
+    const auto det = DetectorSpec::parse("geosphere").create(Constellation::qam(qam));
+    const double fer = sim.run(*det, DecisionMode::kHard, 40, /*seed=*/5).fer();
     EXPECT_GE(fer, prev_fer - 0.05) << "QAM" << qam;
     prev_fer = fer;
   }
@@ -204,11 +204,10 @@ TEST(Stress, AllDetectorsHandleSingleAntennaSingleStream) {
   const auto sent = random_indices(rng, c, 1);
   const auto y = transmit(rng, h, c, sent, 0.0);
 
-  for (const auto& factory :
-       {zf_factory(), mmse_factory(), mmse_sic_factory(), geosphere_factory(),
-        eth_sd_factory(), shabany_factory(), rvd_factory(), fsd_factory(),
-        kbest_factory(4)}) {
-    const auto det = factory(c);
+  for (const char* name :
+       {"zf", "mmse", "mmse-sic", "geosphere", "geosphere-2dzz", "geosphere-sqrd",
+        "eth-sd", "shabany", "rvd", "fsd", "kbest:4", "soft-geosphere"}) {
+    const auto det = DetectorSpec::parse(name).create(c);
     EXPECT_EQ(det->detect(y, h, 1e-12).indices, sent) << det->name();
   }
 }

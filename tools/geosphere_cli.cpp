@@ -3,17 +3,21 @@
 // Every experiment runs on the thread-pooled deterministic engine: results
 // are bit-identical for any --threads value.
 //
+//   geosphere_cli list-detectors
 //   geosphere_cli conditioning [--links N] [--subcarriers N]
 //   geosphere_cli throughput --clients N --antennas N --snr DB
-//                 [--detector zf|mmse|mmse-sic|geosphere|eth-sd|...]
+//                 [--detector zf|geosphere|soft-geosphere|kbest:K|...]
 //   geosphere_cli complexity --clients N --antennas N --qam M --snr DB
 //                 [--channel rayleigh|indoor]
 //   geosphere_cli sweep --clients N --antennas N
-//                 [--detectors zf,geosphere] [--snrs 15,20,25]
-//                 [--qams 4,16,64] [--channel rayleigh|indoor]
+//                 [--detectors zf,geosphere,soft-geosphere] [--snrs 15,20,25]
+//                 [--qams 4,16,64] [--decision auto|hard|soft]
+//                 [--channel rayleigh|indoor]
 //   geosphere_cli trace-record --out FILE --links N --clients N --antennas N
 //   geosphere_cli trace-info FILE
 //
+// Detector names are DetectorSpec registry forms (`list-detectors` prints
+// them all); "soft-geosphere" runs the max-log LLR + soft-Viterbi path.
 // Common flags: --threads N (default: all cores), --frames N, --seed N.
 #include <cstdio>
 #include <iostream>
@@ -25,7 +29,7 @@
 #include "channel/rayleigh.h"
 #include "channel/testbed_ensemble.h"
 #include "channel/trace.h"
-#include "detect/factory.h"
+#include "detect/spec.h"
 #include "sim/complexity_experiment.h"
 #include "sim/conditioning_experiment.h"
 #include "sim/engine.h"
@@ -178,11 +182,13 @@ int cmd_throughput(const Args& args) {
   config.seed = args.seed();
   const double snr = args.get_double("snr", 20.0);
   const std::string name = args.get("detector", "geosphere");
+  const DetectorSpec spec = DetectorSpec::parse(name);
 
-  const auto point = sim::measure_throughput(args.engine(), ensemble, name,
-                                             detector_by_name(name), snr, config);
-  std::printf("%zu clients x %zu antennas @ %.1f dB, detector=%s, threads=%zu\n",
-              tc.clients, tc.ap_antennas, snr, name.c_str(), args.engine().threads());
+  const auto point =
+      sim::measure_throughput(args.engine(), ensemble, spec.text(), spec, snr, config);
+  std::printf("%zu clients x %zu antennas @ %.1f dB, detector=%s (%s), threads=%zu\n",
+              tc.clients, tc.ap_antennas, snr, spec.text().c_str(),
+              to_string(spec.decision()), args.engine().threads());
   std::printf("best QAM: %u\nnet throughput: %.2f Mbps\nFER: %.3f\n", point.best_qam,
               point.throughput_mbps, point.fer);
   return 0;
@@ -200,9 +206,9 @@ int cmd_complexity(const Args& args) {
 
   const auto points = sim::measure_complexity(
       args.engine(), *model, scenario,
-      {{"ETH-SD", eth_sd_factory()},
-       {"Geosphere-2DZZ", geosphere_zigzag_only_factory()},
-       {"Geosphere", geosphere_factory()}},
+      {{"ETH-SD", DetectorSpec::parse("eth-sd")},
+       {"Geosphere-2DZZ", DetectorSpec::parse("geosphere-2dzz")},
+       {"Geosphere", DetectorSpec::parse("geosphere")}},
       args.get_size("frames", 40), args.seed());
 
   sim::TablePrinter table({"detector", "PED/subcarrier", "nodes/subcarrier", "FER"});
@@ -235,17 +241,24 @@ int cmd_sweep(const Args& args) {
   spec.payload_bytes = args.get_size("payload", 500);
   spec.snr_jitter_db = args.get_double("jitter", 5.0);
   spec.seed = args.seed();
+  const std::string decision = args.get("decision", "auto");
+  if (decision == "hard")
+    spec.decision = DecisionMode::kHard;
+  else if (decision == "soft")
+    spec.decision = DecisionMode::kSoft;
+  else if (decision != "auto")
+    throw std::runtime_error("--decision must be auto, hard or soft");
 
   const auto cells = args.engine().run_sweep(*model, spec);
 
   std::printf("%zu clients x %zu antennas, %zu frames/point, seed %llu, threads %zu\n\n",
               clients, antennas, spec.frames,
               static_cast<unsigned long long>(spec.seed), args.engine().threads());
-  sim::TablePrinter table({"SNR (dB)", "detector", "best QAM", "throughput (Mbps)",
-                           "FER", "PED/sc"});
+  sim::TablePrinter table({"SNR (dB)", "detector", "decision", "best QAM",
+                           "throughput (Mbps)", "FER", "PED/sc"});
   for (const auto& cell : cells)
     table.add_row({sim::TablePrinter::fmt(cell.snr_db, 0), cell.detector,
-                   std::to_string(cell.best_qam),
+                   to_string(cell.decision), std::to_string(cell.best_qam),
                    sim::TablePrinter::fmt(cell.throughput_mbps),
                    sim::TablePrinter::fmt(cell.stats.fer()),
                    sim::TablePrinter::fmt(cell.stats.avg_ped_per_subcarrier(), 1)});
@@ -278,22 +291,45 @@ int cmd_trace_info(const Args& args) {
   return 0;
 }
 
+int cmd_list_detectors() {
+  sim::TablePrinter table({"name", "form", "decision", "soft-capable", "description"});
+  for (const auto& info : detector_registry()) {
+    std::string form = info.name;
+    if (info.takes_param)
+      form += info.param_required ? ":" + info.param_name
+                                  : "[:" + info.param_name + "]";
+    std::string bounds;
+    if (info.takes_param)
+      bounds = " (" + info.param_name + " in [" + std::to_string(info.min_param) +
+               ", " + std::to_string(info.max_param) + "])";
+    table.add_row({info.name, form, to_string(info.decision),
+                   info.soft_capable ? "yes" : "no", info.summary + bounds});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
 void usage() {
   std::string detectors;
-  for (const auto& n : detector_names()) detectors += (detectors.empty() ? "" : " ") + n;
+  for (const auto& n : detector_names()) {
+    if (!detectors.empty()) detectors += ' ';
+    detectors += n;
+  }
   std::puts(
       ("usage: geosphere_cli <command> [flags]\n"
+       "  list-detectors (the detector registry: names, parameters, decision modes)\n"
        "  conditioning   [--links N] [--subcarriers N]\n"
        "  throughput     --clients N --antennas N --snr DB [--detector NAME]\n"
        "  complexity     --clients N --antennas N --qam M --snr DB [--channel rayleigh|indoor]\n"
        "  sweep          --clients N --antennas N [--detectors A,B] [--snrs 15,20,25]\n"
-       "                 [--qams 4,16,64] [--payload BYTES] [--jitter DB] [--channel rayleigh|indoor]\n"
+       "                 [--qams 4,16,64] [--decision auto|hard|soft] [--payload BYTES]\n"
+       "                 [--jitter DB] [--channel rayleigh|indoor]\n"
        "  trace-record   --out FILE --links N --clients N --antennas N\n"
        "  trace-info     FILE\n"
        "common flags: --threads N (default all cores; results identical for any N),\n"
        "              --frames N, --seed N\n"
        "detectors: " +
-       detectors + " kbest:K")
+       detectors + " kbest:K (soft-geosphere takes an optional :CLAMP)")
           .c_str());
 }
 
@@ -302,6 +338,8 @@ void usage() {
 int main(int argc, char** argv) {
   try {
     const Args args = parse(argc, argv);
+    if (args.command == "list-detectors" || args.command == "--list-detectors")
+      return cmd_list_detectors();
     if (args.command == "conditioning") return cmd_conditioning(args);
     if (args.command == "throughput") return cmd_throughput(args);
     if (args.command == "complexity") return cmd_complexity(args);
