@@ -13,7 +13,6 @@
 #include <vector>
 
 #include "bench_util.h"
-#include "channel/rayleigh.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "detect/sphere/enumerators.h"
@@ -82,7 +81,7 @@ void EnumerationCost(benchmark::State& state) {
 // Full-decoder comparison on one workload.
 const std::vector<sim::ComplexityPoint>& decoder_results() {
   static const auto points = [] {
-    const channel::RayleighChannel rayleigh(4, 4);
+    const channel::ChannelModel& rayleigh = bench::make_channel("rayleigh", 4, 4);
     link::LinkScenario scenario;
     scenario.frame.qam_order = 64;
     scenario.frame.payload_bytes = 250;
@@ -129,7 +128,8 @@ int main(int argc, char** argv) {
   for (const auto& p : decoder_results())
     dec.add_row({p.detector, sim::TablePrinter::fmt(p.avg_ped_per_subcarrier, 1),
                  sim::TablePrinter::fmt(p.avg_visited_nodes, 1)});
-  std::cout << "\nFull depth-first decoders, 4x4 64-QAM Rayleigh @ 20 dB:\n";
+  std::cout << "\nFull depth-first decoders, 4x4 64-QAM @ 20 dB (channel "
+            << geosphere::bench::channel_or("rayleigh") << "):\n";
   dec.print(std::cout);
   std::cout << "\nPaper's worked example: 3rd child costs Geosphere 4 PEDs,\n"
                "Shabany 5 (25% more); Hess pays sqrt(M) at node expansion.\n";

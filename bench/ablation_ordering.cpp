@@ -9,8 +9,6 @@
 #include <vector>
 
 #include "bench_util.h"
-#include "channel/rayleigh.h"
-#include "channel/testbed_ensemble.h"
 #include "detect/spec.h"
 #include "sim/complexity_experiment.h"
 #include "sim/table.h"
@@ -30,16 +28,17 @@ const std::vector<Row>& results() {
   static const auto rows = [] {
     std::vector<Row> out;
     const std::size_t frames = geosphere::bench::frames_or(30);
-    const channel::RayleighChannel rayleigh(4, 4);
-    channel::TestbedConfig tc;
-    tc.clients = 4;
-    tc.ap_antennas = 4;
-    const channel::TestbedEnsemble ensemble(tc);
+    // Default: the well-conditioned vs poorly-conditioned pair; a
+    // --channel override runs the ablation on that single channel.
+    std::vector<std::pair<std::string, std::string>> channels{{"Rayleigh", "rayleigh"},
+                                                              {"Indoor", "indoor"}};
+    if (!bench::common().channel.empty())
+      channels = {{bench::common().channel, bench::common().channel}};
 
     for (const unsigned qam : {16u, 64u}) {
-      for (const auto& [name, ch] :
-           std::vector<std::pair<std::string, const channel::ChannelModel*>>{
-               {"Rayleigh", &rayleigh}, {"Indoor", &ensemble}}) {
+      for (const auto& [name, spec_text] : channels) {
+        const channel::ChannelModel* ch = &bench::engine().channel(
+            channel::ChannelSpec::parse(spec_text), 4, 4);
         link::LinkScenario scenario;
         scenario.frame.qam_order = qam;
         scenario.frame.payload_bytes = 250;
@@ -58,7 +57,14 @@ const std::vector<Row>& results() {
 }
 
 void AblationOrdering(benchmark::State& state) {
-  const Row& row = results()[static_cast<std::size_t>(state.range(0))];
+  const auto index = static_cast<std::size_t>(state.range(0));
+  if (index >= results().size()) {  // Fewer rows under a --channel override.
+    for (auto _ : state) {
+    }
+    state.SetLabel("(unused under --channel)");
+    return;
+  }
+  const Row& row = results()[index];
   for (auto _ : state) benchmark::DoNotOptimize(row.sorted.avg_ped_per_subcarrier);
   bench::set_counter(state, "unsorted_PED", row.unsorted.avg_ped_per_subcarrier);
   bench::set_counter(state, "sorted_PED", row.sorted.avg_ped_per_subcarrier);

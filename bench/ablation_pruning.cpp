@@ -8,7 +8,6 @@
 #include <vector>
 
 #include "bench_util.h"
-#include "channel/rayleigh.h"
 #include "link/snr_search.h"
 #include "sim/complexity_experiment.h"
 #include "sim/table.h"
@@ -30,7 +29,7 @@ const std::vector<Row>& results() {
   static const auto rows = [] {
     std::vector<Row> out;
     const std::size_t frames = geosphere::bench::frames_or(40);
-    const channel::RayleighChannel rayleigh(4, 4);
+    const channel::ChannelModel& rayleigh = bench::make_channel("rayleigh", 4, 4);
     for (const unsigned qam : {64u, 256u}) {
       for (const double target : {0.10, 0.01}) {
         link::LinkScenario scenario;
@@ -80,7 +79,8 @@ BENCHMARK(AblationPruning)->DenseRange(0, 3)->Iterations(1)->Unit(benchmark::kMi
 
 int main(int argc, char** argv) {
   geosphere::bench::init_common(argc, argv);
-  std::cout << "=== Ablation: geometric pruning gain vs target FER (4x4 Rayleigh) ===\n"
+  std::cout << "=== Ablation: geometric pruning gain vs target FER (4x4, channel "
+            << geosphere::bench::channel_or("rayleigh") << ") ===\n"
                "Paper: pruning gains grow from 13-27% at 10% FER to ~47% at 1% FER.\n\n";
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

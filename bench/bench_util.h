@@ -8,10 +8,12 @@
 //    the figure's data series.
 //  * All experiments execute on one shared sim::Engine (thread-pooled,
 //    deterministic: results are bit-identical for any --threads value).
-//  * Every binary accepts --frames=N, --threads=N, --seed=N (stripped
-//    before google-benchmark sees argv), with environment fallbacks
-//    GEOSPHERE_BENCH_FRAMES / _THREADS / _SEED. Larger frame counts
-//    tighten the Monte-Carlo estimates.
+//  * Every binary accepts --frames=N, --threads=N, --seed=N and
+//    --channel=SPEC (stripped before google-benchmark sees argv), with
+//    environment fallbacks GEOSPHERE_BENCH_FRAMES / _THREADS / _SEED /
+//    _CHANNEL. Larger frame counts tighten the Monte-Carlo estimates;
+//    --channel reruns a bench on any registered channel (ChannelSpec
+//    form, e.g. kronecker:0.7 or trace:FILE) without recompiling.
 #pragma once
 
 #include <benchmark/benchmark.h>
@@ -19,20 +21,24 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <type_traits>
 
+#include "channel/spec.h"
 #include "common/rng.h"
 #include "sim/engine.h"
 
 namespace geosphere::bench {
 
-/// The shared CLI surface of every bench binary. Zero means "use the
-/// per-binary default" (frames, seed) or "hardware concurrency" (threads).
+/// The shared CLI surface of every bench binary. Zero / empty means "use
+/// the per-binary default" (frames, seed, channel) or "hardware
+/// concurrency" (threads).
 struct CommonArgs {
   std::size_t frames = 0;
   std::size_t threads = 0;
   std::uint64_t seed = 0;
+  std::string channel;
 };
 
 inline CommonArgs& common() {
@@ -70,30 +76,57 @@ inline void init_common(int& argc, char** argv) {
   env_u64("GEOSPHERE_BENCH_FRAMES", args.frames);
   env_u64("GEOSPHERE_BENCH_THREADS", args.threads);
   env_u64("GEOSPHERE_BENCH_SEED", args.seed);
+  if (const char* v = std::getenv("GEOSPHERE_BENCH_CHANNEL")) args.channel = v;
 
   int kept = 1;
+  bool channel_flag_seen = false;
   for (int i = 1; i < argc; ++i) {
     const std::string token = argv[i];
     // Accepts both --flag=N and --flag N (geosphere_cli uses the latter;
     // a silently ignored form would leave the default in effect).
-    const auto flag_u64 = [&](const std::string& name, auto& out) {
-      using Out = std::remove_reference_t<decltype(out)>;
+    const auto flag_str = [&](const std::string& name, std::string& out) {
       if (token == name) {
         if (i + 1 >= argc) {
           std::fprintf(stderr, "error: missing value for %s\n", name.c_str());
           std::exit(1);
         }
-        out = static_cast<Out>(parse_u64(name.c_str(), argv[++i]));
+        out = argv[++i];
         return true;
       }
       if (token.rfind(name + "=", 0) != 0) return false;
-      out = static_cast<Out>(parse_u64(name.c_str(), token.c_str() + name.size() + 1));
+      out = token.substr(name.size() + 1);
+      return true;
+    };
+    const auto flag_u64 = [&](const std::string& name, auto& out) {
+      using Out = std::remove_reference_t<decltype(out)>;
+      std::string text;
+      if (!flag_str(name, text)) return false;
+      out = static_cast<Out>(parse_u64(name.c_str(), text.c_str()));
       return true;
     };
     if (flag_u64("--frames", args.frames) || flag_u64("--threads", args.threads) ||
         flag_u64("--seed", args.seed))
       continue;
+    if (flag_str("--channel", args.channel)) {
+      channel_flag_seen = true;
+      continue;
+    }
     argv[kept++] = argv[i];
+  }
+  if (channel_flag_seen && args.channel.empty()) {
+    // An explicitly empty value must not silently mean "default channel"
+    // (e.g. the stray space in "--channel= kronecker:0.7").
+    std::fprintf(stderr, "error: --channel expects a channel spec, got \"\"\n");
+    std::exit(1);
+  }
+  if (!args.channel.empty()) {
+    // Validate up front: a typo must abort before minutes of Monte-Carlo.
+    try {
+      (void)channel::ChannelSpec::parse(args.channel);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: --channel: %s\n", e.what());
+      std::exit(1);
+    }
   }
   argc = kept;
   if (args.threads > 1024) {
@@ -117,6 +150,38 @@ inline std::size_t frames_or(std::size_t fallback) {
 /// Master seed: --seed / env override, else the binary's default.
 inline std::uint64_t seed_or(std::uint64_t fallback) {
   return common().seed > 0 ? common().seed : fallback;
+}
+
+/// Channel spec text: --channel / env override, else the binary's default
+/// (a ChannelSpec registry form).
+inline std::string channel_or(const std::string& fallback) {
+  return common().channel.empty() ? fallback : common().channel;
+}
+
+/// The override-able channel workload of a bench binary: creates the
+/// channel named by --channel / GEOSPHERE_BENCH_CHANNEL, else `fallback`,
+/// through the shared engine's channel cache (one instance per distinct
+/// spec x dims for the binary's lifetime).
+inline const channel::ChannelModel& make_channel(const std::string& fallback,
+                                                 std::size_t clients,
+                                                 std::size_t antennas) {
+  return engine().channel(channel::ChannelSpec::parse(channel_or(fallback)), clients,
+                          antennas);
+}
+
+/// Benches that sweep clients x antennas configurations call this after
+/// init_common(): a fixed-dims override (trace:FILE pins its own shape)
+/// would silently collapse every swept configuration onto one channel
+/// while the tables keep printing the requested dimensions.
+inline void reject_fixed_dims_channel(const char* binary) {
+  if (common().channel.empty()) return;
+  if (channel::ChannelSpec::parse(common().channel).fixed_dims()) {
+    std::fprintf(stderr,
+                 "error: %s sweeps clients x antennas, but --channel %s fixes its own "
+                 "dimensions (replay traces via geosphere_cli sweep instead)\n",
+                 binary, common().channel.c_str());
+    std::exit(1);
+  }
 }
 
 /// Seed for sub-experiment `index` of a binary that runs several seeded

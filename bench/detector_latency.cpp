@@ -9,7 +9,6 @@
 
 #include "bench_util.h"
 #include "channel/noise.h"
-#include "channel/rayleigh.h"
 #include "common/rng.h"
 #include "detect/spec.h"
 
@@ -30,9 +29,10 @@ const Workload& workload(unsigned order) {
     const Constellation& c = Constellation::qam(order);
     Workload w;
     w.n0 = channel::noise_variance_for_snr_db(25.0);
-    // --seed rotates the workload; the default reproduces the legacy draws.
+    // --seed rotates the workload; the default reproduces the legacy
+    // draws. --channel swaps the 4x4 Rayleigh for any registered channel.
     Rng rng(order + bench::seed_or(0));
-    channel::RayleighChannel model(4, 4);
+    const channel::ChannelModel& model = bench::make_channel("rayleigh", 4, 4);
     for (int i = 0; i < 64; ++i) {
       const auto h = model.draw_flat(rng);
       CVector x(4);

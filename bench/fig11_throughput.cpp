@@ -16,7 +16,6 @@
 #include <vector>
 
 #include "bench_util.h"
-#include "channel/testbed_ensemble.h"
 #include "sim/table.h"
 
 namespace {
@@ -41,17 +40,17 @@ const std::vector<Row>& results() {
   static const auto rows = [] {
     std::vector<Row> out;
     for (const auto& cfg : kConfigs) {
-      channel::TestbedConfig tc;
-      tc.clients = cfg.clients;
-      tc.ap_antennas = cfg.antennas;
-      const channel::TestbedEnsemble ensemble(tc);
-
+      // One fully declarative sweep per antenna configuration: the
+      // channel is a registry spec string like everything else.
       sim::SweepSpec spec;
+      spec.channel = bench::channel_or("indoor");
+      spec.clients = cfg.clients;
+      spec.antennas = cfg.antennas;
       spec.detectors = {"zf", "geosphere"};
       spec.snr_grid_db = kSnrs;
       spec.frames = bench::frames_or(60);
       spec.seed = bench::seed_or(cfg.clients * 1000 + cfg.antennas * 100);
-      const auto cells = bench::engine().run_sweep(ensemble, spec);
+      const auto cells = bench::engine().run_sweep(spec);
 
       for (std::size_t si = 0; si < kSnrs.size(); ++si)
         out.push_back({cfg, kSnrs[si], cells[si * 2], cells[si * 2 + 1]});
@@ -84,10 +83,12 @@ BENCHMARK(Fig11)->DenseRange(0, 11)->Iterations(1)->Unit(benchmark::kMillisecond
 
 int main(int argc, char** argv) {
   geosphere::bench::init_common(argc, argv);
+  geosphere::bench::reject_fixed_dims_channel("fig11_throughput");
   std::cout << "=== Paper Fig. 11: testbed throughput, ZF vs Geosphere ===\n"
                "Ideal rate adaptation over {4,16,64}-QAM, rate-1/2 K=7 coding,\n"
-               "48-subcarrier OFDM, indoor ensemble, per-frame SNR in +/-5 dB window.\n"
-            << "Engine threads: " << geosphere::bench::engine().threads() << "\n\n";
+               "48-subcarrier OFDM, per-frame SNR in +/-5 dB window.\n"
+            << "Channel: " << geosphere::bench::channel_or("indoor")
+            << "  Engine threads: " << geosphere::bench::engine().threads() << "\n\n";
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
 

@@ -10,7 +10,6 @@
 #include <vector>
 
 #include "bench_util.h"
-#include "channel/testbed_ensemble.h"
 #include "sim/table.h"
 
 namespace {
@@ -27,17 +26,15 @@ const std::vector<Row>& results() {
   static const auto rows = [] {
     std::vector<Row> out;
     for (const std::size_t clients : {1u, 2u, 3u, 4u}) {
-      channel::TestbedConfig tc;
-      tc.clients = clients;
-      tc.ap_antennas = 4;
-      const channel::TestbedEnsemble ensemble(tc);
-
       sim::SweepSpec spec;
+      spec.channel = bench::channel_or("indoor");
+      spec.clients = clients;
+      spec.antennas = 4;
       spec.detectors = {"zf", "geosphere"};
       spec.snr_grid_db = {20.0};
       spec.frames = bench::frames_or(60);
       spec.seed = bench::seed_or(100 + clients);
-      const auto cells = bench::engine().run_sweep(ensemble, spec);
+      const auto cells = bench::engine().run_sweep(spec);
       out.push_back({clients, cells[0], cells[1]});
     }
     return out;
@@ -61,6 +58,7 @@ BENCHMARK(Fig12)->DenseRange(0, 3)->Iterations(1)->Unit(benchmark::kMillisecond)
 
 int main(int argc, char** argv) {
   geosphere::bench::init_common(argc, argv);
+  geosphere::bench::reject_fixed_dims_channel("fig12_scaling");
   std::cout << "=== Paper Fig. 12: throughput vs number of clients (4-antenna AP, 20 dB) ===\n\n";
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

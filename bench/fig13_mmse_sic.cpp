@@ -11,7 +11,6 @@
 #include <vector>
 
 #include "bench_util.h"
-#include "channel/rayleigh.h"
 #include "sim/table.h"
 
 namespace {
@@ -31,9 +30,10 @@ const std::vector<Row>& results() {
   static const auto rows = [] {
     std::vector<Row> out;
     for (const std::size_t clients : kClients) {
-      const channel::RayleighChannel rayleigh(10, clients);
-
       sim::SweepSpec spec;
+      spec.channel = bench::channel_or("rayleigh");
+      spec.clients = clients;
+      spec.antennas = 10;
       spec.detectors = {"zf", "mmse-sic", "geosphere"};
       spec.snr_grid_db = {20.0};
       spec.frames = bench::frames_or(25);
@@ -44,7 +44,7 @@ const std::vector<Row>& results() {
       // its frames are 3x longer -- skip the wasted probe.
       spec.candidate_qams = {16, 64};
       spec.seed = bench::seed_or(500 + clients);
-      const auto cells = bench::engine().run_sweep(rayleigh, spec);
+      const auto cells = bench::engine().run_sweep(spec);
       out.push_back({clients, cells[0], cells[1], cells[2]});
     }
     return out;
@@ -67,6 +67,7 @@ BENCHMARK(Fig13)->DenseRange(0, 4)->Iterations(1)->Unit(benchmark::kMillisecond)
 
 int main(int argc, char** argv) {
   geosphere::bench::init_common(argc, argv);
+  geosphere::bench::reject_fixed_dims_channel("fig13_mmse_sic");
   std::cout << "=== Paper Fig. 13: 10-antenna AP over Rayleigh fading at 20 dB ===\n"
                "ZF vs MMSE-SIC vs Geosphere, ideal rate adaptation {16,64}-QAM.\n\n";
   benchmark::Initialize(&argc, argv);

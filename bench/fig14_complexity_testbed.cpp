@@ -13,7 +13,6 @@
 #include <vector>
 
 #include "bench_util.h"
-#include "channel/testbed_ensemble.h"
 #include "sim/complexity_experiment.h"
 #include "sim/table.h"
 
@@ -44,10 +43,8 @@ const std::vector<Row>& results() {
     std::vector<Row> out;
     const std::size_t frames = geosphere::bench::frames_or(40);
     for (const auto& cfg : kConfigs) {
-      channel::TestbedConfig tc;
-      tc.clients = cfg.clients;
-      tc.ap_antennas = cfg.antennas;
-      const channel::TestbedEnsemble ensemble(tc);
+      const channel::ChannelModel& ensemble =
+          bench::make_channel("indoor", cfg.clients, cfg.antennas);
       for (const double snr : kSnrs) {
         link::LinkScenario scenario;
         scenario.frame.qam_order = kQamAtSnr.at(snr);

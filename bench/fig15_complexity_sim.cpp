@@ -15,8 +15,6 @@
 #include <vector>
 
 #include "bench_util.h"
-#include "channel/rayleigh.h"
-#include "channel/testbed_ensemble.h"
 #include "link/snr_search.h"
 #include "sim/complexity_experiment.h"
 #include "sim/table.h"
@@ -76,11 +74,12 @@ const std::vector<Row>& results() {
     std::vector<Row> out;
     const std::size_t frames = geosphere::bench::frames_or(40);
     for (const std::size_t clients : {std::size_t{2}, std::size_t{4}}) {
-      const channel::RayleighChannel rayleigh(4, clients);
-      channel::TestbedConfig tc;
-      tc.clients = clients;
-      tc.ap_antennas = 4;
-      const channel::TestbedEnsemble ensemble(tc);
+      // The figure's two series are fixed registry channels (solid =
+      // Rayleigh, striped = measured-like), so no --channel override here.
+      const channel::ChannelModel& rayleigh = bench::engine().channel(
+          channel::ChannelSpec::parse("rayleigh"), clients, 4);
+      const channel::ChannelModel& ensemble = bench::engine().channel(
+          channel::ChannelSpec::parse("indoor"), clients, 4);
       for (const unsigned qam : kQams) {
         out.push_back(run_point(rayleigh, "Rayleigh", qam, frames));
         out.push_back(run_point(ensemble, "Measured-like", qam, frames));

@@ -8,8 +8,6 @@
 #include <iostream>
 
 #include "bench_util.h"
-#include "channel/rayleigh.h"
-#include "channel/testbed_ensemble.h"
 #include "sim/complexity_experiment.h"
 #include "sim/conditioning_experiment.h"
 #include "sim/table.h"
@@ -48,10 +46,8 @@ const Summary& summary() {
     for (const auto& [clients, out_gain] :
          std::vector<std::pair<std::size_t, double*>>{{2, &out.gain_2x2},
                                                       {4, &out.gain_4x4}}) {
-      channel::TestbedConfig tc;
-      tc.clients = clients;
-      tc.ap_antennas = clients == 2 ? 2 : 4;
-      const channel::TestbedEnsemble ensemble(tc);
+      const channel::ChannelModel& ensemble = bench::engine().channel(
+          channel::ChannelSpec::parse("indoor"), clients, clients == 2 ? 2 : 4);
       for (const double snr : {15.0, 20.0, 25.0}) {
         tcfg.seed = bench::point_seed(1, clients + static_cast<std::uint64_t>(snr));
         const auto zf = sim::measure_throughput(bench::engine(), ensemble, "ZF",
@@ -65,7 +61,8 @@ const Summary& summary() {
     }
 
     // Row 3: complexity at 4x4, 256-QAM.
-    const channel::RayleighChannel rayleigh(4, 4);
+    const channel::ChannelModel& rayleigh =
+        bench::engine().channel(channel::ChannelSpec::parse("rayleigh"), 4, 4);
     link::LinkScenario scenario;
     scenario.frame.qam_order = 256;
     scenario.frame.payload_bytes = 250;

@@ -9,7 +9,7 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "channel/rayleigh.h"
+#include "channel/spec.h"
 #include "detect/spec.h"
 #include "sim/complexity_experiment.h"
 #include "sim/table.h"
@@ -19,7 +19,7 @@ using namespace geosphere;
 int main(int argc, char** argv) {
   const std::size_t frames = argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 20;
 
-  const channel::RayleighChannel rayleigh(4, 4);
+  const auto rayleigh = channel::ChannelSpec::parse("rayleigh").create(4, 4);
   sim::Engine engine;  // All cores; results identical for any thread count.
   sim::TablePrinter table({"QAM", "detector", "PED calcs / subcarrier",
                            "visited nodes / subcarrier", "FER"});
@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
     scenario.snr_db = snr;
 
     const auto points = sim::measure_complexity(
-        engine, rayleigh, scenario,
+        engine, *rayleigh, scenario,
         {{"ETH-SD", DetectorSpec::parse("eth-sd")},
          {"Geosphere (2D zigzag only)", DetectorSpec::parse("geosphere-2dzz")},
          {"Geosphere (full)", DetectorSpec::parse("geosphere")}},

@@ -7,8 +7,8 @@
 // detectors and the complexity counters.
 #include <cstdio>
 
-#include "channel/rayleigh.h"
 #include "channel/noise.h"
+#include "channel/spec.h"
 #include "common/rng.h"
 #include "detect/sphere/sphere_decoder.h"
 #include "detect/zero_forcing.h"
@@ -23,8 +23,10 @@ int main() {
   const double n0 = channel::noise_variance_for_snr_db(snr_db);
 
   Rng rng(2014);  // Deterministic: rerunning reproduces this output.
-  channel::RayleighChannel model(4, 4);
-  const linalg::CMatrix h = model.draw_flat(rng);
+  // Channels are named through the ChannelSpec registry, exactly as the
+  // CLI's --channel flag creates them ("kronecker:0.7", "indoor", ...).
+  const auto model = channel::ChannelSpec::parse("rayleigh").create(4, 4);
+  const linalg::CMatrix h = model->draw_flat(rng);
 
   // Each client transmits one random constellation point.
   std::vector<unsigned> sent(4);

@@ -4,12 +4,17 @@
 // ensemble. Ideal rate adaptation picks the best constellation per
 // detector; the table reports net sum throughput.
 //
-//   $ ./uplink_mu_mimo [frames]
+//   $ ./uplink_mu_mimo [frames] [channel]
+//
+// The optional channel argument is a ChannelSpec registry form (default
+// "indoor"): rerun the comparison over "rayleigh", "kronecker:0.9", a
+// recorded "trace:FILE", ...
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <string>
 
-#include "channel/testbed_ensemble.h"
+#include "channel/spec.h"
 #include "detect/spec.h"
 #include "link/rate_adapt.h"
 #include "link/throughput.h"
@@ -20,11 +25,9 @@ using namespace geosphere;
 
 int main(int argc, char** argv) {
   const std::size_t frames = argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 60;
+  const std::string channel_name = argc > 2 ? argv[2] : "indoor";
 
-  channel::TestbedConfig tc;
-  tc.ap_antennas = 4;
-  tc.clients = 4;
-  const channel::TestbedEnsemble ensemble(tc);
+  const auto ensemble = channel::ChannelSpec::parse(channel_name).create(4, 4);
   sim::Engine engine;  // All cores; results identical for any thread count.
 
   sim::TablePrinter table(
@@ -42,7 +45,7 @@ int main(int argc, char** argv) {
       scenario.snr_jitter_db = 5.0;  // The paper's SNR-range user selection.
 
       const link::RateChoice choice =
-          engine.best_rate(ensemble, scenario, spec, frames, /*seed=*/42);
+          engine.best_rate(*ensemble, scenario, spec, frames, /*seed=*/42);
       table.add_row({sim::TablePrinter::fmt(snr, 0), name,
                      std::to_string(choice.qam_order),
                      sim::TablePrinter::fmt(choice.throughput_mbps),
@@ -50,8 +53,8 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("4 clients x 4 AP antennas, indoor ensemble, %zu frames/point\n\n",
-              frames);
+  std::printf("%zu clients x %zu AP antennas, channel %s, %zu frames/point\n\n",
+              ensemble->num_tx(), ensemble->num_rx(), channel_name.c_str(), frames);
   table.print(std::cout);
   std::printf(
       "\nExpected shape (paper Fig. 11): Geosphere roughly doubles the 4x4\n"

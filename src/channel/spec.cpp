@@ -1,0 +1,239 @@
+#include "channel/spec.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "channel/frequency_selective.h"
+#include "channel/geometric.h"
+#include "channel/kronecker.h"
+#include "channel/rayleigh.h"
+#include "channel/testbed_ensemble.h"
+#include "channel/trace.h"
+
+namespace geosphere::channel {
+
+namespace {
+
+/// Shortest plain-decimal form of a validated real parameter that
+/// round-trips exactly ("0.70" -> "0.7"): equivalent spellings share one
+/// canonical text and one cache entry, distinct values never collide on
+/// it, and -- unlike %g, which switches to exponent notation -- the text
+/// stays inside the parser's digits-and-dot grammar, so parse(text()) is
+/// always the same spec.
+std::string fmt_real(double value) {
+  char buf[400];
+  for (int precision = 1; precision <= 345; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
+  return buf;
+}
+
+std::vector<ChannelInfo> build_registry() {
+  std::vector<ChannelInfo> out;
+  {
+    ChannelInfo info;
+    info.name = "rayleigh";
+    info.summary = "i.i.d. Rayleigh flat fading, CN(0,1) entries (the paper's "
+                   "simulation channel)";
+    info.make = [](const ChannelSpec&, std::size_t clients, std::size_t antennas) {
+      return std::make_unique<RayleighChannel>(antennas, clients);
+    };
+    out.push_back(std::move(info));
+  }
+  {
+    ChannelInfo info;
+    info.name = "kronecker";
+    info.summary = "Kronecker-correlated Rayleigh, R(i,j) = RHO^|i-j| at both link ends";
+    info.param = ChannelParam::kReal;
+    info.param_name = "RHO";
+    info.min_real = 0.0;
+    info.sup_real = 1.0;
+    info.default_real = 0.5;
+    info.make = [](const ChannelSpec& spec, std::size_t clients, std::size_t antennas) {
+      return std::make_unique<KroneckerChannel>(antennas, clients, spec.param_real(),
+                                                spec.param_real());
+    };
+    out.push_back(std::move(info));
+  }
+  {
+    ChannelInfo info;
+    info.name = "geometric";
+    info.summary = "ray/cluster geometric channel (uniform linear AP array, "
+                   "clustered AoAs; the physics of paper Fig. 2)";
+    info.make = [](const ChannelSpec&, std::size_t clients, std::size_t antennas) {
+      GeometricConfig cfg;
+      cfg.clients = clients;
+      cfg.ap_antennas = antennas;
+      return std::make_unique<GeometricChannel>(cfg);
+    };
+    out.push_back(std::move(info));
+  }
+  {
+    ChannelInfo info;
+    info.name = "freq-selective";
+    info.summary = "TAPS-tap tapped-delay line, exponential power-delay profile, "
+                   "i.i.d. Rayleigh taps";
+    info.param = ChannelParam::kInt;
+    info.param_name = "TAPS";
+    info.min_int = 1;
+    info.max_int = 64;
+    info.default_int = 4;
+    info.make = [](const ChannelSpec& spec, std::size_t clients, std::size_t antennas) {
+      return std::make_unique<FrequencySelectiveChannel>(antennas, clients,
+                                                         spec.param_int());
+    };
+    out.push_back(std::move(info));
+  }
+  {
+    ChannelInfo info;
+    info.name = "indoor";
+    info.summary = "synthetic indoor testbed ensemble (mixture of poorly and richly "
+                   "scattered links; the paper's WARP trace substitute)";
+    info.make = [](const ChannelSpec&, std::size_t clients, std::size_t antennas) {
+      TestbedConfig tc;
+      tc.clients = clients;
+      tc.ap_antennas = antennas;
+      return std::make_unique<TestbedEnsemble>(tc);
+    };
+    out.push_back(std::move(info));
+  }
+  {
+    ChannelInfo info;
+    info.name = "trace";
+    info.summary = "replay a recorded .geotrace link ensemble (dimensions fixed "
+                   "by the file; see geosphere_cli trace-record)";
+    info.param = ChannelParam::kPath;
+    info.param_required = true;
+    info.param_name = "FILE";
+    info.fixed_dims = true;
+    info.make = [](const ChannelSpec& spec, std::size_t, std::size_t) {
+      return std::make_unique<TraceChannelModel>(load_trace(spec.param_path()));
+    };
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+std::string known_forms() {
+  std::string out;
+  for (const auto& info : channel_registry()) {
+    if (!out.empty()) out += ' ';
+    out += channel_canonical_form(info);
+  }
+  return out;
+}
+
+[[noreturn]] void fail(const std::string& text, const std::string& why) {
+  throw std::invalid_argument("ChannelSpec: cannot parse \"" + text + "\": " + why +
+                              " (valid forms: " + known_forms() + ")");
+}
+
+}  // namespace
+
+const std::vector<ChannelInfo>& channel_registry() {
+  static const std::vector<ChannelInfo> registry = build_registry();
+  return registry;
+}
+
+std::string channel_canonical_form(const ChannelInfo& info) {
+  if (info.param == ChannelParam::kNone) return info.name;
+  if (info.param_required) return info.name + ":" + info.param_name;
+  return info.name + "[:" + info.param_name + "]";
+}
+
+const std::vector<std::string>& channel_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (const auto& info : channel_registry())
+      if (!info.param_required) out.push_back(info.name);
+    return out;
+  }();
+  return names;
+}
+
+ChannelSpec ChannelSpec::parse(const std::string& text) {
+  const std::size_t colon = text.find(':');
+  const std::string base = text.substr(0, colon);
+  const bool has_param_text = colon != std::string::npos;
+  const std::string param_text = has_param_text ? text.substr(colon + 1) : "";
+
+  const ChannelInfo* info = nullptr;
+  for (const auto& entry : channel_registry())
+    if (entry.name == base) {
+      info = &entry;
+      break;
+    }
+  if (info == nullptr) fail(text, "unknown channel \"" + base + "\"");
+
+  if (info->param == ChannelParam::kNone && has_param_text)
+    fail(text, "\"" + base + "\" takes no parameter");
+  if (info->param_required && !has_param_text)
+    fail(text, "\"" + base + "\" needs " + channel_canonical_form(*info));
+
+  ChannelSpec spec(info);
+  switch (info->param) {
+    case ChannelParam::kNone:
+      spec.text_ = info->name;
+      break;
+    case ChannelParam::kReal: {
+      // Strict parse: plain decimal only (digits and at most one '.'), the
+      // whole token consumed and inside [min, sup) -- "kronecker:0.7x" or
+      // "kronecker:1.0" must not silently configure a different channel.
+      double value = info->default_real;
+      if (has_param_text) {
+        const bool charset_ok =
+            !param_text.empty() &&
+            param_text.find_first_not_of("0123456789.") == std::string::npos &&
+            param_text.find_first_of("0123456789") != std::string::npos;
+        char* end = nullptr;
+        value = charset_ok ? std::strtod(param_text.c_str(), &end) : 0.0;
+        const bool consumed = charset_ok && end == param_text.c_str() + param_text.size();
+        if (!consumed || value < info->min_real || value >= info->sup_real)
+          fail(text, info->param_name + " must be a decimal in [" +
+                         fmt_real(info->min_real) + ", " + fmt_real(info->sup_real) +
+                         "), got \"" + param_text + "\"");
+      }
+      spec.real_ = value;
+      spec.text_ = info->name + ":" + fmt_real(value);
+      break;
+    }
+    case ChannelParam::kInt: {
+      unsigned value = info->default_int;
+      if (has_param_text) {
+        const bool all_digits = !param_text.empty() &&
+                                param_text.find_first_not_of("0123456789") ==
+                                    std::string::npos;
+        const unsigned long parsed =
+            all_digits ? std::strtoul(param_text.c_str(), nullptr, 10) : 0;
+        if (!all_digits || parsed < info->min_int || parsed > info->max_int)
+          fail(text, info->param_name + " must be an integer in [" +
+                         std::to_string(info->min_int) + ", " +
+                         std::to_string(info->max_int) + "], got \"" + param_text +
+                         "\"");
+        value = static_cast<unsigned>(parsed);
+      }
+      spec.int_ = value;
+      spec.text_ = info->name + ":" + std::to_string(value);
+      break;
+    }
+    case ChannelParam::kPath:
+      if (param_text.empty())
+        fail(text, info->param_name + " must be a non-empty file path");
+      spec.path_ = param_text;
+      spec.text_ = info->name + ":" + param_text;
+      break;
+  }
+  return spec;
+}
+
+std::unique_ptr<ChannelModel> ChannelSpec::create(std::size_t clients,
+                                                  std::size_t antennas) const {
+  if (!info_->fixed_dims && (clients == 0 || antennas == 0))
+    throw std::invalid_argument("ChannelSpec: channel \"" + text_ +
+                                "\" needs clients >= 1 and antennas >= 1");
+  return info_->make(*this, clients, antennas);
+}
+
+}  // namespace geosphere::channel

@@ -60,6 +60,13 @@ double LinkStats::avg_visited_nodes_per_subcarrier() const {
 LinkSimulator::LinkSimulator(const channel::ChannelModel& channel, LinkScenario scenario)
     : channel_(&channel), scenario_(scenario), codec_(scenario.frame) {}
 
+LinkSimulator::LinkSimulator(const channel::ChannelSpec& spec, std::size_t clients,
+                             std::size_t antennas, LinkScenario scenario)
+    : owned_(spec.create(clients, antennas)),
+      channel_(owned_.get()),
+      scenario_(scenario),
+      codec_(scenario.frame) {}
+
 void LinkSimulator::init_stats(LinkStats& stats) const {
   const std::size_t nc = channel_->num_tx();
   if (stats.clients == 0) {

@@ -9,9 +9,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "channel/channel_model.h"
+#include "channel/spec.h"
 #include "common/rng.h"
 #include "detect/detector.h"
 #include "detect/spec.h"
@@ -54,8 +56,16 @@ class LinkSimulator {
  public:
   /// `channel.num_tx()` defines the number of single-antenna clients; the
   /// detector passed to run() must be configured for the same QAM order as
-  /// `scenario.frame`.
+  /// `scenario.frame`. The caller keeps `channel` alive for the
+  /// simulator's lifetime (e.g. sim::Engine's channel cache does).
   LinkSimulator(const channel::ChannelModel& channel, LinkScenario scenario);
+
+  /// Creates and owns the channel described by `spec` (ChannelSpec
+  /// registry form) for `clients` single-antenna clients and `antennas`
+  /// AP antennas -- the declarative route: a scenario is fully described
+  /// by strings and numbers, no hand-constructed model needed.
+  LinkSimulator(const channel::ChannelSpec& spec, std::size_t clients,
+                std::size_t antennas, LinkScenario scenario);
 
   /// Simulates ONE independent frame (fresh channel, payloads and noise,
   /// all drawn from `rng`) and accumulates into `stats`. This is the unit
@@ -79,12 +89,16 @@ class LinkSimulator {
                 std::uint64_t seed) const;
 
   const LinkScenario& scenario() const { return scenario_; }
+  const channel::ChannelModel& channel() const { return *channel_; }
 
   /// Prepares an empty accumulator for this link (sets clients and the
   /// per-client error counters) or validates one that is already in use.
   void init_stats(LinkStats& stats) const;
 
  private:
+  /// Set only by the spec constructor; shared (not unique) so simulators
+  /// stay copyable -- the engine keeps them in plain vectors.
+  std::shared_ptr<const channel::ChannelModel> owned_;
   const channel::ChannelModel* channel_;
   LinkScenario scenario_;
   phy::FrameCodec codec_;

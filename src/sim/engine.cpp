@@ -14,6 +14,20 @@ Detector& Engine::worker_detector(std::size_t worker, const DetectorSpec& spec,
   return *slot;
 }
 
+const channel::ChannelModel& Engine::channel(const channel::ChannelSpec& spec,
+                                             std::size_t clients, std::size_t antennas) {
+  // Fixed-dims specs (traces) ignore the requested dimensions, so they
+  // share one entry regardless of clients/antennas -- the file is loaded
+  // once per engine even across differently-sized sweeps.
+  const std::string key =
+      spec.fixed_dims()
+          ? spec.text()
+          : spec.text() + "@" + std::to_string(clients) + "x" + std::to_string(antennas);
+  auto& slot = channel_cache_[key];
+  if (!slot) slot = spec.create(clients, antennas);
+  return *slot;
+}
+
 link::LinkStats Engine::run_link(const link::LinkSimulator& sim, const DetectorSpec& spec,
                                  std::size_t frames, std::uint64_t seed) {
   const unsigned qam = sim.scenario().frame.qam_order;
@@ -32,6 +46,14 @@ link::LinkStats Engine::run_link(const link::LinkSimulator& sim, const DetectorS
   sim.init_stats(total);  // frames == 0 parity with LinkSimulator::run.
   for (const auto& p : partial) total += p;
   return total;
+}
+
+link::LinkStats Engine::run_link(const channel::ChannelSpec& chspec, std::size_t clients,
+                                 std::size_t antennas, const link::LinkScenario& scenario,
+                                 const DetectorSpec& spec, std::size_t frames,
+                                 std::uint64_t seed) {
+  const link::LinkSimulator sim(channel(chspec, clients, antennas), scenario);
+  return run_link(sim, spec, frames, seed);
 }
 
 link::FrameBatchRunner Engine::runner() {
@@ -94,14 +116,42 @@ link::RateChoice Engine::best_rate(const channel::ChannelModel& channel,
   return best;
 }
 
+link::RateChoice Engine::best_rate(const channel::ChannelSpec& chspec,
+                                   std::size_t clients, std::size_t antennas,
+                                   link::LinkScenario base, const DetectorSpec& spec,
+                                   std::size_t frames, std::uint64_t seed,
+                                   const std::vector<unsigned>& candidate_qams) {
+  return best_rate(channel(chspec, clients, antennas), base, spec, frames, seed,
+                   candidate_qams);
+}
+
 double Engine::find_snr_for_fer(const channel::ChannelModel& channel,
                                 link::LinkScenario base, const DetectorSpec& spec,
                                 const link::SnrSearchConfig& config, std::uint64_t seed) {
   return link::find_snr_for_fer(channel, base, spec, config, seed, runner());
 }
 
+double Engine::find_snr_for_fer(const channel::ChannelSpec& chspec, std::size_t clients,
+                                std::size_t antennas, link::LinkScenario base,
+                                const DetectorSpec& spec,
+                                const link::SnrSearchConfig& config, std::uint64_t seed) {
+  return find_snr_for_fer(channel(chspec, clients, antennas), base, spec, config, seed);
+}
+
 std::vector<SweepCell> Engine::run_sweep(const channel::ChannelModel& channel,
                                          const SweepSpec& spec) {
+  return run_sweep_impl(channel, spec, "custom");
+}
+
+std::vector<SweepCell> Engine::run_sweep(const SweepSpec& spec) {
+  const channel::ChannelSpec chspec = channel::ChannelSpec::parse(spec.channel);
+  return run_sweep_impl(channel(chspec, spec.clients, spec.antennas), spec,
+                        chspec.text());
+}
+
+std::vector<SweepCell> Engine::run_sweep_impl(const channel::ChannelModel& channel,
+                                              const SweepSpec& spec,
+                                              const std::string& channel_label) {
   // Parse and validate every detector (including the decision override)
   // before any work is scheduled.
   std::vector<DetectorSpec> specs;
@@ -172,6 +222,7 @@ std::vector<SweepCell> Engine::run_sweep(const channel::ChannelModel& channel,
     for (std::size_t di = 0; di < nd; ++di) {
       SweepCell cell;
       cell.detector = spec.detectors[di];
+      cell.channel = channel_label;
       cell.decision = specs[di].decision();
       cell.snr_db = spec.snr_grid_db[si];
       double best_mbps = 0.0;

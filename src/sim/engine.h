@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "channel/channel_model.h"
+#include "channel/spec.h"
 #include "coding/convolutional.h"
 #include "detect/spec.h"
 #include "link/link_simulator.h"
@@ -31,9 +32,18 @@ namespace geosphere::sim {
 /// `candidate_qams` at each point. One master seed covers the whole sweep;
 /// each SNR point gets a derived seed, shared by every detector at that
 /// point so detector comparisons are paired on identical channel/noise
-/// draws (the paper's methodology, Section 5.2).
+/// draws (the paper's methodology, Section 5.2). The per-point seeds
+/// depend only on (seed, SNR index) -- never on the channel -- so sweeps
+/// that differ only in `channel` are paired too.
 struct SweepSpec {
   std::vector<std::string> detectors;
+  /// The channel the whole sweep runs over (ChannelSpec::parse form, e.g.
+  /// "indoor" or "kronecker:0.7") and its dimensions. With these a
+  /// SweepSpec is a complete, serializable scenario description; the
+  /// run_sweep(model, spec) overload ignores them.
+  std::string channel = "rayleigh";
+  std::size_t clients = 4;
+  std::size_t antennas = 4;
   std::vector<double> snr_grid_db;
   std::vector<unsigned> candidate_qams = {4, 16, 64};
   std::size_t frames = 120;
@@ -51,6 +61,9 @@ struct SweepSpec {
 /// One (detector, SNR point) cell of a sweep.
 struct SweepCell {
   std::string detector;
+  /// Canonical ChannelSpec text of the sweep's channel; "custom" when the
+  /// sweep ran over a caller-constructed model.
+  std::string channel;
   DecisionMode decision = DecisionMode::kHard;
   double snr_db = 0.0;
   unsigned best_qam = 0;
@@ -74,6 +87,14 @@ class Engine {
   link::LinkStats run_link(const link::LinkSimulator& sim, const DetectorSpec& spec,
                            std::size_t frames, std::uint64_t seed);
 
+  /// Declarative run_link: builds the link from the cached channel named
+  /// by `chspec`. Bit-identical to the LinkSimulator overload on a model
+  /// constructed the same way.
+  link::LinkStats run_link(const channel::ChannelSpec& chspec, std::size_t clients,
+                           std::size_t antennas, const link::LinkScenario& scenario,
+                           const DetectorSpec& spec, std::size_t frames,
+                           std::uint64_t seed);
+
   /// A FrameBatchRunner that dispatches onto this engine, for the
   /// link-layer helpers (best_rate, find_snr_for_fer).
   link::FrameBatchRunner runner();
@@ -86,10 +107,23 @@ class Engine {
                              std::size_t frames, std::uint64_t seed,
                              const std::vector<unsigned>& candidate_qams = {4, 16, 64});
 
+  /// Declarative best_rate over the cached channel named by `chspec`.
+  link::RateChoice best_rate(const channel::ChannelSpec& chspec, std::size_t clients,
+                             std::size_t antennas, link::LinkScenario base,
+                             const DetectorSpec& spec, std::size_t frames,
+                             std::uint64_t seed,
+                             const std::vector<unsigned>& candidate_qams = {4, 16, 64});
+
   /// Thread-pooled SNR calibration (link::find_snr_for_fer semantics).
   double find_snr_for_fer(const channel::ChannelModel& channel, link::LinkScenario base,
                           const DetectorSpec& spec,
                           const link::SnrSearchConfig& config, std::uint64_t seed);
+
+  /// Declarative SNR calibration over the cached channel named by `chspec`.
+  double find_snr_for_fer(const channel::ChannelSpec& chspec, std::size_t clients,
+                          std::size_t antennas, link::LinkScenario base,
+                          const DetectorSpec& spec, const link::SnrSearchConfig& config,
+                          std::uint64_t seed);
 
   /// Executes a declarative sweep. Cells are ordered SNR-major then
   /// detector (the spec's detector order), `snr_grid_db.size() *
@@ -99,6 +133,20 @@ class Engine {
   /// would not; results remain bit-identical for any thread count.
   std::vector<SweepCell> run_sweep(const channel::ChannelModel& channel,
                                    const SweepSpec& spec);
+
+  /// Fully declarative sweep: the channel is resolved from spec.channel /
+  /// spec.clients / spec.antennas through the engine's channel cache.
+  /// Per-SNR-point seeds depend only on (spec.seed, SNR index), so sweeps
+  /// differing only in channel stay paired point-for-point.
+  std::vector<SweepCell> run_sweep(const SweepSpec& spec);
+
+  /// The channel resolved from `spec` for the given dimensions, created
+  /// on first use and cached across calls -- so spec-based runs skip
+  /// repeated construction (notably trace file loads). Channel models are
+  /// immutable and draw_link() is const, so one cached instance is safely
+  /// shared by every worker; only detectors need per-worker instances.
+  const channel::ChannelModel& channel(const channel::ChannelSpec& spec,
+                                       std::size_t clients, std::size_t antennas);
 
   /// Runs body(i) for i in [0, n) across the pool; iterations must be
   /// independent. For experiment loops that are not frame batches (e.g.
@@ -115,8 +163,18 @@ class Engine {
   Detector& worker_detector(std::size_t worker, const DetectorSpec& spec,
                             unsigned qam_order);
 
+  std::vector<SweepCell> run_sweep_impl(const channel::ChannelModel& channel,
+                                        const SweepSpec& spec,
+                                        const std::string& channel_label);
+
   ThreadPool pool_;
   std::vector<std::unordered_map<std::string, std::unique_ptr<Detector>>> detector_cache_;
+  /// Spec-resolved channels, keyed on (canonical spec text, dimensions).
+  /// Shared across workers (channels are immutable); populated only from
+  /// the calling thread, so no locking -- like the pool, Engine methods
+  /// are not reentrant.
+  std::unordered_map<std::string, std::unique_ptr<const channel::ChannelModel>>
+      channel_cache_;
 };
 
 }  // namespace geosphere::sim

@@ -1,0 +1,204 @@
+// Tests for the ChannelSpec parser and registry: the single surface
+// through which the CLI, SweepSpec and the engine name channel models.
+// Parsing is strict -- malformed names or parameters must fail loudly
+// with a message that names the valid forms, never silently configure a
+// different channel.
+#include "channel/spec.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+
+#include "channel/frequency_selective.h"
+#include "channel/kronecker.h"
+#include "channel/rayleigh.h"
+#include "channel/testbed_ensemble.h"
+#include "channel/trace.h"
+#include "common/rng.h"
+
+namespace geosphere::channel {
+namespace {
+
+::testing::AssertionResult parse_fails_mentioning(const std::string& text,
+                                                  const std::string& fragment) {
+  try {
+    (void)ChannelSpec::parse(text);
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    if (what.find(fragment) == std::string::npos)
+      return ::testing::AssertionFailure()
+             << "\"" << text << "\" failed but message lacks \"" << fragment
+             << "\": " << what;
+    if (what.find("valid forms:") == std::string::npos)
+      return ::testing::AssertionFailure()
+             << "\"" << text << "\" error does not list the valid forms: " << what;
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure() << "\"" << text << "\" parsed but should not";
+}
+
+TEST(ChannelSpec, ParsesPlainNames) {
+  const ChannelSpec ray = ChannelSpec::parse("rayleigh");
+  EXPECT_EQ(ray.base(), "rayleigh");
+  EXPECT_EQ(ray.text(), "rayleigh");
+  EXPECT_FALSE(ray.fixed_dims());
+
+  const auto model = ray.create(2, 4);
+  ASSERT_NE(model, nullptr);
+  EXPECT_EQ(model->num_tx(), 2u);
+  EXPECT_EQ(model->num_rx(), 4u);
+  EXPECT_NE(dynamic_cast<const RayleighChannel*>(model.get()), nullptr);
+}
+
+TEST(ChannelSpec, EveryPlainNameCreatesAModelWithRequestedDims) {
+  for (const auto& name : channel_names()) {
+    const ChannelSpec spec = ChannelSpec::parse(name);
+    const auto model = spec.create(3, 4);
+    ASSERT_NE(model, nullptr) << name;
+    EXPECT_EQ(model->num_tx(), 3u) << name;
+    EXPECT_EQ(model->num_rx(), 4u) << name;
+    // Each model must actually draw links of the advertised shape.
+    Rng rng(1);
+    const Link link = model->draw_link(rng, 4);
+    ASSERT_EQ(link.num_subcarriers(), 4u) << name;
+    EXPECT_EQ(link.subcarriers.front().rows(), 4u) << name;
+    EXPECT_EQ(link.subcarriers.front().cols(), 3u) << name;
+  }
+}
+
+TEST(ChannelSpec, KroneckerRealParameter) {
+  const ChannelSpec spec = ChannelSpec::parse("kronecker:0.7");
+  EXPECT_EQ(spec.base(), "kronecker");
+  EXPECT_EQ(spec.text(), "kronecker:0.7");
+  EXPECT_DOUBLE_EQ(spec.param_real(), 0.7);
+  EXPECT_NE(dynamic_cast<const KroneckerChannel*>(spec.create(2, 2).get()), nullptr);
+
+  // Equivalent spellings canonicalize to one text (one engine cache
+  // entry); the omitted optional parameter resolves to its default.
+  EXPECT_EQ(ChannelSpec::parse("kronecker:0.70").text(), "kronecker:0.7");
+  EXPECT_TRUE(ChannelSpec::parse("kronecker:0.7") == ChannelSpec::parse("kronecker:0.70"));
+  EXPECT_EQ(ChannelSpec::parse("kronecker").text(), "kronecker:0.5");
+  EXPECT_TRUE(ChannelSpec::parse("kronecker") == ChannelSpec::parse("kronecker:0.5"));
+  EXPECT_DOUBLE_EQ(ChannelSpec::parse("kronecker:0").param_real(), 0.0);
+
+  // The canonical text is round-trip faithful: distinct parameters never
+  // share a text (they would otherwise collide in the engine's channel
+  // cache), and parse(text()) is always the original spec -- including
+  // values %g would have pushed into exponent notation.
+  EXPECT_NE(ChannelSpec::parse("kronecker:0.1234561").text(),
+            ChannelSpec::parse("kronecker:0.1234569").text());
+  for (const char* text : {"kronecker:0.7", "kronecker:0.1234561", "kronecker:0.00001",
+                           "kronecker:0", "kronecker:0.999999999"}) {
+    const ChannelSpec spec = ChannelSpec::parse(text);
+    EXPECT_TRUE(ChannelSpec::parse(spec.text()) == spec) << text;
+    EXPECT_DOUBLE_EQ(ChannelSpec::parse(spec.text()).param_real(), spec.param_real())
+        << text;
+  }
+}
+
+TEST(ChannelSpec, FreqSelectiveIntParameter) {
+  const ChannelSpec spec = ChannelSpec::parse("freq-selective:6");
+  EXPECT_EQ(spec.param_int(), 6u);
+  EXPECT_EQ(spec.text(), "freq-selective:6");
+  const auto model = spec.create(2, 2);
+  const auto* fs = dynamic_cast<const FrequencySelectiveChannel*>(model.get());
+  ASSERT_NE(fs, nullptr);
+  EXPECT_EQ(fs->tap_powers().size(), 6u);
+  // The optional parameter defaults to 4 taps.
+  EXPECT_EQ(ChannelSpec::parse("freq-selective").text(), "freq-selective:4");
+}
+
+TEST(ChannelSpec, RejectsMalformedInput) {
+  // Unknown names list every registered channel, so a CLI typo is
+  // self-documenting (the old channel_by_name threw a bare "unknown
+  // channel" with no hint).
+  for (const char* known :
+       {"rayleigh", "kronecker", "geometric", "freq-selective", "indoor", "trace"})
+    EXPECT_TRUE(parse_fails_mentioning("does-not-exist", known));
+  EXPECT_TRUE(parse_fails_mentioning("", "unknown channel"));
+  EXPECT_TRUE(parse_fails_mentioning("Rayleigh", "unknown channel"));
+  EXPECT_TRUE(parse_fails_mentioning(":0.7", "unknown channel"));
+
+  EXPECT_TRUE(parse_fails_mentioning("rayleigh:3", "takes no parameter"));
+  EXPECT_TRUE(parse_fails_mentioning("indoor:0.5", "takes no parameter"));
+
+  // Real parameter: strict decimal, inside [0, 1).
+  EXPECT_TRUE(parse_fails_mentioning("kronecker:1", "[0.0, 1.0)"));
+  EXPECT_TRUE(parse_fails_mentioning("kronecker:1.0", "[0.0, 1.0)"));
+  EXPECT_TRUE(parse_fails_mentioning("kronecker:-0.1", "[0.0, 1.0)"));
+  EXPECT_TRUE(parse_fails_mentioning("kronecker:0.7x", "[0.0, 1.0)"));
+  EXPECT_TRUE(parse_fails_mentioning("kronecker:x", "[0.0, 1.0)"));
+  EXPECT_TRUE(parse_fails_mentioning("kronecker:", "[0.0, 1.0)"));
+  EXPECT_TRUE(parse_fails_mentioning("kronecker:0..7", "[0.0, 1.0)"));
+  EXPECT_TRUE(parse_fails_mentioning("kronecker:1e-1", "[0.0, 1.0)"));
+  EXPECT_TRUE(parse_fails_mentioning("kronecker:.", "[0.0, 1.0)"));
+
+  // Integer parameter: all digits, bounded.
+  EXPECT_TRUE(parse_fails_mentioning("freq-selective:0", "[1, 64]"));
+  EXPECT_TRUE(parse_fails_mentioning("freq-selective:65", "[1, 64]"));
+  EXPECT_TRUE(parse_fails_mentioning("freq-selective:4.5", "[1, 64]"));
+  EXPECT_TRUE(parse_fails_mentioning("freq-selective:x4", "[1, 64]"));
+
+  // Path parameter: required and non-empty.
+  EXPECT_TRUE(parse_fails_mentioning("trace", "trace:FILE"));
+  EXPECT_TRUE(parse_fails_mentioning("trace:", "non-empty file path"));
+}
+
+TEST(ChannelSpec, CreateRejectsZeroDimensions) {
+  EXPECT_THROW(ChannelSpec::parse("rayleigh").create(0, 4), std::invalid_argument);
+  EXPECT_THROW(ChannelSpec::parse("indoor").create(4, 0), std::invalid_argument);
+}
+
+TEST(ChannelSpec, TraceSpecReplaysARecordedEnsemble) {
+  // The trace-driven methodology end to end: record from a live model,
+  // save, and replay through the spec -- dimensions come from the file,
+  // not from create()'s arguments.
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "geo_spec_trace.geotrace").string();
+  TestbedConfig tc;
+  tc.clients = 2;
+  tc.ap_antennas = 4;
+  const TestbedEnsemble live(tc);
+  Rng rec(3);
+  save_trace(path, record_trace(live, 5, 8, rec));
+
+  const ChannelSpec spec = ChannelSpec::parse("trace:" + path);
+  EXPECT_TRUE(spec.fixed_dims());
+  EXPECT_EQ(spec.param_path(), path);
+  const auto model = spec.create(99, 99);  // Ignored: the file decides.
+  EXPECT_EQ(model->num_tx(), 2u);
+  EXPECT_EQ(model->num_rx(), 4u);
+
+  // Replay is deterministic per seed, like any channel model.
+  Rng a(7);
+  Rng b(7);
+  const Link la = model->draw_link(a, 8);
+  const Link lb = model->draw_link(b, 8);
+  for (std::size_t f = 0; f < 8; ++f)
+    EXPECT_EQ(la.subcarriers[f](0, 0), lb.subcarriers[f](0, 0));
+
+  // A missing file parses (parse is pure) but fails at create().
+  const ChannelSpec missing = ChannelSpec::parse("trace:/nonexistent/file.geotrace");
+  EXPECT_THROW(missing.create(2, 2), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(ChannelSpec, RegistryListsEveryChannelOnce) {
+  const auto& registry = channel_registry();
+  EXPECT_GE(registry.size(), 6u);
+  for (std::size_t i = 0; i < registry.size(); ++i)
+    for (std::size_t j = i + 1; j < registry.size(); ++j)
+      EXPECT_NE(registry[i].name, registry[j].name);
+  // Every non-required-param entry also appears in channel_names().
+  const auto& names = channel_names();
+  for (const auto& info : registry) {
+    const bool listed = std::find(names.begin(), names.end(), info.name) != names.end();
+    EXPECT_EQ(listed, !info.param_required) << info.name;
+  }
+}
+
+}  // namespace
+}  // namespace geosphere::channel

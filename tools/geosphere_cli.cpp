@@ -4,20 +4,25 @@
 // are bit-identical for any --threads value.
 //
 //   geosphere_cli list-detectors
+//   geosphere_cli list-channels
 //   geosphere_cli conditioning [--links N] [--subcarriers N]
 //   geosphere_cli throughput --clients N --antennas N --snr DB
 //                 [--detector zf|geosphere|soft-geosphere|kbest:K|...]
+//                 [--channel indoor|rayleigh|kronecker:RHO|trace:FILE|...]
 //   geosphere_cli complexity --clients N --antennas N --qam M --snr DB
-//                 [--channel rayleigh|indoor]
+//                 [--channel NAME]
 //   geosphere_cli sweep --clients N --antennas N
 //                 [--detectors zf,geosphere,soft-geosphere] [--snrs 15,20,25]
 //                 [--qams 4,16,64] [--decision auto|hard|soft]
-//                 [--channel rayleigh|indoor]
+//                 [--channel NAME]
 //   geosphere_cli trace-record --out FILE --links N --clients N --antennas N
+//                 [--channel NAME]
 //   geosphere_cli trace-info FILE
 //
 // Detector names are DetectorSpec registry forms (`list-detectors` prints
-// them all); "soft-geosphere" runs the max-log LLR + soft-Viterbi path.
+// them all); channel names are ChannelSpec registry forms (`list-channels`
+// prints them all) -- a channel recorded with trace-record replays through
+// any command via --channel trace:FILE.
 // Common flags: --threads N (default: all cores), --frames N, --seed N.
 #include <cstdio>
 #include <iostream>
@@ -26,8 +31,7 @@
 #include <string>
 #include <vector>
 
-#include "channel/rayleigh.h"
-#include "channel/testbed_ensemble.h"
+#include "channel/spec.h"
 #include "channel/trace.h"
 #include "detect/spec.h"
 #include "sim/complexity_experiment.h"
@@ -139,17 +143,10 @@ std::vector<std::string> split_list(const std::string& csv) {
   return out;
 }
 
-std::unique_ptr<channel::ChannelModel> channel_by_name(const std::string& name,
-                                                       std::size_t clients,
-                                                       std::size_t antennas) {
-  if (name == "rayleigh") return std::make_unique<channel::RayleighChannel>(antennas, clients);
-  if (name == "indoor") {
-    channel::TestbedConfig tc;
-    tc.clients = clients;
-    tc.ap_antennas = antennas;
-    return std::make_unique<channel::TestbedEnsemble>(tc);
-  }
-  throw std::runtime_error("unknown channel: " + name);
+/// The --channel flag, parsed through the ChannelSpec registry; malformed
+/// names fail with a message listing every valid form.
+channel::ChannelSpec channel_spec(const Args& args, const std::string& fallback) {
+  return channel::ChannelSpec::parse(args.get("channel", fallback));
 }
 
 int cmd_conditioning(const Args& args) {
@@ -172,10 +169,9 @@ int cmd_conditioning(const Args& args) {
 }
 
 int cmd_throughput(const Args& args) {
-  channel::TestbedConfig tc;
-  tc.clients = args.get_size("clients", 4);
-  tc.ap_antennas = args.get_size("antennas", 4);
-  const channel::TestbedEnsemble ensemble(tc);
+  const auto chspec = channel_spec(args, "indoor");
+  const channel::ChannelModel& model = args.engine().channel(
+      chspec, args.get_size("clients", 4), args.get_size("antennas", 4));
 
   sim::ThroughputConfig config;
   config.frames = args.get_size("frames", 60);
@@ -185,19 +181,20 @@ int cmd_throughput(const Args& args) {
   const DetectorSpec spec = DetectorSpec::parse(name);
 
   const auto point =
-      sim::measure_throughput(args.engine(), ensemble, spec.text(), spec, snr, config);
-  std::printf("%zu clients x %zu antennas @ %.1f dB, detector=%s (%s), threads=%zu\n",
-              tc.clients, tc.ap_antennas, snr, spec.text().c_str(),
-              to_string(spec.decision()), args.engine().threads());
+      sim::measure_throughput(args.engine(), model, spec.text(), spec, snr, config);
+  std::printf(
+      "%zu clients x %zu antennas @ %.1f dB, channel=%s, detector=%s (%s), threads=%zu\n",
+      model.num_tx(), model.num_rx(), snr, chspec.text().c_str(), spec.text().c_str(),
+      to_string(spec.decision()), args.engine().threads());
   std::printf("best QAM: %u\nnet throughput: %.2f Mbps\nFER: %.3f\n", point.best_qam,
               point.throughput_mbps, point.fer);
   return 0;
 }
 
 int cmd_complexity(const Args& args) {
-  const auto clients = args.get_size("clients", 4);
-  const auto antennas = args.get_size("antennas", 4);
-  const auto model = channel_by_name(args.get("channel", "rayleigh"), clients, antennas);
+  const auto chspec = channel_spec(args, "rayleigh");
+  const channel::ChannelModel& model = args.engine().channel(
+      chspec, args.get_size("clients", 4), args.get_size("antennas", 4));
 
   link::LinkScenario scenario;
   scenario.frame.qam_order = static_cast<unsigned>(args.get_int("qam", 64));
@@ -205,7 +202,7 @@ int cmd_complexity(const Args& args) {
   scenario.snr_db = args.get_double("snr", 20.0);
 
   const auto points = sim::measure_complexity(
-      args.engine(), *model, scenario,
+      args.engine(), model, scenario,
       {{"ETH-SD", DetectorSpec::parse("eth-sd")},
        {"Geosphere-2DZZ", DetectorSpec::parse("geosphere-2dzz")},
        {"Geosphere", DetectorSpec::parse("geosphere")}},
@@ -221,12 +218,21 @@ int cmd_complexity(const Args& args) {
 }
 
 int cmd_sweep(const Args& args) {
-  const auto clients = args.get_size("clients", 4);
-  const auto antennas = args.get_size("antennas", 4);
-  const auto model = channel_by_name(args.get("channel", "indoor"), clients, antennas);
-
   sim::SweepSpec spec;
-  spec.detectors = split_list(args.get("detectors", "zf,geosphere"));
+  spec.channel = channel_spec(args, "indoor").text();
+  spec.clients = args.get_size("clients", 4);
+  spec.antennas = args.get_size("antennas", 4);
+  const std::string decision = args.get("decision", "auto");
+  if (decision == "hard")
+    spec.decision = DecisionMode::kHard;
+  else if (decision == "soft")
+    spec.decision = DecisionMode::kSoft;
+  else if (decision != "auto")
+    throw std::runtime_error("--decision must be auto, hard or soft");
+  // --decision soft narrows the default detector list to the
+  // soft-capable registry entries; hard-only defaults would refuse it.
+  spec.detectors = split_list(
+      args.get("detectors", decision == "soft" ? "soft-geosphere" : "zf,geosphere"));
   for (const auto& s : split_list(args.get("snrs", "15,20,25")))
     spec.snr_grid_db.push_back(Args::parse_double("--snrs", s));
   spec.candidate_qams.clear();
@@ -241,23 +247,20 @@ int cmd_sweep(const Args& args) {
   spec.payload_bytes = args.get_size("payload", 500);
   spec.snr_jitter_db = args.get_double("jitter", 5.0);
   spec.seed = args.seed();
-  const std::string decision = args.get("decision", "auto");
-  if (decision == "hard")
-    spec.decision = DecisionMode::kHard;
-  else if (decision == "soft")
-    spec.decision = DecisionMode::kSoft;
-  else if (decision != "auto")
-    throw std::runtime_error("--decision must be auto, hard or soft");
 
-  const auto cells = args.engine().run_sweep(*model, spec);
+  const auto cells = args.engine().run_sweep(spec);
 
-  std::printf("%zu clients x %zu antennas, %zu frames/point, seed %llu, threads %zu\n\n",
-              clients, antennas, spec.frames,
-              static_cast<unsigned long long>(spec.seed), args.engine().threads());
-  sim::TablePrinter table({"SNR (dB)", "detector", "decision", "best QAM",
+  // Dimensions come off the resolved model: trace channels fix their own.
+  const channel::ChannelModel& model = args.engine().channel(
+      channel::ChannelSpec::parse(spec.channel), spec.clients, spec.antennas);
+  std::printf(
+      "%zu clients x %zu antennas, channel %s, %zu frames/point, seed %llu, threads %zu\n\n",
+      model.num_tx(), model.num_rx(), spec.channel.c_str(), spec.frames,
+      static_cast<unsigned long long>(spec.seed), args.engine().threads());
+  sim::TablePrinter table({"SNR (dB)", "channel", "detector", "decision", "best QAM",
                            "throughput (Mbps)", "FER", "PED/sc"});
   for (const auto& cell : cells)
-    table.add_row({sim::TablePrinter::fmt(cell.snr_db, 0), cell.detector,
+    table.add_row({sim::TablePrinter::fmt(cell.snr_db, 0), cell.channel, cell.detector,
                    to_string(cell.decision), std::to_string(cell.best_qam),
                    sim::TablePrinter::fmt(cell.throughput_mbps),
                    sim::TablePrinter::fmt(cell.stats.fer()),
@@ -267,18 +270,18 @@ int cmd_sweep(const Args& args) {
 }
 
 int cmd_trace_record(const Args& args) {
-  channel::TestbedConfig tc;
-  tc.clients = args.get_size("clients", 4);
-  tc.ap_antennas = args.get_size("antennas", 4);
-  const channel::TestbedEnsemble ensemble(tc);
+  const auto chspec = channel_spec(args, "indoor");
+  const auto model =
+      chspec.create(args.get_size("clients", 4), args.get_size("antennas", 4));
   Rng rng(args.seed());
   const auto links =
-      channel::record_trace(ensemble, args.get_size("links", 100),
+      channel::record_trace(*model, args.get_size("links", 100),
                             args.get_size("subcarriers", 48), rng);
   const std::string out = args.get("out", "channels.geotrace");
   channel::save_trace(out, links);
-  std::printf("recorded %zu links (%zux%zu, %zu subcarriers) -> %s\n", links.size(),
-              tc.clients, tc.ap_antennas, links.front().num_subcarriers(), out.c_str());
+  std::printf("recorded %zu links (%zux%zu, %zu subcarriers) from %s -> %s\n",
+              links.size(), model->num_tx(), model->num_rx(),
+              links.front().num_subcarriers(), chspec.text().c_str(), out.c_str());
   return 0;
 }
 
@@ -288,6 +291,31 @@ int cmd_trace_info(const Args& args) {
   const auto& first = links.front().subcarriers.front();
   std::printf("links: %zu\nsubcarriers: %zu\nshape: %zu rx x %zu tx\n", links.size(),
               links.front().num_subcarriers(), first.rows(), first.cols());
+  return 0;
+}
+
+int cmd_list_channels() {
+  sim::TablePrinter table({"name", "form", "dims", "description"});
+  for (const auto& info : channel::channel_registry()) {
+    const std::string form = channel::channel_canonical_form(info);
+    std::string bounds;
+    switch (info.param) {
+      case channel::ChannelParam::kReal:
+        bounds = " (" + info.param_name + " in [" +
+                 sim::TablePrinter::fmt(info.min_real, 1) + ", " +
+                 sim::TablePrinter::fmt(info.sup_real, 1) + "))";
+        break;
+      case channel::ChannelParam::kInt:
+        bounds = " (" + info.param_name + " in [" + std::to_string(info.min_int) + ", " +
+                 std::to_string(info.max_int) + "])";
+        break;
+      default:
+        break;
+    }
+    table.add_row({info.name, form, info.fixed_dims ? "from file" : "--clients x --antennas",
+                   info.summary + bounds});
+  }
+  table.print(std::cout);
   return 0;
 }
 
@@ -315,21 +343,31 @@ void usage() {
     if (!detectors.empty()) detectors += ' ';
     detectors += n;
   }
+  std::string channels;
+  for (const auto& info : channel::channel_registry()) {
+    if (!channels.empty()) channels += ' ';
+    channels += channel::channel_canonical_form(info);
+  }
   std::puts(
       ("usage: geosphere_cli <command> [flags]\n"
        "  list-detectors (the detector registry: names, parameters, decision modes)\n"
+       "  list-channels  (the channel registry: names, parameters, dimensions)\n"
        "  conditioning   [--links N] [--subcarriers N]\n"
        "  throughput     --clients N --antennas N --snr DB [--detector NAME]\n"
-       "  complexity     --clients N --antennas N --qam M --snr DB [--channel rayleigh|indoor]\n"
+       "                 [--channel NAME]\n"
+       "  complexity     --clients N --antennas N --qam M --snr DB [--channel NAME]\n"
        "  sweep          --clients N --antennas N [--detectors A,B] [--snrs 15,20,25]\n"
        "                 [--qams 4,16,64] [--decision auto|hard|soft] [--payload BYTES]\n"
-       "                 [--jitter DB] [--channel rayleigh|indoor]\n"
-       "  trace-record   --out FILE --links N --clients N --antennas N\n"
+       "                 [--jitter DB] [--channel NAME]\n"
+       "  trace-record   --out FILE --links N --clients N --antennas N [--channel NAME]\n"
        "  trace-info     FILE\n"
        "common flags: --threads N (default all cores; results identical for any N),\n"
        "              --frames N, --seed N\n"
        "detectors: " +
-       detectors + " kbest:K (soft-geosphere takes an optional :CLAMP)")
+       detectors +
+       " kbest:K (soft-geosphere takes an optional :CLAMP)\n"
+       "channels:  " +
+       channels)
           .c_str());
 }
 
@@ -340,6 +378,8 @@ int main(int argc, char** argv) {
     const Args args = parse(argc, argv);
     if (args.command == "list-detectors" || args.command == "--list-detectors")
       return cmd_list_detectors();
+    if (args.command == "list-channels" || args.command == "--list-channels")
+      return cmd_list_channels();
     if (args.command == "conditioning") return cmd_conditioning(args);
     if (args.command == "throughput") return cmd_throughput(args);
     if (args.command == "complexity") return cmd_complexity(args);
