@@ -16,7 +16,15 @@
 //    form, e.g. kronecker:0.7 or trace:FILE) without recompiling.
 #pragma once
 
+// google-benchmark is optional: the figure/table benches need it, but the
+// hand-timed detector_latency only uses the shared flag/engine helpers and
+// must build and link without it (CI runs it unconditionally; its CMake
+// target defines GEOSPHERE_NO_GOOGLE_BENCHMARK because merely including
+// the header pulls in library statics).
+#if !defined(GEOSPHERE_NO_GOOGLE_BENCHMARK) && __has_include(<benchmark/benchmark.h>)
 #include <benchmark/benchmark.h>
+#define GEOSPHERE_HAVE_GOOGLE_BENCHMARK 1
+#endif
 
 #include <cerrno>
 #include <cstdio>
@@ -192,9 +200,11 @@ inline std::uint64_t point_seed(std::uint64_t fallback, std::uint64_t index) {
   return Rng::derive_seed(seed_or(fallback), index);
 }
 
+#ifdef GEOSPHERE_HAVE_GOOGLE_BENCHMARK
 /// Fixed counter (value, not rate).
 inline void set_counter(::benchmark::State& state, const std::string& name, double value) {
   state.counters[name] = ::benchmark::Counter(value);
 }
+#endif
 
 }  // namespace geosphere::bench

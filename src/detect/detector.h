@@ -1,13 +1,34 @@
 // Common interface for MIMO detectors, plus the complexity counters the
-// paper's evaluation is built around (Section 5.3). Hard and soft decision
-// detection share this one surface: every detector produces hard decisions
-// via detect(); detectors that can also emit max-log LLRs (the paper's
-// Section 7 extension) expose that capability through soft().
+// paper's evaluation is built around (Section 5.3).
+//
+// Detection is a two-phase contract:
+//
+//   prepare(h, noise_var)  -- factorize / order / invert the channel once
+//                             and store the result in the detector's owned
+//                             workspace (column ordering, Householder QR,
+//                             linear filter construction, ...).
+//   solve(y, out)          -- per-received-vector work only, against the
+//                             most recently prepared channel.
+//
+// An OFDM receiver sees each channel estimate `ofdm_symbols` times per
+// frame (once per data symbol on that subcarrier), so the link layer
+// prepares each of the `nsc` per-subcarrier matrices once and then solves
+// every received vector that uses it -- the preprocessing cost amortizes
+// across the frame instead of being paid `ofdm_symbols x nsc` times.
+// detect(y, h, noise_var) is retained as a thin prepare+solve convenience
+// for one-shot callers (tests, examples, single-vector experiments).
+//
+// Hard and soft decision detection share this one surface: every detector
+// produces hard decisions via solve(); detectors that can also emit
+// max-log LLRs (the paper's Section 7 extension) expose that capability
+// through soft(), whose solve_soft() runs against the same prepared
+// channel.
 #pragma once
 
 #include <cmath>
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -36,6 +57,11 @@ struct DetectionStats {
   std::uint64_t lb_prunes = 0;         ///< Generations skipped by the lower bound.
   std::uint64_t slicer_ops = 0;        ///< Nearest-point slicing operations.
   std::uint64_t queue_ops = 0;         ///< Priority-queue push/pop operations.
+  /// Channel preparations (prepare() calls). A one-shot detect() counts 1;
+  /// the link layer counts one per (frame, subcarrier) -- so the ratio
+  /// detection_calls / preprocess_calls is the amortization factor
+  /// (= OFDM symbols per frame).
+  std::uint64_t preprocess_calls = 0;
 
   DetectionStats& operator+=(const DetectionStats& o) {
     ped_computations += o.ped_computations;
@@ -44,6 +70,7 @@ struct DetectionStats {
     lb_prunes += o.lb_prunes;
     slicer_ops += o.slicer_ops;
     queue_ops += o.queue_ops;
+    preprocess_calls += o.preprocess_calls;
     return *this;
   }
 };
@@ -64,21 +91,11 @@ struct SoftDetectionResult {
   DetectionStats stats;
 };
 
-/// Sub-interface for detectors that can produce max-log LLRs. Obtained
-/// through Detector::soft(); never owned separately from its Detector.
-class SoftDetector {
- public:
-  virtual ~SoftDetector() = default;
-
-  /// Soft-decision counterpart of Detector::detect(): same inputs, hard
-  /// decisions plus one LLR per transmitted bit.
-  virtual SoftDetectionResult detect_soft(const CVector& y, const linalg::CMatrix& h,
-                                          double noise_var) = 0;
-};
+class SoftDetector;
 
 /// A MIMO detector configured for one constellation. Implementations own
-/// preallocated workspaces and are therefore not thread-safe per instance;
-/// create one instance per thread.
+/// preallocated workspaces (including the prepared-channel state) and are
+/// therefore not thread-safe per instance; create one instance per thread.
 class Detector {
  public:
   virtual ~Detector() = default;
@@ -86,15 +103,53 @@ class Detector {
   Detector(const Detector&) = delete;
   Detector& operator=(const Detector&) = delete;
 
-  /// Detect the transmitted symbol vector from the received vector `y`
-  /// (length n_a) over channel `h` (n_a x n_c) with noise variance N0 per
-  /// receive antenna. Requires n_a >= n_c >= 1.
-  virtual DetectionResult detect(const CVector& y, const linalg::CMatrix& h,
-                                 double noise_var) = 0;
+  /// Phase 1: factorize channel `h` (n_a x n_c, requires n_a >= n_c >= 1)
+  /// with per-receive-antenna noise variance `noise_var` into this
+  /// detector's workspace. A prepared detector may be solved any number of
+  /// times; preparing again replaces the stored channel completely (no
+  /// state leaks between channels, including dimension changes).
+  void prepare(const linalg::CMatrix& h, double noise_var) {
+    prepared_ = false;  // A throwing do_prepare leaves no usable channel.
+    do_prepare(h, noise_var);
+    prepared_ = true;
+  }
+
+  /// Phase 2: detect the transmitted symbol vector from received vector
+  /// `y` (length n_a) against the prepared channel, writing into `out`
+  /// (whose buffers are reused across calls, keeping heap traffic off the
+  /// per-vector hot path). Throws std::logic_error if prepare() has not
+  /// been called. The result's preprocess_calls is 0: preparations are
+  /// accounted by whoever calls prepare().
+  void solve(const CVector& y, DetectionResult& out) {
+    require_prepared();
+    do_solve(y, out);
+  }
+
+  /// Allocating convenience form of solve().
+  DetectionResult solve(const CVector& y) {
+    DetectionResult out;
+    solve(y, out);
+    return out;
+  }
+
+  /// One-shot convenience: prepare(h, noise_var) then solve(y). The
+  /// result's stats count the preparation (preprocess_calls == 1).
+  DetectionResult detect(const CVector& y, const linalg::CMatrix& h,
+                         double noise_var) {
+    prepare(h, noise_var);
+    DetectionResult out;
+    solve(y, out);
+    out.stats.preprocess_calls += 1;
+    return out;
+  }
+
+  /// Whether prepare() has succeeded since construction (and not been
+  /// invalidated by a throwing re-prepare).
+  bool prepared() const { return prepared_; }
 
   /// Non-null iff this detector can produce soft (max-log LLR) output. The
-  /// returned interface aliases this object: same lifetime, same
-  /// thread-safety rules (one instance per thread).
+  /// returned interface aliases this object: same lifetime, same prepared
+  /// channel, same thread-safety rules (one instance per thread).
   virtual SoftDetector* soft() { return nullptr; }
 
   virtual std::string name() const = 0;
@@ -104,26 +159,87 @@ class Detector {
  protected:
   explicit Detector(const Constellation& c) : constellation_(&c) {}
 
-  /// Maps per-stream indices to a DetectionResult with symbols filled in.
-  DetectionResult make_result(std::vector<unsigned> indices, DetectionStats stats) const {
-    DetectionResult out;
-    out.symbols.reserve(indices.size());
-    for (unsigned idx : indices) out.symbols.push_back(constellation_->point(idx));
-    out.indices = std::move(indices);
+  /// Factorize `h` into the workspace. Must fully overwrite any previously
+  /// prepared state.
+  virtual void do_prepare(const linalg::CMatrix& h, double noise_var) = 0;
+
+  /// Per-vector detection against the prepared workspace. Implementations
+  /// fill out.indices and call finish_result().
+  virtual void do_solve(const CVector& y, DetectionResult& out) = 0;
+
+  void require_prepared() const {
+    if (!prepared_)
+      throw std::logic_error("Detector: solve() called before prepare() (" + name() + ")");
+  }
+
+  /// Fills out.symbols from out.indices and installs the stats.
+  void finish_result(DetectionResult& out, const DetectionStats& stats) const {
+    out.symbols.resize(out.indices.size());
+    for (std::size_t k = 0; k < out.indices.size(); ++k)
+      out.symbols[k] = constellation_->point(out.indices[k]);
     out.stats = stats;
-    return out;
   }
 
  private:
   const Constellation* constellation_;
+  bool prepared_ = false;
+};
+
+/// Sub-interface for detectors that can produce max-log LLRs. Obtained
+/// through Detector::soft(); never owned separately from its Detector, and
+/// solving runs against the channel prepared on that Detector.
+class SoftDetector {
+ public:
+  virtual ~SoftDetector() = default;
+
+  /// Soft-decision counterpart of Detector::solve(): same prepared
+  /// channel, hard decisions plus one LLR per transmitted bit. `out`'s
+  /// buffers are reused across calls. Throws std::logic_error if the
+  /// owning Detector has not been prepared.
+  void solve_soft(const CVector& y, SoftDetectionResult& out) {
+    if (!owner().prepared())
+      throw std::logic_error("SoftDetector: solve_soft() called before prepare() (" +
+                             owner().name() + ")");
+    do_solve_soft(y, out);
+  }
+
+  /// Allocating convenience form of solve_soft().
+  SoftDetectionResult solve_soft(const CVector& y) {
+    SoftDetectionResult out;
+    solve_soft(y, out);
+    return out;
+  }
+
+  /// One-shot convenience: prepare then solve_soft, with the preparation
+  /// accounted in the result's stats (preprocess_calls == 1).
+  SoftDetectionResult detect_soft(const CVector& y, const linalg::CMatrix& h,
+                                  double noise_var) {
+    owner().prepare(h, noise_var);
+    SoftDetectionResult out;
+    do_solve_soft(y, out);
+    out.stats.preprocess_calls += 1;
+    return out;
+  }
+
+ protected:
+  /// The Detector this interface aliases (holder of the prepared channel).
+  virtual Detector& owner() = 0;
+
+  virtual void do_solve_soft(const CVector& y, SoftDetectionResult& out) = 0;
 };
 
 /// Maps LLRs to per-bit "confidence the bit is 1" in [0,1], the input
-/// format of coding::ViterbiDecoder::decode_soft.
-inline std::vector<double> llrs_to_confidence(const std::vector<double>& llrs) {
-  std::vector<double> out(llrs.size());
+/// format of coding::ViterbiDecoder::decode_soft. Buffer form for hot
+/// paths (`out` is resized; reused capacity allocates nothing once warm).
+inline void llrs_to_confidence(const std::vector<double>& llrs, std::vector<double>& out) {
+  out.resize(llrs.size());
   for (std::size_t i = 0; i < llrs.size(); ++i)
     out[i] = 1.0 / (1.0 + std::exp(llrs[i]));
+}
+
+inline std::vector<double> llrs_to_confidence(const std::vector<double>& llrs) {
+  std::vector<double> out;
+  llrs_to_confidence(llrs, out);
   return out;
 }
 

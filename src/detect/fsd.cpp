@@ -2,8 +2,6 @@
 
 #include <limits>
 
-#include "detect/sphere/tree_problem.h"
-
 namespace geosphere {
 
 FsdDetector::FsdDetector(const Constellation& c)
@@ -11,50 +9,50 @@ FsdDetector::FsdDetector(const Constellation& c)
   enumerator_.attach(c);
 }
 
-DetectionResult FsdDetector::detect(const CVector& y, const linalg::CMatrix& h,
-                                    double /*noise_var*/) {
-  const auto problem = sphere::TreeProblem::build(y, h, constellation());
-  const std::size_t nc = h.cols();
+void FsdDetector::do_prepare(const linalg::CMatrix& h, double /*noise_var*/) {
+  problem_.factorize(h, constellation());
+}
+
+void FsdDetector::do_solve(const CVector& y, DetectionResult& out) {
+  problem_.load(y);
+  const std::size_t nc = problem_.r.cols();
   const Constellation& cons = constellation();
   DetectionStats stats;
   constexpr double kInf = std::numeric_limits<double>::infinity();
 
-  struct Path {
-    double pd = 0.0;
-    std::vector<unsigned> path;
-  };
-
   // Full expansion of the top level.
-  std::vector<Path> paths;
-  paths.reserve(cons.order());
+  std::size_t used = 0;
   {
     const std::size_t top = nc - 1;
-    enumerator_.reset(problem.center(top, std::vector<unsigned>(nc, 0), cons), stats);
+    root_.assign(nc, 0);
+    enumerator_.reset(problem_.center(top, root_, cons), stats);
     while (const auto child = enumerator_.next(kInf, stats)) {
       ++stats.visited_nodes;
-      Path p;
+      if (paths_.size() <= used) paths_.emplace_back();
+      Path& p = paths_[used++];
       p.path.assign(nc, 0);
       p.path[top] = cons.index_from_levels(child->li, child->lq);
-      p.pd = problem.scale[top] * child->cost_grid;
-      paths.push_back(std::move(p));
+      p.pd = problem_.scale[top] * child->cost_grid;
     }
   }
 
   // Single-child (sliced) plunge for every path.
-  for (Path& p : paths) {
+  for (std::size_t i = 0; i < used; ++i) {
+    Path& p = paths_[i];
     for (std::size_t level = nc - 1; level-- > 0;) {
-      enumerator_.reset(problem.center(level, p.path, cons), stats);
+      enumerator_.reset(problem_.center(level, p.path, cons), stats);
       const auto child = enumerator_.next(kInf, stats);
       ++stats.visited_nodes;
       p.path[level] = cons.index_from_levels(child->li, child->lq);
-      p.pd += problem.scale[level] * child->cost_grid;
+      p.pd += problem_.scale[level] * child->cost_grid;
     }
   }
 
-  const Path* best = &paths.front();
-  for (const Path& p : paths)
-    if (p.pd < best->pd) best = &p;
-  return make_result(std::vector<unsigned>(best->path), stats);
+  const Path* best = &paths_.front();
+  for (std::size_t i = 1; i < used; ++i)
+    if (paths_[i].pd < best->pd) best = &paths_[i];
+  out.indices = best->path;
+  finish_result(out, stats);
 }
 
 }  // namespace geosphere

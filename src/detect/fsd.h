@@ -6,6 +6,7 @@
 
 #include "detect/detector.h"
 #include "detect/sphere/enumerators.h"
+#include "detect/sphere/tree_problem.h"
 
 namespace geosphere {
 
@@ -13,13 +14,24 @@ class FsdDetector final : public Detector {
  public:
   explicit FsdDetector(const Constellation& c);
 
-  DetectionResult detect(const CVector& y, const linalg::CMatrix& h,
-                         double noise_var) override;
-
   std::string name() const override { return "FSD"; }
 
+ protected:
+  void do_prepare(const linalg::CMatrix& h, double noise_var) override;
+  void do_solve(const CVector& y, DetectionResult& out) override;
+
  private:
+  struct Path {
+    double pd = 0.0;
+    std::vector<unsigned> path;
+  };
+
   sphere::GeoEnumerator enumerator_;
+  sphere::TreeProblem problem_;  ///< Factorized by prepare().
+
+  // Reused per-solve workspaces (grown once, then allocation-free).
+  std::vector<Path> paths_;
+  std::vector<unsigned> root_;
 };
 
 }  // namespace geosphere

@@ -12,15 +12,20 @@ HybridDetector::HybridDetector(const Constellation& c, double threshold_kappa_sq
       zf_(std::make_unique<ZeroForcingDetector>(c)),
       geosphere_(sphere::make_geosphere(c)) {}
 
-DetectionResult HybridDetector::detect(const CVector& y, const linalg::CMatrix& h,
-                                       double noise_var) {
+void HybridDetector::do_prepare(const linalg::CMatrix& h, double noise_var) {
   ++calls_;
   const double kappa_sq_db = linalg::condition_number_sq_db(h);
   if (kappa_sq_db > threshold_db_) {
     ++sphere_calls_;
-    return geosphere_->detect(y, h, noise_var);
+    active_ = geosphere_.get();
+  } else {
+    active_ = zf_.get();
   }
-  return zf_->detect(y, h, noise_var);
+  active_->prepare(h, noise_var);
+}
+
+void HybridDetector::do_solve(const CVector& y, DetectionResult& out) {
+  active_->solve(y, out);
 }
 
 }  // namespace geosphere

@@ -16,20 +16,24 @@ class HybridDetector final : public Detector {
   /// `threshold_kappa_sq_db` (decibels).
   HybridDetector(const Constellation& c, double threshold_kappa_sq_db);
 
-  DetectionResult detect(const CVector& y, const linalg::CMatrix& h,
-                         double noise_var) override;
-
   std::string name() const override { return "Hybrid-ZF/Geosphere"; }
 
-  /// Fraction of detect() calls routed to the sphere decoder so far.
+  /// Fraction of prepared channels routed to the sphere decoder so far.
+  /// The routing decision is per channel (per prepare() call), so every
+  /// solve against the same channel uses the same inner detector.
   double sphere_fraction() const {
     return calls_ == 0 ? 0.0 : static_cast<double>(sphere_calls_) / static_cast<double>(calls_);
   }
+
+ protected:
+  void do_prepare(const linalg::CMatrix& h, double noise_var) override;
+  void do_solve(const CVector& y, DetectionResult& out) override;
 
  private:
   double threshold_db_;
   std::unique_ptr<Detector> zf_;
   std::unique_ptr<Detector> geosphere_;
+  Detector* active_ = nullptr;  ///< The inner detector chosen by prepare().
   std::uint64_t calls_ = 0;
   std::uint64_t sphere_calls_ = 0;
 };

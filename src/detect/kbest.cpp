@@ -4,8 +4,6 @@
 #include <limits>
 #include <stdexcept>
 
-#include "detect/sphere/tree_problem.h"
-
 namespace geosphere {
 
 KBestDetector::KBestDetector(const Constellation& c, unsigned k)
@@ -16,45 +14,53 @@ KBestDetector::KBestDetector(const Constellation& c, unsigned k)
 
 std::string KBestDetector::name() const { return "KBest-" + std::to_string(k_); }
 
-DetectionResult KBestDetector::detect(const CVector& y, const linalg::CMatrix& h,
-                                      double /*noise_var*/) {
-  const auto problem = sphere::TreeProblem::build(y, h, constellation());
-  const std::size_t nc = h.cols();
+void KBestDetector::do_prepare(const linalg::CMatrix& h, double /*noise_var*/) {
+  problem_.factorize(h, constellation());
+}
+
+void KBestDetector::do_solve(const CVector& y, DetectionResult& out) {
+  problem_.load(y);
+  const std::size_t nc = problem_.r.cols();
   const Constellation& cons = constellation();
   DetectionStats stats;
-
-  struct Candidate {
-    double pd = 0.0;
-    std::vector<unsigned> path;
-  };
   constexpr double kInf = std::numeric_limits<double>::infinity();
 
-  std::vector<Candidate> survivors{{0.0, std::vector<unsigned>(nc, 0)}};
-  std::vector<Candidate> expanded;
+  if (survivors_.empty()) survivors_.emplace_back();
+  survivors_[0].pd = 0.0;
+  survivors_[0].path.assign(nc, 0);
+  std::size_t survivor_count = 1;
 
   for (std::size_t level = nc; level-- > 0;) {
-    expanded.clear();
-    for (const Candidate& cand : survivors) {
-      enumerator_.reset(problem.center(level, cand.path, cons), stats);
+    std::size_t used = 0;
+    for (std::size_t s = 0; s < survivor_count; ++s) {
+      const Candidate& cand = survivors_[s];
+      enumerator_.reset(problem_.center(level, cand.path, cons), stats);
       // The sorted enumerator delivers children best-first, so K children
       // per survivor suffice to find the global K best (sorted K-best).
       for (unsigned t = 0; t < k_; ++t) {
         const auto child = enumerator_.next(kInf, stats);
         if (!child) break;
         ++stats.visited_nodes;
-        Candidate next = cand;
+        if (expanded_.size() <= used) expanded_.emplace_back();
+        Candidate& next = expanded_[used++];
+        next.path = cand.path;
         next.path[level] = cons.index_from_levels(child->li, child->lq);
-        next.pd = cand.pd + problem.scale[level] * child->cost_grid;
-        expanded.push_back(std::move(next));
+        next.pd = cand.pd + problem_.scale[level] * child->cost_grid;
       }
     }
-    std::sort(expanded.begin(), expanded.end(),
+    std::sort(expanded_.begin(),
+              expanded_.begin() + static_cast<std::ptrdiff_t>(used),
               [](const Candidate& a, const Candidate& b) { return a.pd < b.pd; });
-    if (expanded.size() > k_) expanded.resize(k_);
-    survivors = expanded;
+    survivor_count = std::min<std::size_t>(used, k_);
+    while (survivors_.size() < survivor_count) survivors_.emplace_back();
+    for (std::size_t s = 0; s < survivor_count; ++s) {
+      survivors_[s].pd = expanded_[s].pd;
+      survivors_[s].path = expanded_[s].path;
+    }
   }
 
-  return make_result(std::move(survivors.front().path), stats);
+  out.indices = survivors_.front().path;
+  finish_result(out, stats);
 }
 
 }  // namespace geosphere

@@ -7,6 +7,7 @@
 
 #include "detect/detector.h"
 #include "detect/sphere/enumerators.h"
+#include "detect/sphere/tree_problem.h"
 
 namespace geosphere {
 
@@ -14,15 +15,26 @@ class KBestDetector final : public Detector {
  public:
   KBestDetector(const Constellation& c, unsigned k);
 
-  DetectionResult detect(const CVector& y, const linalg::CMatrix& h,
-                         double noise_var) override;
-
   unsigned k() const { return k_; }
   std::string name() const override;
 
+ protected:
+  void do_prepare(const linalg::CMatrix& h, double noise_var) override;
+  void do_solve(const CVector& y, DetectionResult& out) override;
+
  private:
+  struct Candidate {
+    double pd = 0.0;
+    std::vector<unsigned> path;
+  };
+
   unsigned k_;
   sphere::GeoEnumerator enumerator_;
+  sphere::TreeProblem problem_;  ///< Factorized by prepare().
+
+  // Reused per-solve workspaces (grown once, then allocation-free).
+  std::vector<Candidate> survivors_;
+  std::vector<Candidate> expanded_;
 };
 
 }  // namespace geosphere

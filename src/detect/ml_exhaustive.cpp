@@ -6,8 +6,7 @@
 
 namespace geosphere {
 
-DetectionResult MlExhaustiveDetector::detect(const CVector& y, const linalg::CMatrix& h,
-                                             double /*noise_var*/) {
+void MlExhaustiveDetector::do_prepare(const linalg::CMatrix& h, double /*noise_var*/) {
   const std::size_t nc = h.cols();
   const unsigned m = constellation().order();
 
@@ -16,36 +15,46 @@ DetectionResult MlExhaustiveDetector::detect(const CVector& y, const linalg::CMa
   if (total > static_cast<double>(max_hypotheses_))
     throw std::invalid_argument("MlExhaustiveDetector: search space too large");
 
+  h_ = h;
+}
+
+void MlExhaustiveDetector::do_solve(const CVector& y, DetectionResult& out) {
+  if (y.size() != h_.rows())
+    throw std::invalid_argument("MlExhaustiveDetector: y/H shape mismatch");
+  const std::size_t nc = h_.cols();
+  const unsigned m = constellation().order();
+
   DetectionStats stats;
-  std::vector<unsigned> current(nc, 0);
-  std::vector<unsigned> best(nc, 0);
+  current_.assign(nc, 0);
+  best_.assign(nc, 0);
   best_distance_ = std::numeric_limits<double>::infinity();
 
-  CVector hs(y.size());
+  hs_.resize(y.size());
   for (;;) {
     // Compute ||y - H s||^2 for the current hypothesis.
     for (std::size_t i = 0; i < y.size(); ++i) {
       cf64 acc{};
       for (std::size_t k = 0; k < nc; ++k)
-        acc += h(i, k) * constellation().point(current[k]);
-      hs[i] = acc;
+        acc += h_(i, k) * constellation().point(current_[k]);
+      hs_[i] = acc;
     }
-    const double d = linalg::distance_sq(y, hs);
+    const double d = linalg::distance_sq(y, hs_);
     ++stats.ped_computations;
     if (d < best_distance_) {
       best_distance_ = d;
-      best = current;
+      best_ = current_;
     }
 
     // Odometer increment over the hypothesis space.
     std::size_t pos = 0;
-    while (pos < nc && ++current[pos] == m) {
-      current[pos] = 0;
+    while (pos < nc && ++current_[pos] == m) {
+      current_[pos] = 0;
       ++pos;
     }
     if (pos == nc) break;
   }
-  return make_result(std::move(best), stats);
+  out.indices = best_;
+  finish_result(out, stats);
 }
 
 }  // namespace geosphere

@@ -15,17 +15,24 @@ class MlExhaustiveDetector final : public Detector {
                                 std::uint64_t max_hypotheses = 20'000'000)
       : Detector(c), max_hypotheses_(max_hypotheses) {}
 
-  DetectionResult detect(const CVector& y, const linalg::CMatrix& h,
-                         double noise_var) override;
-
-  /// Distance ||y - H s*||^2 of the ML solution from the last detect().
+  /// Distance ||y - H s*||^2 of the ML solution from the last solve().
   double last_distance_sq() const { return best_distance_; }
 
   std::string name() const override { return "ML-exhaustive"; }
 
+ protected:
+  void do_prepare(const linalg::CMatrix& h, double noise_var) override;
+  void do_solve(const CVector& y, DetectionResult& out) override;
+
  private:
   std::uint64_t max_hypotheses_;
+  linalg::CMatrix h_;  ///< The prepared channel (exhaustion needs H itself).
   double best_distance_ = 0.0;
+
+  // Reused per-solve workspaces.
+  std::vector<unsigned> current_;
+  std::vector<unsigned> best_;
+  CVector hs_;
 };
 
 }  // namespace geosphere

@@ -4,21 +4,25 @@
 
 namespace geosphere {
 
-DetectionResult MmseDetector::detect(const CVector& y, const linalg::CMatrix& h,
-                                     double noise_var) {
+void MmseDetector::do_prepare(const linalg::CMatrix& h, double noise_var) {
   const std::size_t nc = h.cols();
-  const linalg::CMatrix hh = h.hermitian();
-  linalg::CMatrix gram = hh * h;
+  hh_ = h.hermitian();
+  linalg::CMatrix gram = hh_ * h;
   for (std::size_t i = 0; i < nc; ++i) gram(i, i) += noise_var;
-  equalized_ = linalg::inverse(gram) * (hh * y);
+  gram_inv_ = linalg::inverse(gram);
+}
+
+void MmseDetector::do_solve(const CVector& y, DetectionResult& out) {
+  multiply_into(hh_, y, matched_);
+  multiply_into(gram_inv_, matched_, equalized_);
 
   DetectionStats stats;
-  std::vector<unsigned> indices(nc);
-  for (std::size_t k = 0; k < nc; ++k) {
-    indices[k] = constellation().slice(equalized_[k]);
+  out.indices.resize(equalized_.size());
+  for (std::size_t k = 0; k < equalized_.size(); ++k) {
+    out.indices[k] = constellation().slice(equalized_[k]);
     ++stats.slicer_ops;
   }
-  return make_result(std::move(indices), stats);
+  finish_result(out, stats);
 }
 
 }  // namespace geosphere

@@ -8,19 +8,25 @@ namespace geosphere {
 
 /// Filters with (H^H H + N0 I)^{-1} H^H (unit symbol energy), balancing
 /// stream separation against noise amplification. Converges to ZF as
-/// N0 -> 0, which the tests exploit.
+/// N0 -> 0, which the tests exploit. prepare() forms H^H and the inverted
+/// regularized Gram matrix once; solve() is two small mat-vec products
+/// plus slicing per received vector.
 class MmseDetector final : public Detector {
  public:
   explicit MmseDetector(const Constellation& c) : Detector(c) {}
-
-  DetectionResult detect(const CVector& y, const linalg::CMatrix& h,
-                         double noise_var) override;
 
   const CVector& last_equalized() const { return equalized_; }
 
   std::string name() const override { return "MMSE"; }
 
+ protected:
+  void do_prepare(const linalg::CMatrix& h, double noise_var) override;
+  void do_solve(const CVector& y, DetectionResult& out) override;
+
  private:
+  linalg::CMatrix hh_;        ///< H^H.
+  linalg::CMatrix gram_inv_;  ///< (H^H H + N0 I)^{-1}.
+  CVector matched_;           ///< H^H y (per-solve scratch).
   CVector equalized_;
 };
 

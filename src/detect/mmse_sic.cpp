@@ -7,10 +7,8 @@
 
 namespace geosphere {
 
-DetectionResult MmseSicDetector::detect(const CVector& y, const linalg::CMatrix& h,
-                                        double noise_var) {
+void MmseSicDetector::do_prepare(const linalg::CMatrix& h, double noise_var) {
   const std::size_t nc = h.cols();
-  DetectionStats stats;
 
   // Detection order: descending received stream SNR = column energy.
   std::vector<std::size_t> order(nc);
@@ -20,33 +18,49 @@ DetectionResult MmseSicDetector::detect(const CVector& y, const linalg::CMatrix&
   std::sort(order.begin(), order.end(),
             [&](std::size_t a, std::size_t b) { return energy[a] > energy[b]; });
 
-  CVector residual = y;
+  stages_.clear();
+  stages_.reserve(nc);
   std::vector<std::size_t> remaining = order;
-  std::vector<unsigned> indices(nc, 0);
-
   while (!remaining.empty()) {
-    const std::size_t target = remaining.front();
+    Stage stage;
+    stage.target = remaining.front();
 
-    // MMSE filter over the remaining (uncancelled) streams only.
+    // MMSE filter over the remaining (uncancelled) streams only. The
+    // target stream is the first column of the reduced system, so only
+    // row 0 of the inverted Gram matrix is ever applied.
     const linalg::CMatrix hsub = h.select_cols(remaining);
-    const linalg::CMatrix hh = hsub.hermitian();
-    linalg::CMatrix gram = hh * hsub;
+    stage.hh = hsub.hermitian();
+    linalg::CMatrix gram = stage.hh * hsub;
     for (std::size_t i = 0; i < remaining.size(); ++i) gram(i, i) += noise_var;
-    const CVector est = linalg::inverse(gram) * (hh * residual);
+    stage.filter_row = linalg::inverse(gram).row(0);
+    stage.column = h.col(stage.target);
 
-    // The target stream is the first column of the reduced system.
-    const unsigned idx = constellation().slice(est[0]);
+    stages_.push_back(std::move(stage));
+    remaining.erase(remaining.begin());
+  }
+}
+
+void MmseSicDetector::do_solve(const CVector& y, DetectionResult& out) {
+  DetectionStats stats;
+  residual_ = y;
+  out.indices.assign(stages_.size(), 0);
+
+  for (const Stage& stage : stages_) {
+    multiply_into(stage.hh, residual_, matched_);
+    cf64 est{};
+    for (std::size_t j = 0; j < matched_.size(); ++j)
+      est += stage.filter_row[j] * matched_[j];
+
+    const unsigned idx = constellation().slice(est);
     ++stats.slicer_ops;
-    indices[target] = idx;
+    out.indices[stage.target] = idx;
 
     // Cancel the hard decision from the residual.
     const cf64 s = constellation().point(idx);
-    const CVector hk = h.col(target);
-    for (std::size_t i = 0; i < residual.size(); ++i) residual[i] -= hk[i] * s;
-
-    remaining.erase(remaining.begin());
+    for (std::size_t i = 0; i < residual_.size(); ++i)
+      residual_[i] -= stage.column[i] * s;
   }
-  return make_result(std::move(indices), stats);
+  finish_result(out, stats);
 }
 
 }  // namespace geosphere

@@ -3,6 +3,8 @@
 // limited by error propagation in practice.
 #pragma once
 
+#include <vector>
+
 #include "detect/detector.h"
 
 namespace geosphere {
@@ -11,14 +13,35 @@ namespace geosphere {
 /// repeatedly: MMSE-detects the strongest remaining stream, slices it, and
 /// subtracts its reconstructed contribution from the received vector
 /// (symbol-level hard cancellation, as in the paper's evaluation).
+///
+/// The detection order and every per-stage MMSE filter depend only on the
+/// channel, so prepare() builds the whole cancellation cascade (one
+/// reduced-system filter per stream) once; solve() is one filter-dot and
+/// one column subtraction per stream.
 class MmseSicDetector final : public Detector {
  public:
   explicit MmseSicDetector(const Constellation& c) : Detector(c) {}
 
-  DetectionResult detect(const CVector& y, const linalg::CMatrix& h,
-                         double noise_var) override;
-
   std::string name() const override { return "MMSE-SIC"; }
+
+ protected:
+  void do_prepare(const linalg::CMatrix& h, double noise_var) override;
+  void do_solve(const CVector& y, DetectionResult& out) override;
+
+ private:
+  /// One cancellation stage: the MMSE estimate of `target` over the
+  /// remaining (uncancelled) streams is row 0 of the reduced-system filter
+  /// applied to the residual.
+  struct Stage {
+    std::size_t target = 0;
+    linalg::CMatrix hh;  ///< Hermitian of the remaining-column submatrix.
+    CVector filter_row;  ///< Row 0 of (H_sub^H H_sub + N0 I)^{-1}.
+    CVector column;      ///< h's `target` column, for cancellation.
+  };
+
+  std::vector<Stage> stages_;
+  CVector residual_;  ///< Per-solve scratch.
+  CVector matched_;   ///< Per-solve scratch (H_sub^H residual).
 };
 
 }  // namespace geosphere

@@ -8,13 +8,11 @@
 
 namespace geosphere {
 
-DetectionResult RvdSphereDecoder::detect(const CVector& y, const linalg::CMatrix& h,
-                                         double /*noise_var*/) {
+void RvdSphereDecoder::do_prepare(const linalg::CMatrix& h, double /*noise_var*/) {
   const std::size_t nc = h.cols();
   const std::size_t na = h.rows();
   if (nc == 0 || na < nc)
     throw std::invalid_argument("RvdSphereDecoder: requires 1 <= n_c <= n_a");
-  if (y.size() != na) throw std::invalid_argument("RvdSphereDecoder: y/H shape mismatch");
 
   // Real embedding (stored in complex matrices with zero imaginary parts
   // so the complex QR can be reused; R comes out real).
@@ -30,34 +28,49 @@ DetectionResult RvdSphereDecoder::detect(const CVector& y, const linalg::CMatrix
       hr(na + i, nc + j) = v.real();
     }
   }
-  CVector yr(rm);
-  for (std::size_t i = 0; i < na; ++i) {
-    yr[i] = y[i].real();
-    yr[na + i] = y[i].imag();
-  }
 
-  const auto [q, r] = linalg::householder_qr(hr);
+  auto [q, r] = linalg::householder_qr(hr);
   const double rank_tol = 1e-10 * std::sqrt(std::max(hr.frobenius_norm_sq(), 1e-300));
   for (std::size_t l = 0; l < rn; ++l)
     if (r(l, l).real() <= rank_tol)
       throw std::domain_error("RvdSphereDecoder: rank-deficient channel");
-  const CVector yhat = q.hermitian() * yr;
 
-  const Constellation& cons = constellation();
-  const int levels = cons.pam_levels();
-  const double alpha = cons.scale();
+  na_ = na;
+  nc_ = nc;
+  qh_ = q.hermitian();
+  r_ = std::move(r);
 
+  const double alpha = constellation().scale();
   if (level_enum_.size() != rn) {
     level_enum_.assign(rn, sphere::Zigzag1D{});
     level_scale_.assign(rn, 0.0);
     partial_.assign(rn + 1, 0.0);
+    centers_.assign(rn, 0.0);
     current_.assign(rn, 0);
     best_.assign(rn, 0);
   }
   for (std::size_t l = 0; l < rn; ++l) {
-    const double rll = r(l, l).real();
+    const double rll = r_(l, l).real();
     level_scale_[l] = rll * rll * alpha * alpha;
   }
+}
+
+void RvdSphereDecoder::do_solve(const CVector& y, DetectionResult& out) {
+  if (y.size() != na_) throw std::invalid_argument("RvdSphereDecoder: y/H shape mismatch");
+
+  const std::size_t nc = nc_;
+  const std::size_t na = na_;
+  const std::size_t rn = 2 * nc;
+  yr_.resize(2 * na);
+  for (std::size_t i = 0; i < na; ++i) {
+    yr_[i] = y[i].real();
+    yr_[na + i] = y[i].imag();
+  }
+  multiply_into(qh_, yr_, yhat_);
+
+  const Constellation& cons = constellation();
+  const int levels = cons.pam_levels();
+  const double alpha = cons.scale();
 
   DetectionStats stats;
   double radius_sq = std::numeric_limits<double>::infinity();
@@ -65,17 +78,16 @@ DetectionResult RvdSphereDecoder::detect(const CVector& y, const linalg::CMatrix
 
   // Per-level center in PAM grid units given decisions above.
   const auto center_at = [&](std::size_t l) {
-    double c = yhat[l].real();
+    double c = yhat_[l].real();
     for (std::size_t j = l + 1; j < rn; ++j)
-      c -= r(l, j).real() * alpha *
+      c -= r_(l, j).real() * alpha *
            static_cast<double>(cons.grid_of_level(current_[j]));
-    return c / (r(l, l).real() * alpha);
+    return c / (r_(l, l).real() * alpha);
   };
 
-  std::vector<double> centers(rn, 0.0);
   std::size_t level = rn - 1;
-  centers[level] = center_at(level);
-  level_enum_[level].reset(centers[level], levels);
+  centers_[level] = center_at(level);
+  level_enum_[level].reset(centers_[level], levels);
   ++stats.slicer_ops;
 
   for (;;) {
@@ -83,7 +95,7 @@ DetectionResult RvdSphereDecoder::detect(const CVector& y, const linalg::CMatrix
     bool advanced = false;
     if (!level_enum_[level].done()) {
       const int lev = level_enum_[level].peek_level();
-      const double d = static_cast<double>(cons.grid_of_level(lev)) - centers[level];
+      const double d = static_cast<double>(cons.grid_of_level(lev)) - centers_[level];
       const double cost = d * d;
       ++stats.ped_computations;
       if (cost < budget) {
@@ -97,8 +109,8 @@ DetectionResult RvdSphereDecoder::detect(const CVector& y, const linalg::CMatrix
           best_ = current_;
         } else {
           --level;
-          centers[level] = center_at(level);
-          level_enum_[level].reset(centers[level], levels);
+          centers_[level] = center_at(level);
+          level_enum_[level].reset(centers_[level], levels);
           ++stats.slicer_ops;
         }
       } else {
@@ -113,10 +125,10 @@ DetectionResult RvdSphereDecoder::detect(const CVector& y, const linalg::CMatrix
 
   // Recombine PAM components into QAM indices: level j < nc is the real
   // part (I level) of stream j, level nc + j the imaginary part.
-  std::vector<unsigned> indices(nc);
+  out.indices.resize(nc);
   for (std::size_t k = 0; k < nc; ++k)
-    indices[k] = cons.index_from_levels(best_[k], best_[nc + k]);
-  return make_result(std::move(indices), stats);
+    out.indices[k] = cons.index_from_levels(best_[k], best_[nc + k]);
+  finish_result(out, stats);
 }
 
 }  // namespace geosphere

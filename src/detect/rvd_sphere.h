@@ -10,7 +10,13 @@
 // Exact ML, Schnorr-Euchner order per level via the 1D zigzag. Included as
 // an ablation point: RVD trades more tree levels (and typically more node
 // visits) for trivially cheap per-level enumeration.
+//
+// prepare() builds the real embedding of H and QR-factorizes it once;
+// solve() embeds one received vector and runs the search.
 #pragma once
+
+#include <cstddef>
+#include <vector>
 
 #include "detect/detector.h"
 #include "detect/sphere/zigzag1d.h"
@@ -21,16 +27,26 @@ class RvdSphereDecoder final : public Detector {
  public:
   explicit RvdSphereDecoder(const Constellation& c) : Detector(c) {}
 
-  DetectionResult detect(const CVector& y, const linalg::CMatrix& h,
-                         double noise_var) override;
-
   std::string name() const override { return "RVD-SD"; }
 
+ protected:
+  void do_prepare(const linalg::CMatrix& h, double noise_var) override;
+  void do_solve(const CVector& y, DetectionResult& out) override;
+
  private:
-  // Reused per-call workspaces.
+  // Prepared channel state (real embedding, QR-factorized).
+  std::size_t na_ = 0;  ///< Receive antennas of the prepared (complex) H.
+  std::size_t nc_ = 0;  ///< Streams of the prepared (complex) H.
+  linalg::CMatrix r_;   ///< Upper triangular (real values) of the embedding.
+  linalg::CMatrix qh_;  ///< Q^H of the embedding.
+  CVector yr_;          ///< Real embedding of y (per-solve scratch).
+  CVector yhat_;        ///< Q^H yr (per-solve scratch).
+
+  // Reused per-solve workspaces.
   std::vector<sphere::Zigzag1D> level_enum_;
   std::vector<double> level_scale_;
   std::vector<double> partial_;
+  std::vector<double> centers_;
   std::vector<int> current_;
   std::vector<int> best_;
 };

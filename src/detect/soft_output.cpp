@@ -16,6 +16,18 @@ SoftGeosphereDetector::SoftGeosphereDetector(const Constellation& c, double llr_
     : Detector(c), llr_clamp_(llr_clamp) {
   if (llr_clamp <= 0.0)
     throw std::invalid_argument("SoftGeosphereDetector: llr_clamp must be positive");
+
+  // The per-bit counter-hypothesis masks depend only on the constellation,
+  // so build all 2 * bits of them once instead of on every solve.
+  const unsigned bits = c.bits_per_symbol();
+  std::vector<std::uint8_t> sym_bits(bits);
+  bit_masks_.assign(2 * static_cast<std::size_t>(bits),
+                    std::vector<std::uint8_t>(c.order(), 0));
+  for (unsigned idx = 0; idx < c.order(); ++idx) {
+    c.bits_from_index(idx, sym_bits.data());
+    for (unsigned b = 0; b < bits; ++b)
+      bit_masks_[b * 2 + sym_bits[b]][idx] = 1;
+  }
 }
 
 SoftGeosphereDetector::Search SoftGeosphereDetector::search(
@@ -70,27 +82,28 @@ SoftGeosphereDetector::Search SoftGeosphereDetector::search(
   return out;
 }
 
-void SoftGeosphereDetector::prepare(const CVector& y, const linalg::CMatrix& h,
-                                    double noise_var) {
+void SoftGeosphereDetector::do_prepare(const linalg::CMatrix& h, double noise_var) {
   const std::size_t nc = h.cols();
-  if (nc == 0 || h.rows() < nc || y.size() != h.rows())
+  if (nc == 0 || h.rows() < nc)
     throw std::invalid_argument("SoftGeosphereDetector: shape mismatch");
   if (noise_var <= 0.0)
     throw std::invalid_argument("SoftGeosphereDetector: needs positive noise variance");
 
   const Constellation& cons = constellation();
-  const auto [q, r] = linalg::householder_qr(h);
+  auto [q, r] = linalg::householder_qr(h);
   const double rank_tol = 1e-10 * std::sqrt(std::max(h.frobenius_norm_sq(), 1e-300));
   for (std::size_t l = 0; l < nc; ++l)
     if (r(l, l).real() <= rank_tol)
       throw std::domain_error("SoftGeosphereDetector: rank-deficient channel");
 
-  r_ = r;
-  yhat_ = q.hermitian() * y;
+  na_ = h.rows();
+  qh_ = q.hermitian();
+  r_ = std::move(r);
+  noise_var_ = noise_var;
   const double alpha = cons.scale();
   scale_.assign(nc, 0.0);
   for (std::size_t l = 0; l < nc; ++l) {
-    const double rll = r(l, l).real();
+    const double rll = r_(l, l).real();
     scale_[l] = rll * rll * alpha * alpha;
   }
   if (level_enum_.size() != nc) {
@@ -102,59 +115,56 @@ void SoftGeosphereDetector::prepare(const CVector& y, const linalg::CMatrix& h,
   }
 }
 
-DetectionResult SoftGeosphereDetector::detect(const CVector& y, const linalg::CMatrix& h,
-                                              double noise_var) {
-  prepare(y, h, noise_var);
-  DetectionStats stats;
-  const Search ml = search(kInf, -1, nullptr, stats);
-  return make_result(ml.best, stats);
+void SoftGeosphereDetector::load(const CVector& y) {
+  if (y.size() != na_)
+    throw std::invalid_argument("SoftGeosphereDetector: shape mismatch");
+  multiply_into(qh_, y, yhat_);
 }
 
-SoftDetectionResult SoftGeosphereDetector::detect_soft(const CVector& y,
-                                                       const linalg::CMatrix& h,
-                                                       double noise_var) {
-  prepare(y, h, noise_var);
-  const std::size_t nc = h.cols();
+void SoftGeosphereDetector::do_solve(const CVector& y, DetectionResult& out) {
+  load(y);
+  DetectionStats stats;
+  const Search ml = search(kInf, -1, nullptr, stats);
+  out.indices = ml.best;
+  finish_result(out, stats);
+}
+
+void SoftGeosphereDetector::do_solve_soft(const CVector& y, SoftDetectionResult& out) {
+  load(y);
+  const std::size_t nc = scale_.size();
   const Constellation& cons = constellation();
 
-  SoftDetectionResult result;
   DetectionStats stats;
 
   // Unconstrained pass: ML solution.
   const Search ml = search(kInf, -1, nullptr, stats);
-  result.indices = ml.best;
+  out.indices = ml.best;
 
   const unsigned bits = cons.bits_per_symbol();
-  result.llrs.assign(nc * bits, 0.0);
-  std::vector<std::uint8_t> ml_bits(bits);
-  std::vector<std::uint8_t> mask(cons.order());
+  out.llrs.assign(nc * bits, 0.0);
+  ml_bits_.resize(bits);
 
   // Counter-hypothesis radius: LLR magnitudes are clamped, so any solution
   // farther than d_ml + clamp * N0 cannot change the result.
-  const double counter_radius = ml.best_dist + llr_clamp_ * noise_var;
+  const double counter_radius = ml.best_dist + llr_clamp_ * noise_var_;
 
   for (std::size_t k = 0; k < nc; ++k) {
-    cons.bits_from_index(ml.best[k], ml_bits.data());
+    cons.bits_from_index(ml.best[k], ml_bits_.data());
     for (unsigned b = 0; b < bits; ++b) {
       // Allowed set: symbols whose bit b is the complement of the ML bit.
-      const unsigned want = ml_bits[b] ^ 1u;
-      std::vector<std::uint8_t> sym_bits(bits);
-      for (unsigned idx = 0; idx < cons.order(); ++idx) {
-        cons.bits_from_index(idx, sym_bits.data());
-        mask[idx] = (sym_bits[b] == want) ? 1 : 0;
-      }
+      const unsigned want = ml_bits_[b] ^ 1u;
+      const std::vector<std::uint8_t>& mask = bit_masks_[b * 2 + want];
       const Search counter =
           search(counter_radius, static_cast<std::ptrdiff_t>(k), &mask, stats);
       const double delta = counter.found
-                               ? (counter.best_dist - ml.best_dist) / noise_var
+                               ? (counter.best_dist - ml.best_dist) / noise_var_
                                : llr_clamp_;
       // Positive LLR favours bit 0.
       const double magnitude = std::min(delta, llr_clamp_);
-      result.llrs[k * bits + b] = (ml_bits[b] == 0) ? magnitude : -magnitude;
+      out.llrs[k * bits + b] = (ml_bits_[b] == 0) ? magnitude : -magnitude;
     }
   }
-  result.stats = stats;
-  return result;
+  out.stats = stats;
 }
 
 }  // namespace geosphere

@@ -12,9 +12,13 @@
 // zigzag enumeration and geometric pruning, so the per-bit searches stay
 // cheap at practical SNR.
 //
-// SoftGeosphereDetector is a full Detector: detect() runs only the
-// unconstrained search (ML-equivalent hard decisions), detect_soft()
-// (via Detector::soft()) adds the per-bit counter-hypothesis searches.
+// SoftGeosphereDetector follows the two-phase contract: prepare(h, n0)
+// QR-factorizes the channel once and is shared by every subsequent hard
+// solve() (the unconstrained search only) and soft solve_soft() (the
+// unconstrained search plus the per-bit counter-hypothesis searches) --
+// so the ~1 + clients*Q constrained searches per received vector never
+// re-factorize, and neither do the other received vectors on the same
+// subcarrier.
 #pragma once
 
 #include <vector>
@@ -34,20 +38,26 @@ class SoftGeosphereDetector final : public Detector, public SoftDetector {
   /// +/- llr_clamp (standard max-log practice).
   explicit SoftGeosphereDetector(const Constellation& c, double llr_clamp = 30.0);
 
-  /// Hard decisions only: the unconstrained Geosphere search (same ML
-  /// solution as the hard Geosphere detector, no counter-hypothesis cost).
-  DetectionResult detect(const CVector& y, const linalg::CMatrix& h,
-                         double noise_var) override;
-
-  /// Hard decisions plus max-log LLRs for every transmitted bit.
-  SoftDetectionResult detect_soft(const CVector& y, const linalg::CMatrix& h,
-                                  double noise_var) override;
-
   SoftDetector* soft() override { return this; }
 
   std::string name() const override { return "soft-geosphere"; }
 
   double llr_clamp() const { return llr_clamp_; }
+
+ protected:
+  /// Validates inputs and QR-factorizes the channel shared by the
+  /// unconstrained and per-bit searches. Requires noise_var > 0 (the LLR
+  /// normalization divides by it).
+  void do_prepare(const linalg::CMatrix& h, double noise_var) override;
+
+  /// Hard decisions only: the unconstrained Geosphere search (same ML
+  /// solution as the hard Geosphere detector, no counter-hypothesis cost).
+  void do_solve(const CVector& y, DetectionResult& out) override;
+
+  /// Hard decisions plus max-log LLRs for every transmitted bit.
+  void do_solve_soft(const CVector& y, SoftDetectionResult& out) override;
+
+  Detector& owner() override { return *this; }
 
  private:
   struct Search {
@@ -56,9 +66,8 @@ class SoftGeosphereDetector final : public Detector, public SoftDetector {
     bool found = false;
   };
 
-  /// Validates inputs and computes the QR-reduced tree problem shared by
-  /// the unconstrained and per-bit searches.
-  void prepare(const CVector& y, const linalg::CMatrix& h, double noise_var);
+  /// Rotates `y` into the prepared triangular basis (yhat_ = Q^H y).
+  void load(const CVector& y);
 
   /// Depth-first search; `mask_level`/`mask` optionally restrict the symbol
   /// at one tree level to a subset of constellation indices.
@@ -67,13 +76,23 @@ class SoftGeosphereDetector final : public Detector, public SoftDetector {
 
   double llr_clamp_;
 
-  // Problem state shared across the unconstrained and per-bit searches.
+  // Prepared channel state, shared by every search until the next prepare.
+  std::size_t na_ = 0;
   linalg::CMatrix r_;
-  CVector yhat_;
+  linalg::CMatrix qh_;
+  double noise_var_ = 0.0;
   std::vector<double> scale_;
+
+  /// Counter-hypothesis symbol masks, fixed by the constellation:
+  /// bit_masks_[b * 2 + want][idx] == 1 iff bit b of symbol idx is `want`.
+  std::vector<std::vector<std::uint8_t>> bit_masks_;
+
+  // Per-solve workspaces.
+  CVector yhat_;
   std::vector<sphere::GeoEnumerator> level_enum_;
   std::vector<unsigned> current_;
   std::vector<double> partial_;
+  std::vector<std::uint8_t> ml_bits_;
 };
 
 }  // namespace geosphere

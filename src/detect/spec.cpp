@@ -4,7 +4,9 @@
 #include <stdexcept>
 
 #include "detect/fsd.h"
+#include "detect/hybrid.h"
 #include "detect/kbest.h"
+#include "detect/ml_exhaustive.h"
 #include "detect/mmse.h"
 #include "detect/mmse_sic.h"
 #include "detect/rvd_sphere.h"
@@ -63,6 +65,26 @@ std::vector<DetectorInfo> build_registry() {
   out.push_back(plain("fsd", "fixed-complexity sphere decoder", [](const Constellation& c) {
     return std::make_unique<FsdDetector>(c);
   }));
+  out.push_back(plain("ml", "exhaustive maximum-likelihood search (oracle)",
+                      [](const Constellation& c) {
+                        return std::make_unique<MlExhaustiveDetector>(c);
+                      }));
+
+  out.push_back(DetectorInfo{
+      .name = "hybrid",
+      .summary = "ZF below / Geosphere above a kappa^2 threshold (Maurer et al.)",
+      .decision = DecisionMode::kHard,
+      .soft_capable = false,
+      .takes_param = true,
+      .param_required = false,
+      .param_name = "KAPPA_SQ_DB",
+      .min_param = 0,
+      .max_param = 200,
+      .default_param = 10,
+      .make = [](const Constellation& c, unsigned threshold_db) {
+        return std::make_unique<HybridDetector>(c, static_cast<double>(threshold_db));
+      },
+  });
 
   out.push_back(DetectorInfo{
       .name = "kbest",

@@ -8,20 +8,17 @@
 namespace geosphere::sphere {
 
 template <class Enumerator>
-DetectionResult SphereDecoder<Enumerator>::detect(const CVector& y,
-                                                  const linalg::CMatrix& h,
-                                                  double /*noise_var*/) {
+void SphereDecoder<Enumerator>::do_prepare(const linalg::CMatrix& h,
+                                           double /*noise_var*/) {
   const std::size_t nc = h.cols();
   const std::size_t na = h.rows();
   if (nc == 0 || na < nc)
     throw std::invalid_argument("SphereDecoder: requires 1 <= n_c <= n_a");
-  if (y.size() != na) throw std::invalid_argument("SphereDecoder: y/H shape mismatch");
 
-  const std::vector<std::size_t> perm =
-      config_.sorted_qr ? column_norm_order(h) : identity_order(nc);
-  const linalg::CMatrix hp = config_.sorted_qr ? h.select_cols(perm) : h;
+  perm_ = config_.sorted_qr ? column_norm_order(h) : identity_order(nc);
+  const linalg::CMatrix hp = config_.sorted_qr ? h.select_cols(perm_) : h;
 
-  const auto [q, r] = linalg::householder_qr(hp);
+  auto [q, r] = linalg::householder_qr(hp);
 
   // Guard against rank deficiency: a zero pivot would make the per-level
   // center division meaningless.
@@ -30,11 +27,12 @@ DetectionResult SphereDecoder<Enumerator>::detect(const CVector& y,
     if (r(l, l).real() <= rank_tol)
       throw std::domain_error("SphereDecoder: channel matrix is (numerically) rank deficient");
 
-  const CVector yhat = q.hermitian() * y;
+  na_ = na;
+  nc_ = nc;
+  qh_ = q.hermitian();
+  r_ = std::move(r);
 
-  const Constellation& cons = constellation();
-  const double alpha = cons.scale();
-
+  const double alpha = constellation().scale();
   if (level_enum_.size() != nc) {
     level_enum_.assign(nc, prototype_);
     level_scale_.assign(nc, 0.0);
@@ -43,9 +41,20 @@ DetectionResult SphereDecoder<Enumerator>::detect(const CVector& y,
     best_.assign(nc, 0);
   }
   for (std::size_t l = 0; l < nc; ++l) {
-    const double rll = r(l, l).real();
+    const double rll = r_(l, l).real();
     level_scale_[l] = rll * rll * alpha * alpha;
   }
+}
+
+template <class Enumerator>
+void SphereDecoder<Enumerator>::do_solve(const CVector& y, DetectionResult& out) {
+  if (y.size() != na_) throw std::invalid_argument("SphereDecoder: y/H shape mismatch");
+
+  const std::size_t nc = nc_;
+  multiply_into(qh_, y, yhat_);
+
+  const Constellation& cons = constellation();
+  const double alpha = cons.scale();
 
   DetectionStats stats;
   double radius_sq = config_.initial_radius_sq;
@@ -54,9 +63,9 @@ DetectionResult SphereDecoder<Enumerator>::detect(const CVector& y,
 
   // Center of level l given decisions above it, in grid units.
   const auto center_at = [&](std::size_t l) {
-    cf64 c = yhat[l];
-    for (std::size_t j = l + 1; j < nc; ++j) c -= r(l, j) * cons.point(current_[j]);
-    return c / (r(l, l).real() * alpha);
+    cf64 c = yhat_[l];
+    for (std::size_t j = l + 1; j < nc; ++j) c -= r_(l, j) * cons.point(current_[j]);
+    return c / (r_(l, l).real() * alpha);
   };
 
   std::size_t level = nc - 1;
@@ -92,9 +101,9 @@ DetectionResult SphereDecoder<Enumerator>::detect(const CVector& y,
         "SphereDecoder: no solution inside the configured initial radius");
 
   // Undo the detection-order permutation.
-  std::vector<unsigned> indices(nc);
-  for (std::size_t j = 0; j < nc; ++j) indices[perm[j]] = best_[j];
-  return make_result(std::move(indices), stats);
+  out.indices.resize(nc);
+  for (std::size_t j = 0; j < nc; ++j) out.indices[perm_[j]] = best_[j];
+  finish_result(out, stats);
 }
 
 template class SphereDecoder<GeoEnumerator>;

@@ -4,8 +4,15 @@
 // exact maximum-likelihood solution (Eq. 1), and -- because every
 // enumerator yields children in the same sorted order -- visit identical
 // node sequences; only the PED-computation counts differ (Section 5.3).
+//
+// prepare() performs the per-channel work once (column ordering,
+// Householder QR, per-level scale factors, workspace sizing); solve()
+// rotates one received vector into the triangular basis and runs the tree
+// search -- so an OFDM frame pays the factorization once per subcarrier,
+// not once per received vector.
 #pragma once
 
+#include <cstddef>
 #include <limits>
 #include <memory>
 #include <string>
@@ -22,7 +29,7 @@ struct SphereConfig {
   /// (off by default: the paper's decoders process columns as-is).
   bool sorted_qr = false;
   /// Initial squared sphere radius. The default (infinite) guarantees a
-  /// solution; a finite radius may prune everything, in which case detect()
+  /// solution; a finite radius may prune everything, in which case solve()
   /// throws std::runtime_error.
   double initial_radius_sq = std::numeric_limits<double>::infinity();
 };
@@ -36,18 +43,27 @@ class SphereDecoder final : public Detector {
     prototype_.attach(c);
   }
 
-  DetectionResult detect(const CVector& y, const linalg::CMatrix& h,
-                         double noise_var) override;
-
   std::string name() const override { return name_; }
   const SphereConfig& config() const { return config_; }
+
+ protected:
+  void do_prepare(const linalg::CMatrix& h, double noise_var) override;
+  void do_solve(const CVector& y, DetectionResult& out) override;
 
  private:
   Enumerator prototype_;
   std::string name_;
   SphereConfig config_;
 
-  // Per-level state, reused across detect() calls to avoid allocation.
+  // Prepared channel state (owned; valid until the next prepare()).
+  std::size_t na_ = 0;                ///< Receive antennas of the prepared H.
+  std::size_t nc_ = 0;                ///< Streams of the prepared H.
+  std::vector<std::size_t> perm_;     ///< Detection-order column permutation.
+  linalg::CMatrix r_;                 ///< Upper-triangular QR factor.
+  linalg::CMatrix qh_;                ///< Q^H, applied to each received vector.
+  CVector yhat_;                      ///< Q^H y (per-solve scratch).
+
+  // Per-level state, reused across solve() calls to avoid allocation.
   std::vector<Enumerator> level_enum_;
   std::vector<double> level_scale_;     ///< |r_ll|^2 * alpha^2.
   std::vector<double> partial_dist_;    ///< partial_dist_[l] = d(s^(l)); [nc] = 0.

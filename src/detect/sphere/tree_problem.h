@@ -1,6 +1,11 @@
 // Shared QR-triangularized form of the detection problem (paper Eq. 3/4),
 // used by the tree-search detectors that do not need the full depth-first
 // machinery (K-best, fixed-complexity).
+//
+// The channel-only work (QR factorization, per-level scales) lives in
+// factorize(); load() rotates one received vector into the triangular
+// basis. Detectors keep one TreeProblem in their workspace: factorize once
+// per channel estimate, load once per received vector.
 #pragma once
 
 #include <cmath>
@@ -15,32 +20,48 @@ namespace geosphere::sphere {
 
 struct TreeProblem {
   linalg::CMatrix r;          ///< Upper triangular, real non-negative diagonal.
-  CVector yhat;               ///< Q^H y.
+  linalg::CMatrix qh;         ///< Q^H, applied to each received vector.
+  CVector yhat;               ///< Q^H y (set by load()).
   std::vector<double> scale;  ///< Per level: |r_ll|^2 * alpha^2.
   double alpha = 1.0;
 
-  static TreeProblem build(const CVector& y, const linalg::CMatrix& h,
-                           const Constellation& cons) {
+  /// Channel-only phase: QR-factorize `h` and precompute the per-level
+  /// scales. Throws std::invalid_argument on bad shapes and
+  /// std::domain_error on (numerically) rank-deficient channels.
+  void factorize(const linalg::CMatrix& h, const Constellation& cons) {
     const std::size_t nc = h.cols();
     if (nc == 0 || h.rows() < nc)
       throw std::invalid_argument("TreeProblem: requires 1 <= n_c <= n_a");
-    if (y.size() != h.rows()) throw std::invalid_argument("TreeProblem: y/H shape mismatch");
 
-    auto [q, r] = linalg::householder_qr(h);
+    auto [q, rr] = linalg::householder_qr(h);
     const double rank_tol = 1e-10 * std::sqrt(std::max(h.frobenius_norm_sq(), 1e-300));
     for (std::size_t l = 0; l < nc; ++l)
-      if (r(l, l).real() <= rank_tol)
+      if (rr(l, l).real() <= rank_tol)
         throw std::domain_error("TreeProblem: channel matrix is (numerically) rank deficient");
 
-    TreeProblem p;
-    p.alpha = cons.scale();
-    p.yhat = q.hermitian() * y;
-    p.scale.resize(nc);
+    alpha = cons.scale();
+    qh = q.hermitian();
+    scale.resize(nc);
     for (std::size_t l = 0; l < nc; ++l) {
-      const double rll = r(l, l).real();
-      p.scale[l] = rll * rll * p.alpha * p.alpha;
+      const double rll = rr(l, l).real();
+      scale[l] = rll * rll * alpha * alpha;
     }
-    p.r = std::move(r);
+    r = std::move(rr);
+  }
+
+  /// Per-vector phase: rotate `y` into the triangular basis (yhat = Q^H y).
+  void load(const CVector& y) {
+    if (y.size() != qh.cols())
+      throw std::invalid_argument("TreeProblem: y/H shape mismatch");
+    multiply_into(qh, y, yhat);
+  }
+
+  /// One-shot convenience (factorize + load), for single-vector callers.
+  static TreeProblem build(const CVector& y, const linalg::CMatrix& h,
+                           const Constellation& cons) {
+    TreeProblem p;
+    p.factorize(h, cons);
+    p.load(y);
     return p;
   }
 

@@ -4,18 +4,20 @@
 
 namespace geosphere {
 
-DetectionResult ZeroForcingDetector::detect(const CVector& y, const linalg::CMatrix& h,
-                                            double /*noise_var*/) {
-  const linalg::CMatrix w = linalg::pseudo_inverse(h);
-  equalized_ = w * y;
+void ZeroForcingDetector::do_prepare(const linalg::CMatrix& h, double /*noise_var*/) {
+  filter_ = linalg::pseudo_inverse(h);
+}
+
+void ZeroForcingDetector::do_solve(const CVector& y, DetectionResult& out) {
+  multiply_into(filter_, y, equalized_);
 
   DetectionStats stats;
-  std::vector<unsigned> indices(equalized_.size());
+  out.indices.resize(equalized_.size());
   for (std::size_t k = 0; k < equalized_.size(); ++k) {
-    indices[k] = constellation().slice(equalized_[k]);
+    out.indices[k] = constellation().slice(equalized_[k]);
     ++stats.slicer_ops;
   }
-  return make_result(std::move(indices), stats);
+  finish_result(out, stats);
 }
 
 }  // namespace geosphere

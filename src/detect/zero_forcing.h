@@ -8,21 +8,24 @@ namespace geosphere {
 /// Left-multiplies the received vector by the channel pseudo-inverse
 /// (H^H H)^{-1} H^H and slices each stream independently. On poorly
 /// conditioned channels this amplifies noise by [(H^H H)^{-1}]_kk per
-/// stream (paper Sections 1 and 5.1).
+/// stream (paper Sections 1 and 5.1). prepare() builds the filter once;
+/// solve() is one filter application plus slicing per received vector.
 class ZeroForcingDetector final : public Detector {
  public:
   explicit ZeroForcingDetector(const Constellation& c) : Detector(c) {}
 
-  DetectionResult detect(const CVector& y, const linalg::CMatrix& h,
-                         double noise_var) override;
-
   /// Post-equalization (pre-slicing) soft symbol estimates from the most
-  /// recent detect() call; useful for soft-decision decoding and tests.
+  /// recent solve() call; useful for soft-decision decoding and tests.
   const CVector& last_equalized() const { return equalized_; }
 
   std::string name() const override { return "ZF"; }
 
+ protected:
+  void do_prepare(const linalg::CMatrix& h, double noise_var) override;
+  void do_solve(const CVector& y, DetectionResult& out) override;
+
  private:
+  linalg::CMatrix filter_;  ///< pinv(H), built by prepare().
   CVector equalized_;
 };
 

@@ -165,11 +165,21 @@ class Matrix {
   }
 
   friend std::vector<T> operator*(const Matrix& a, const std::vector<T>& v) {
+    std::vector<T> out;
+    multiply_into(a, v, out);
+    return out;
+  }
+
+  /// Matrix-vector product into a caller-owned buffer whose capacity is
+  /// reused -- the form the per-received-vector detection hot path uses to
+  /// avoid heap traffic. operator* delegates here, so both forms share one
+  /// accumulation order (bit-identical results by construction). `out`
+  /// must not alias `v`.
+  friend void multiply_into(const Matrix& a, const std::vector<T>& v, std::vector<T>& out) {
     if (a.cols_ != v.size()) throw std::invalid_argument("Matrix-vector product: shape mismatch");
-    std::vector<T> out(a.rows_, T{});
+    out.assign(a.rows_, T{});
     for (std::size_t i = 0; i < a.rows_; ++i)
       for (std::size_t j = 0; j < a.cols_; ++j) out[i] += a(i, j) * v[j];
-    return out;
   }
 
  private:

@@ -91,6 +91,7 @@ void LinkSimulator::simulate_frame(Detector& detector, DecisionMode mode, Rng& r
   init_stats(stats);
 
   const std::size_t nc = channel_->num_tx();
+  const std::size_t na = channel_->num_rx();
   const std::size_t nsc = scenario_.frame.data_subcarriers;
   const std::size_t ofdm_symbols = codec_.ofdm_symbols_per_frame();
   const unsigned q = detector.constellation().bits_per_symbol();
@@ -100,8 +101,6 @@ void LinkSimulator::simulate_frame(Detector& detector, DecisionMode mode, Rng& r
   std::vector<std::vector<unsigned>> rx(soft == nullptr ? nc : 0);
   // Soft path: per-client per-coded-bit confidences in transmitted order.
   std::vector<std::vector<double>> rx_conf(soft != nullptr ? nc : 0);
-  CVector x(nc);
-  CVector y;
 
   // Identical draw order in both modes (link, jitter, payloads, noise), so
   // hard and soft runs of the same seed are paired on identical channels.
@@ -120,24 +119,48 @@ void LinkSimulator::simulate_frame(Detector& detector, DecisionMode mode, Rng& r
       rx[k].assign(ofdm_symbols * nsc, 0);
   }
 
-  for (std::size_t sym = 0; sym < ofdm_symbols; ++sym) {
-    for (std::size_t sc = 0; sc < nsc; ++sc) {
-      const linalg::CMatrix& h = link.subcarriers[sc];
+  // Detection iterates subcarrier-major so each of the nsc channel
+  // matrices is prepared (QR / ordering / filter inversion) exactly once
+  // and reused for all ofdm_symbols received vectors on that subcarrier --
+  // but the RNG stream must stay bit-identical to the historical
+  // symbol-major loop (and therefore to any recorded results), so all
+  // noise is drawn up front in that order.
+  std::vector<cf64> noise;
+  if (n0 > 0.0) {  // add_awgn semantics: no draws at non-positive variance.
+    noise.resize(ofdm_symbols * nsc * na);
+    for (auto& v : noise) v = rng.cgaussian(n0);
+  }
+
+  // Frame-local workspaces, reused across all ofdm_symbols * nsc uses.
+  CVector x(nc);
+  CVector y(na);
+  DetectionResult result;
+  SoftDetectionResult soft_result;
+  std::vector<double> conf;
+
+  for (std::size_t sc = 0; sc < nsc; ++sc) {
+    const linalg::CMatrix& h = link.subcarriers[sc];
+    detector.prepare(h, n0);
+    ++stats.detection.preprocess_calls;
+    for (std::size_t sym = 0; sym < ofdm_symbols; ++sym) {
       for (std::size_t k = 0; k < nc; ++k)
         x[k] = detector.constellation().point(tx[k].symbol_at(sym, sc, nsc));
-      y = h * x;
-      channel::add_awgn(y, n0, rng);
+      multiply_into(h, x, y);
+      if (n0 > 0.0) {
+        const cf64* w = &noise[(sym * nsc + sc) * na];
+        for (std::size_t i = 0; i < na; ++i) y[i] += w[i];
+      }
 
       if (soft != nullptr) {
-        const SoftDetectionResult result = soft->detect_soft(y, h, n0);
-        stats.detection += result.stats;
+        soft->solve_soft(y, soft_result);
+        stats.detection += soft_result.stats;
         ++stats.detection_calls;
-        const auto conf = llrs_to_confidence(result.llrs);
+        llrs_to_confidence(soft_result.llrs, conf);
         for (std::size_t k = 0; k < nc; ++k)
           for (unsigned b = 0; b < q; ++b)
             rx_conf[k][(sym * nsc + sc) * q + b] = conf[k * q + b];
       } else {
-        const DetectionResult result = detector.detect(y, h, n0);
+        detector.solve(y, result);
         stats.detection += result.stats;
         ++stats.detection_calls;
         for (std::size_t k = 0; k < nc; ++k) rx[k][sym * nsc + sc] = result.indices[k];

@@ -4,6 +4,15 @@
 // Hard and soft decision detection run through one mode-dispatched path:
 // simulate_frame(detector, DecisionMode, ...) feeds either hard symbol
 // indices to the hard Viterbi or max-log LLRs to the soft Viterbi.
+//
+// Detection follows the two-phase Detector contract: the frame loop is
+// subcarrier-major, preparing each of the nsc per-subcarrier channel
+// matrices once (Detector::prepare) and solving all ofdm_symbols received
+// vectors that use it (Detector::solve) -- so LinkStats shows
+// preprocess_calls == frames * nsc while detection_calls ==
+// frames * nsc * ofdm_symbols. The RNG draw order (and therefore every
+// statistic) is bit-identical to the historical symbol-major loop: all
+// noise is pre-drawn in that order.
 #pragma once
 
 #include <cstddef>
@@ -35,6 +44,10 @@ struct LinkStats {
   std::vector<std::size_t> client_frame_errors;
   std::size_t bit_errors = 0;
   std::size_t payload_bits = 0;
+  /// Aggregated detector counters. detection.preprocess_calls counts one
+  /// per (frame, subcarrier) channel preparation; detection_calls counts
+  /// per-received-vector solves -- their ratio is the per-frame
+  /// amortization factor (= OFDM symbols per frame).
   DetectionStats detection;
   std::size_t detection_calls = 0;
 

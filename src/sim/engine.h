@@ -159,7 +159,11 @@ class Engine {
   /// The per-worker detector cache, keyed on (spec text, QAM order). Each
   /// worker only ever touches its own map, so no locking is needed; the
   /// cache persists across engine calls (Engine methods are not
-  /// reentrant, like the pool they run on).
+  /// reentrant, like the pool they run on). Cached instances keep their
+  /// workspaces -- including the prepared-channel state of the two-phase
+  /// detect contract -- across frames and cells; that is safe because
+  /// Detector::prepare() fully overwrites the stored channel, so reuse
+  /// stays transparent.
   Detector& worker_detector(std::size_t worker, const DetectorSpec& spec,
                             unsigned qam_order);
 
