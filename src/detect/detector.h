@@ -1,7 +1,7 @@
 // Common interface for MIMO detectors, plus the complexity counters the
 // paper's evaluation is built around (Section 5.3).
 //
-// Detection is a two-phase contract:
+// Detection is a three-phase contract:
 //
 //   prepare(h, noise_var)  -- factorize / order / invert the channel once
 //                             and store the result in the detector's owned
@@ -9,14 +9,26 @@
 //                             linear filter construction, ...).
 //   solve(y, out)          -- per-received-vector work only, against the
 //                             most recently prepared channel.
+//   solve_batch(Y, out)    -- all received vectors of one channel use at
+//                             once: Y packs them as contiguous columns.
+//                             The base class falls back to a loop over
+//                             solve(); detectors override it where batching
+//                             genuinely pays (linear detectors turn
+//                             per-vector mat-vecs into one mat-mat product,
+//                             tree searches batch the Q^H y rotation and
+//                             reuse enumeration workspaces). Overrides are
+//                             bit-identical to the loop fallback: same
+//                             decisions, same counters.
 //
 // An OFDM receiver sees each channel estimate `ofdm_symbols` times per
 // frame (once per data symbol on that subcarrier), so the link layer
-// prepares each of the `nsc` per-subcarrier matrices once and then solves
-// every received vector that uses it -- the preprocessing cost amortizes
-// across the frame instead of being paid `ofdm_symbols x nsc` times.
-// detect(y, h, noise_var) is retained as a thin prepare+solve convenience
-// for one-shot callers (tests, examples, single-vector experiments).
+// prepares each of the `nsc` per-subcarrier matrices once and then batch-
+// solves every received vector that uses it -- the preprocessing cost
+// amortizes across the frame and the per-vector work runs back-to-back
+// over one contiguous batch instead of being paid `ofdm_symbols x nsc`
+// times through per-call dispatch. detect(y, h, noise_var) is retained as
+// a thin prepare+solve convenience for one-shot callers (tests, examples,
+// single-vector experiments).
 //
 // Hard and soft decision detection share this one surface: every detector
 // produces hard decisions via solve(); detectors that can also emit
@@ -62,6 +74,12 @@ struct DetectionStats {
   /// detection_calls / preprocess_calls is the amortization factor
   /// (= OFDM symbols per frame).
   std::uint64_t preprocess_calls = 0;
+  /// Batched solves (solve_batch()/solve_soft_batch() invocations). A batch
+  /// of N vectors counts as ONE batch_call but N detections: all per-vector
+  /// counters (ped_computations, slicer_ops, ...) are the exact sums of the
+  /// N per-vector solves, so batched and per-vector runs report identical
+  /// work -- batch_calls only records how it was dispatched.
+  std::uint64_t batch_calls = 0;
 
   DetectionStats& operator+=(const DetectionStats& o) {
     ped_computations += o.ped_computations;
@@ -71,6 +89,7 @@ struct DetectionStats {
     slicer_ops += o.slicer_ops;
     queue_ops += o.queue_ops;
     preprocess_calls += o.preprocess_calls;
+    batch_calls += o.batch_calls;
     return *this;
   }
 };
@@ -89,6 +108,30 @@ struct SoftDetectionResult {
   /// bit order of Constellation::bits_from_index. Positive = bit 0 likely.
   std::vector<double> llrs;
   DetectionStats stats;
+};
+
+/// Result of one batched solve: hard decisions for every column of Y.
+/// Buffers are reused across calls (no per-batch heap traffic once warm).
+struct BatchResult {
+  std::size_t count = 0;    ///< Received vectors solved (columns of Y).
+  std::size_t streams = 0;  ///< Streams per vector (n_c of the prepared H).
+  /// Vector-major decisions: indices[v * streams + k] is stream k of
+  /// column v -- bit-identical to solve() on that column.
+  std::vector<unsigned> indices;
+  /// Exact sum of the per-vector solve stats, plus batch_calls = 1.
+  DetectionStats stats;
+};
+
+/// Batched counterpart of SoftDetectionResult: hard (ML) decisions plus
+/// max-log LLRs for every column of Y.
+struct SoftBatchResult {
+  std::size_t count = 0;    ///< Received vectors solved (columns of Y).
+  std::size_t streams = 0;  ///< Streams per vector (n_c of the prepared H).
+  std::vector<unsigned> indices;  ///< Vector-major, as in BatchResult.
+  /// LLRs: llrs[(v * streams + k) * Q + b] for bit b of stream k of
+  /// column v -- bit-identical to solve_soft() on that column.
+  std::vector<double> llrs;
+  DetectionStats stats;  ///< Sum over the batch, plus batch_calls = 1.
 };
 
 class SoftDetector;
@@ -132,6 +175,29 @@ class Detector {
     return out;
   }
 
+  /// Phase 3 (batched): detect every column of `y_batch` (n_a x count;
+  /// column v is one received vector) against the prepared channel. The
+  /// result is bit-identical to calling solve() on each column in order --
+  /// same decisions, same summed counters -- whether the detector runs the
+  /// base-class loop fallback or an overridden batch kernel; only
+  /// stats.batch_calls (always 1 per invocation) records the dispatch.
+  /// `out`'s buffers are reused across calls. Throws std::logic_error if
+  /// prepare() has not been called.
+  void solve_batch(const linalg::CMatrix& y_batch, BatchResult& out) {
+    require_prepared();
+    do_solve_batch(y_batch, out);
+    // Exactly one batched invocation regardless of internal routing (e.g.
+    // hybrid delegates to an inner detector that already stamped its own).
+    out.stats.batch_calls = 1;
+  }
+
+  /// Allocating convenience form of solve_batch().
+  BatchResult solve_batch(const linalg::CMatrix& y_batch) {
+    BatchResult out;
+    solve_batch(y_batch, out);
+    return out;
+  }
+
   /// One-shot convenience: prepare(h, noise_var) then solve(y). The
   /// result's stats count the preparation (preprocess_calls == 1).
   DetectionResult detect(const CVector& y, const linalg::CMatrix& h,
@@ -167,6 +233,30 @@ class Detector {
   /// fill out.indices and call finish_result().
   virtual void do_solve(const CVector& y, DetectionResult& out) = 0;
 
+  /// Batched detection against the prepared workspace. The default walks
+  /// the columns through do_solve() -- correct for every detector; override
+  /// where batching genuinely pays (amortizable per-vector products or
+  /// per-call overhead). Overrides must produce bit-identical decisions and
+  /// counter sums to this loop.
+  virtual void do_solve_batch(const linalg::CMatrix& y_batch, BatchResult& out) {
+    const std::size_t count = y_batch.cols();
+    out.count = count;
+    out.streams = 0;
+    out.indices.clear();
+    out.stats = DetectionStats{};
+    for (std::size_t v = 0; v < count; ++v) {
+      y_batch.col_into(v, loop_y_);
+      do_solve(loop_y_, loop_result_);
+      if (v == 0) {
+        out.streams = loop_result_.indices.size();
+        out.indices.resize(count * out.streams);
+      }
+      for (std::size_t k = 0; k < out.streams; ++k)
+        out.indices[v * out.streams + k] = loop_result_.indices[k];
+      out.stats += loop_result_.stats;
+    }
+  }
+
   void require_prepared() const {
     if (!prepared_)
       throw std::logic_error("Detector: solve() called before prepare() (" + name() + ")");
@@ -183,6 +273,9 @@ class Detector {
  private:
   const Constellation* constellation_;
   bool prepared_ = false;
+  // Scratch for the do_solve_batch() loop fallback only.
+  CVector loop_y_;
+  DetectionResult loop_result_;
 };
 
 /// Sub-interface for detectors that can produce max-log LLRs. Obtained
@@ -210,6 +303,18 @@ class SoftDetector {
     return out;
   }
 
+  /// Batched counterpart of solve_soft(): LLRs for every column of
+  /// `y_batch` against the same prepared channel, bit-identical to calling
+  /// solve_soft() per column (see Detector::solve_batch for the contract;
+  /// stats.batch_calls = 1 per invocation). `out`'s buffers are reused.
+  void solve_soft_batch(const linalg::CMatrix& y_batch, SoftBatchResult& out) {
+    if (!owner().prepared())
+      throw std::logic_error("SoftDetector: solve_soft_batch() called before prepare() (" +
+                             owner().name() + ")");
+    do_solve_soft_batch(y_batch, out);
+    out.stats.batch_calls = 1;
+  }
+
   /// One-shot convenience: prepare then solve_soft, with the preparation
   /// accounted in the result's stats (preprocess_calls == 1).
   SoftDetectionResult detect_soft(const CVector& y, const linalg::CMatrix& h,
@@ -226,6 +331,38 @@ class SoftDetector {
   virtual Detector& owner() = 0;
 
   virtual void do_solve_soft(const CVector& y, SoftDetectionResult& out) = 0;
+
+  /// Batched soft detection; the default loops do_solve_soft() per column.
+  /// Overrides must be bit-identical to the loop (decisions, LLRs, counter
+  /// sums).
+  virtual void do_solve_soft_batch(const linalg::CMatrix& y_batch, SoftBatchResult& out) {
+    const std::size_t count = y_batch.cols();
+    const unsigned q = owner().constellation().bits_per_symbol();
+    out.count = count;
+    out.streams = 0;
+    out.indices.clear();
+    out.llrs.clear();
+    out.stats = DetectionStats{};
+    for (std::size_t v = 0; v < count; ++v) {
+      y_batch.col_into(v, loop_y_);
+      do_solve_soft(loop_y_, loop_result_);
+      if (v == 0) {
+        out.streams = loop_result_.indices.size();
+        out.indices.resize(count * out.streams);
+        out.llrs.resize(count * out.streams * q);
+      }
+      for (std::size_t k = 0; k < out.streams; ++k)
+        out.indices[v * out.streams + k] = loop_result_.indices[k];
+      for (std::size_t i = 0; i < out.streams * q; ++i)
+        out.llrs[v * out.streams * q + i] = loop_result_.llrs[i];
+      out.stats += loop_result_.stats;
+    }
+  }
+
+ private:
+  // Scratch for the do_solve_soft_batch() loop fallback only.
+  CVector loop_y_;
+  SoftDetectionResult loop_result_;
 };
 
 /// Maps LLRs to per-bit "confidence the bit is 1" in [0,1], the input

@@ -15,9 +15,30 @@ void FsdDetector::do_prepare(const linalg::CMatrix& h, double /*noise_var*/) {
 
 void FsdDetector::do_solve(const CVector& y, DetectionResult& out) {
   problem_.load(y);
+  DetectionStats stats;
+  out.indices = search(stats);
+  finish_result(out, stats);
+}
+
+void FsdDetector::do_solve_batch(const linalg::CMatrix& y_batch, BatchResult& out) {
+  problem_.rotate_batch(y_batch, yhat_t_batch_);
+  const std::size_t nc = problem_.r.cols();
+  const std::size_t count = y_batch.cols();
+  out.count = count;
+  out.streams = nc;
+  out.indices.resize(count * nc);
+  DetectionStats stats;
+  for (std::size_t v = 0; v < count; ++v) {
+    problem_.load_rotated(yhat_t_batch_, v);
+    const std::vector<unsigned>& path = search(stats);
+    for (std::size_t k = 0; k < nc; ++k) out.indices[v * nc + k] = path[k];
+  }
+  out.stats = stats;
+}
+
+const std::vector<unsigned>& FsdDetector::search(DetectionStats& stats) {
   const std::size_t nc = problem_.r.cols();
   const Constellation& cons = constellation();
-  DetectionStats stats;
   constexpr double kInf = std::numeric_limits<double>::infinity();
 
   // Full expansion of the top level.
@@ -51,8 +72,7 @@ void FsdDetector::do_solve(const CVector& y, DetectionResult& out) {
   const Path* best = &paths_.front();
   for (std::size_t i = 1; i < used; ++i)
     if (paths_[i].pd < best->pd) best = &paths_[i];
-  out.indices = best->path;
-  finish_result(out, stats);
+  return best->path;
 }
 
 }  // namespace geosphere

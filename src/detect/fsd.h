@@ -19,6 +19,9 @@ class FsdDetector final : public Detector {
  protected:
   void do_prepare(const linalg::CMatrix& h, double noise_var) override;
   void do_solve(const CVector& y, DetectionResult& out) override;
+  /// One mat-mat Q^H Y rotation, then the shared expand-and-plunge pass per
+  /// column against warm path workspaces.
+  void do_solve_batch(const linalg::CMatrix& y_batch, BatchResult& out) override;
 
  private:
   struct Path {
@@ -26,12 +29,17 @@ class FsdDetector final : public Detector {
     std::vector<unsigned> path;
   };
 
+  /// Expand-and-plunge pass over the loaded problem_; returns the winning
+  /// path. Counters accumulate into `stats`.
+  const std::vector<unsigned>& search(DetectionStats& stats);
+
   sphere::GeoEnumerator enumerator_;
   sphere::TreeProblem problem_;  ///< Factorized by prepare().
 
   // Reused per-solve workspaces (grown once, then allocation-free).
   std::vector<Path> paths_;
   std::vector<unsigned> root_;
+  linalg::CMatrix yhat_t_batch_;  ///< (Q^H Y)^T -- one row per vector.
 };
 
 }  // namespace geosphere

@@ -28,4 +28,10 @@ void HybridDetector::do_solve(const CVector& y, DetectionResult& out) {
   active_->solve(y, out);
 }
 
+void HybridDetector::do_solve_batch(const linalg::CMatrix& y_batch, BatchResult& out) {
+  // The outer solve_batch() wrapper re-stamps batch_calls = 1, so the
+  // inner detector's own stamp does not double-count.
+  active_->solve_batch(y_batch, out);
+}
+
 }  // namespace geosphere

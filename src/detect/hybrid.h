@@ -28,6 +28,9 @@ class HybridDetector final : public Detector {
  protected:
   void do_prepare(const linalg::CMatrix& h, double noise_var) override;
   void do_solve(const CVector& y, DetectionResult& out) override;
+  /// Routes the whole batch to the inner detector chosen by prepare() --
+  /// one routing decision per prepared channel, batched all the way down.
+  void do_solve_batch(const linalg::CMatrix& y_batch, BatchResult& out) override;
 
  private:
   double threshold_db_;

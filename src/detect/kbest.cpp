@@ -20,9 +20,32 @@ void KBestDetector::do_prepare(const linalg::CMatrix& h, double /*noise_var*/) {
 
 void KBestDetector::do_solve(const CVector& y, DetectionResult& out) {
   problem_.load(y);
+  DetectionStats stats;
+  search(stats);
+  out.indices = survivors_.front().path;
+  finish_result(out, stats);
+}
+
+void KBestDetector::do_solve_batch(const linalg::CMatrix& y_batch, BatchResult& out) {
+  problem_.rotate_batch(y_batch, yhat_t_batch_);
+  const std::size_t nc = problem_.r.cols();
+  const std::size_t count = y_batch.cols();
+  out.count = count;
+  out.streams = nc;
+  out.indices.resize(count * nc);
+  DetectionStats stats;
+  for (std::size_t v = 0; v < count; ++v) {
+    problem_.load_rotated(yhat_t_batch_, v);
+    search(stats);
+    const std::vector<unsigned>& path = survivors_.front().path;
+    for (std::size_t k = 0; k < nc; ++k) out.indices[v * nc + k] = path[k];
+  }
+  out.stats = stats;
+}
+
+void KBestDetector::search(DetectionStats& stats) {
   const std::size_t nc = problem_.r.cols();
   const Constellation& cons = constellation();
-  DetectionStats stats;
   constexpr double kInf = std::numeric_limits<double>::infinity();
 
   if (survivors_.empty()) survivors_.emplace_back();
@@ -58,9 +81,6 @@ void KBestDetector::do_solve(const CVector& y, DetectionResult& out) {
       survivors_[s].path = expanded_[s].path;
     }
   }
-
-  out.indices = survivors_.front().path;
-  finish_result(out, stats);
 }
 
 }  // namespace geosphere

@@ -21,12 +21,19 @@ class KBestDetector final : public Detector {
  protected:
   void do_prepare(const linalg::CMatrix& h, double noise_var) override;
   void do_solve(const CVector& y, DetectionResult& out) override;
+  /// One mat-mat Q^H Y rotation, then the shared breadth-first pass per
+  /// column against warm candidate workspaces.
+  void do_solve_batch(const linalg::CMatrix& y_batch, BatchResult& out) override;
 
  private:
   struct Candidate {
     double pd = 0.0;
     std::vector<unsigned> path;
   };
+
+  /// Breadth-first K-best pass over the loaded problem_; the winner ends in
+  /// survivors_.front().path. Counters accumulate into `stats`.
+  void search(DetectionStats& stats);
 
   unsigned k_;
   sphere::GeoEnumerator enumerator_;
@@ -35,6 +42,7 @@ class KBestDetector final : public Detector {
   // Reused per-solve workspaces (grown once, then allocation-free).
   std::vector<Candidate> survivors_;
   std::vector<Candidate> expanded_;
+  linalg::CMatrix yhat_t_batch_;  ///< (Q^H Y)^T -- one row per vector.
 };
 
 }  // namespace geosphere

@@ -25,4 +25,24 @@ void MmseDetector::do_solve(const CVector& y, DetectionResult& out) {
   finish_result(out, stats);
 }
 
+void MmseDetector::do_solve_batch(const linalg::CMatrix& y_batch, BatchResult& out) {
+  // Each mat-mat column is bit-identical to the corresponding mat-vec, and
+  // the second product consumes the first's columns unchanged -- so the
+  // batched equalizer output equals the per-vector one to the last bit.
+  multiply_into(hh_, y_batch, matched_batch_);
+  multiply_into(gram_inv_, matched_batch_, equalized_batch_);
+  const std::size_t nc = gram_inv_.rows();
+  const std::size_t count = y_batch.cols();
+  out.count = count;
+  out.streams = nc;
+  out.indices.resize(count * nc);
+  DetectionStats stats;
+  for (std::size_t v = 0; v < count; ++v)
+    for (std::size_t k = 0; k < nc; ++k) {
+      out.indices[v * nc + k] = constellation().slice(equalized_batch_(k, v));
+      ++stats.slicer_ops;
+    }
+  out.stats = stats;
+}
+
 }  // namespace geosphere

@@ -22,12 +22,17 @@ class MmseDetector final : public Detector {
  protected:
   void do_prepare(const linalg::CMatrix& h, double noise_var) override;
   void do_solve(const CVector& y, DetectionResult& out) override;
+  /// Two mat-mat products (H^H Y, then Gram^{-1} against the result)
+  /// instead of two mat-vecs per column.
+  void do_solve_batch(const linalg::CMatrix& y_batch, BatchResult& out) override;
 
  private:
   linalg::CMatrix hh_;        ///< H^H.
   linalg::CMatrix gram_inv_;  ///< (H^H H + N0 I)^{-1}.
   CVector matched_;           ///< H^H y (per-solve scratch).
   CVector equalized_;
+  linalg::CMatrix matched_batch_;    ///< Per-batch scratch (H^H Y).
+  linalg::CMatrix equalized_batch_;  ///< Per-batch scratch.
 };
 
 }  // namespace geosphere

@@ -27,6 +27,9 @@ class MmseSicDetector final : public Detector {
  protected:
   void do_prepare(const linalg::CMatrix& h, double noise_var) override;
   void do_solve(const CVector& y, DetectionResult& out) override;
+  /// Runs each cancellation stage across the whole batch: one mat-mat
+  /// matched filter per stage instead of a mat-vec per (stage, column).
+  void do_solve_batch(const linalg::CMatrix& y_batch, BatchResult& out) override;
 
  private:
   /// One cancellation stage: the MMSE estimate of `target` over the
@@ -42,6 +45,8 @@ class MmseSicDetector final : public Detector {
   std::vector<Stage> stages_;
   CVector residual_;  ///< Per-solve scratch.
   CVector matched_;   ///< Per-solve scratch (H_sub^H residual).
+  linalg::CMatrix residual_batch_;  ///< Per-batch scratch (one column per vector).
+  linalg::CMatrix matched_batch_;   ///< Per-batch scratch (H_sub^H residuals).
 };
 
 }  // namespace geosphere

@@ -58,9 +58,7 @@ void RvdSphereDecoder::do_prepare(const linalg::CMatrix& h, double /*noise_var*/
 void RvdSphereDecoder::do_solve(const CVector& y, DetectionResult& out) {
   if (y.size() != na_) throw std::invalid_argument("RvdSphereDecoder: y/H shape mismatch");
 
-  const std::size_t nc = nc_;
   const std::size_t na = na_;
-  const std::size_t rn = 2 * nc;
   yr_.resize(2 * na);
   for (std::size_t i = 0; i < na; ++i) {
     yr_[i] = y[i].real();
@@ -68,17 +66,55 @@ void RvdSphereDecoder::do_solve(const CVector& y, DetectionResult& out) {
   }
   multiply_into(qh_, yr_, yhat_);
 
+  DetectionStats stats;
+  search(yhat_.data(), stats);
+  out.indices.resize(nc_);
+  emit_indices(out.indices.data());
+  finish_result(out, stats);
+}
+
+void RvdSphereDecoder::do_solve_batch(const linalg::CMatrix& y_batch, BatchResult& out) {
+  if (y_batch.rows() != na_)
+    throw std::invalid_argument("RvdSphereDecoder: Y/H shape mismatch");
+
+  const std::size_t na = na_;
+  const std::size_t count = y_batch.cols();
+
+  // Embed every column exactly as the per-vector path does, then rotate
+  // the whole embedded batch with one transposed mat-mat product (row v of
+  // (Q^H Yr)^T is bit-identical to Q^H yr_v, and contiguous).
+  yr_batch_.assign_shape(2 * na, count);
+  for (std::size_t v = 0; v < count; ++v)
+    for (std::size_t i = 0; i < na; ++i) {
+      const cf64 yv = y_batch(i, v);
+      yr_batch_(i, v) = yv.real();
+      yr_batch_(na + i, v) = yv.imag();
+    }
+  multiply_transpose_into(qh_, yr_batch_, yhat_t_batch_);
+
+  out.count = count;
+  out.streams = nc_;
+  out.indices.resize(count * nc_);
+  DetectionStats stats;
+  for (std::size_t v = 0; v < count; ++v) {
+    search(yhat_t_batch_.row_data(v), stats);
+    emit_indices(out.indices.data() + v * nc_);
+  }
+  out.stats = stats;
+}
+
+void RvdSphereDecoder::search(const cf64* yhat, DetectionStats& stats) {
+  const std::size_t rn = 2 * nc_;
   const Constellation& cons = constellation();
   const int levels = cons.pam_levels();
   const double alpha = cons.scale();
 
-  DetectionStats stats;
   double radius_sq = std::numeric_limits<double>::infinity();
   partial_[rn] = 0.0;
 
   // Per-level center in PAM grid units given decisions above.
   const auto center_at = [&](std::size_t l) {
-    double c = yhat_[l].real();
+    double c = yhat[l].real();
     for (std::size_t j = l + 1; j < rn; ++j)
       c -= r_(l, j).real() * alpha *
            static_cast<double>(cons.grid_of_level(current_[j]));
@@ -122,13 +158,14 @@ void RvdSphereDecoder::do_solve(const CVector& y, DetectionResult& out) {
       if (level == rn) break;
     }
   }
+}
 
+void RvdSphereDecoder::emit_indices(unsigned* indices) const {
   // Recombine PAM components into QAM indices: level j < nc is the real
   // part (I level) of stream j, level nc + j the imaginary part.
-  out.indices.resize(nc);
-  for (std::size_t k = 0; k < nc; ++k)
-    out.indices[k] = cons.index_from_levels(best_[k], best_[nc + k]);
-  finish_result(out, stats);
+  const Constellation& cons = constellation();
+  for (std::size_t k = 0; k < nc_; ++k)
+    indices[k] = cons.index_from_levels(best_[k], best_[nc_ + k]);
 }
 
 }  // namespace geosphere

@@ -32,8 +32,19 @@ class RvdSphereDecoder final : public Detector {
  protected:
   void do_prepare(const linalg::CMatrix& h, double noise_var) override;
   void do_solve(const CVector& y, DetectionResult& out) override;
+  /// Embeds the whole batch into the real formulation and rotates it with
+  /// one mat-mat product, then runs the shared search per column.
+  void do_solve_batch(const linalg::CMatrix& y_batch, BatchResult& out) override;
 
  private:
+  /// Depth-first search over the real-valued tree, reading the rotated
+  /// embedding from `yhat` (length 2 * nc_); leaves the winning PAM levels
+  /// in best_ and accumulates counters into `stats`.
+  void search(const cf64* yhat, DetectionStats& stats);
+
+  /// Recombines best_'s PAM components into per-stream QAM indices.
+  void emit_indices(unsigned* indices) const;
+
   // Prepared channel state (real embedding, QR-factorized).
   std::size_t na_ = 0;  ///< Receive antennas of the prepared (complex) H.
   std::size_t nc_ = 0;  ///< Streams of the prepared (complex) H.
@@ -41,6 +52,8 @@ class RvdSphereDecoder final : public Detector {
   linalg::CMatrix qh_;  ///< Q^H of the embedding.
   CVector yr_;          ///< Real embedding of y (per-solve scratch).
   CVector yhat_;        ///< Q^H yr (per-solve scratch).
+  linalg::CMatrix yr_batch_;      ///< Real embedding of Y (per-batch scratch).
+  linalg::CMatrix yhat_t_batch_;  ///< (Q^H Yr)^T -- one row per vector.
 
   // Reused per-solve workspaces.
   std::vector<sphere::Zigzag1D> level_enum_;

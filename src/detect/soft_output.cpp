@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "detect/sphere/center.h"
 #include "linalg/qr.h"
 
 namespace geosphere {
@@ -35,7 +36,6 @@ SoftGeosphereDetector::Search SoftGeosphereDetector::search(
     DetectionStats& stats) {
   const std::size_t nc = scale_.size();
   const Constellation& cons = constellation();
-  const double alpha = cons.scale();
 
   Search out;
   out.best.assign(nc, 0);
@@ -43,9 +43,7 @@ SoftGeosphereDetector::Search SoftGeosphereDetector::search(
   partial_[nc] = 0.0;
 
   const auto center_at = [&](std::size_t l) {
-    cf64 c = yhat_[l];
-    for (std::size_t j = l + 1; j < nc; ++j) c -= r_(l, j) * cons.point(current_[j]);
-    return c / (r_(l, l).real() * alpha);
+    return sphere::tree_center(r_, yhat_.data(), l, current_.data(), cons, diag_[l]);
   };
 
   std::size_t level = nc - 1;
@@ -102,9 +100,13 @@ void SoftGeosphereDetector::do_prepare(const linalg::CMatrix& h, double noise_va
   noise_var_ = noise_var;
   const double alpha = cons.scale();
   scale_.assign(nc, 0.0);
+  diag_.assign(nc, 0.0);
   for (std::size_t l = 0; l < nc; ++l) {
     const double rll = r_(l, l).real();
     scale_[l] = rll * rll * alpha * alpha;
+    // Same product the per-node center division used to form -- hoisted
+    // once per channel, bit-identical.
+    diag_[l] = rll * alpha;
   }
   if (level_enum_.size() != nc) {
     sphere::GeoEnumerator proto({.geometric_pruning = true});
@@ -129,8 +131,62 @@ void SoftGeosphereDetector::do_solve(const CVector& y, DetectionResult& out) {
   finish_result(out, stats);
 }
 
+void SoftGeosphereDetector::do_solve_batch(const linalg::CMatrix& y_batch,
+                                           BatchResult& out) {
+  if (y_batch.rows() != na_)
+    throw std::invalid_argument("SoftGeosphereDetector: shape mismatch");
+  multiply_transpose_into(qh_, y_batch, yhat_t_batch_);
+
+  const std::size_t nc = scale_.size();
+  const std::size_t count = y_batch.cols();
+  out.count = count;
+  out.streams = nc;
+  out.indices.resize(count * nc);
+  DetectionStats stats;
+  for (std::size_t v = 0; v < count; ++v) {
+    const cf64* row = yhat_t_batch_.row_data(v);
+    yhat_.assign(row, row + nc);
+    const Search ml = search(kInf, -1, nullptr, stats);
+    for (std::size_t k = 0; k < nc; ++k) out.indices[v * nc + k] = ml.best[k];
+  }
+  out.stats = stats;
+}
+
+void SoftGeosphereDetector::do_solve_soft_batch(const linalg::CMatrix& y_batch,
+                                                SoftBatchResult& out) {
+  if (y_batch.rows() != na_)
+    throw std::invalid_argument("SoftGeosphereDetector: shape mismatch");
+  // One transposed rotation for the whole batch (row v of (Q^H Y)^T is
+  // bit-identical to load(y_v)); the ~1 + streams*Q searches per vector
+  // then run against warm enumeration workspaces.
+  multiply_transpose_into(qh_, y_batch, yhat_t_batch_);
+
+  const std::size_t nc = scale_.size();
+  const unsigned bits = constellation().bits_per_symbol();
+  const std::size_t count = y_batch.cols();
+  out.count = count;
+  out.streams = nc;
+  out.indices.resize(count * nc);
+  out.llrs.resize(count * nc * bits);
+  out.stats = DetectionStats{};
+  for (std::size_t v = 0; v < count; ++v) {
+    const cf64* row = yhat_t_batch_.row_data(v);
+    yhat_.assign(row, row + nc);
+    solve_soft_loaded(soft_scratch_);
+    for (std::size_t k = 0; k < nc; ++k)
+      out.indices[v * nc + k] = soft_scratch_.indices[k];
+    for (std::size_t i = 0; i < nc * bits; ++i)
+      out.llrs[v * nc * bits + i] = soft_scratch_.llrs[i];
+    out.stats += soft_scratch_.stats;
+  }
+}
+
 void SoftGeosphereDetector::do_solve_soft(const CVector& y, SoftDetectionResult& out) {
   load(y);
+  solve_soft_loaded(out);
+}
+
+void SoftGeosphereDetector::solve_soft_loaded(SoftDetectionResult& out) {
   const std::size_t nc = scale_.size();
   const Constellation& cons = constellation();
 

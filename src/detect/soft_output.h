@@ -57,6 +57,14 @@ class SoftGeosphereDetector final : public Detector, public SoftDetector {
   /// Hard decisions plus max-log LLRs for every transmitted bit.
   void do_solve_soft(const CVector& y, SoftDetectionResult& out) override;
 
+  /// One mat-mat Q^H Y rotation, then the unconstrained search per column.
+  void do_solve_batch(const linalg::CMatrix& y_batch, BatchResult& out) override;
+
+  /// Batched rotation shared across the batch; each column then runs the
+  /// unconstrained search plus its ~streams*Q counter-hypothesis searches
+  /// against warm workspaces.
+  void do_solve_soft_batch(const linalg::CMatrix& y_batch, SoftBatchResult& out) override;
+
   Detector& owner() override { return *this; }
 
  private:
@@ -74,6 +82,11 @@ class SoftGeosphereDetector final : public Detector, public SoftDetector {
   Search search(double radius_sq, std::ptrdiff_t mask_level,
                 const std::vector<std::uint8_t>* mask, DetectionStats& stats);
 
+  /// The soft solve against the already-loaded yhat_ (everything in
+  /// do_solve_soft after load()): unconstrained search + per-bit
+  /// counter-hypothesis searches.
+  void solve_soft_loaded(SoftDetectionResult& out);
+
   double llr_clamp_;
 
   // Prepared channel state, shared by every search until the next prepare.
@@ -82,6 +95,7 @@ class SoftGeosphereDetector final : public Detector, public SoftDetector {
   linalg::CMatrix qh_;
   double noise_var_ = 0.0;
   std::vector<double> scale_;
+  std::vector<double> diag_;  ///< Per level: r_ll * alpha (center denominator).
 
   /// Counter-hypothesis symbol masks, fixed by the constellation:
   /// bit_masks_[b * 2 + want][idx] == 1 iff bit b of symbol idx is `want`.
@@ -93,6 +107,10 @@ class SoftGeosphereDetector final : public Detector, public SoftDetector {
   std::vector<unsigned> current_;
   std::vector<double> partial_;
   std::vector<std::uint8_t> ml_bits_;
+
+  // Per-batch workspaces.
+  linalg::CMatrix yhat_t_batch_;      ///< (Q^H Y)^T -- one row per vector.
+  SoftDetectionResult soft_scratch_;  ///< Per-vector result, copied out.
 };
 
 }  // namespace geosphere

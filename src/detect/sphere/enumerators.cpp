@@ -6,156 +6,8 @@
 
 namespace geosphere::sphere {
 
-namespace {
-
-/// Smallest-cost entry index in a (short) queue; the queues hold at most
-/// ~sqrt(M) entries, so a linear scan beats heap bookkeeping.
-template <typename Entry>
-std::size_t argmin_cost(const std::vector<Entry>& q) {
-  std::size_t best = 0;
-  for (std::size_t i = 1; i < q.size(); ++i)
-    if (q[i].cost < q[best].cost) best = i;
-  return best;
-}
-
-double grid_coord(int level, int levels) {
-  return static_cast<double>(2 * level - (levels - 1));
-}
-
-}  // namespace
-
-// ---- GeoEnumerator ---------------------------------------------------------
-
-void GeoEnumerator::attach(const Constellation& c) {
-  levels_ = c.pam_levels();
-  column_.resize(static_cast<std::size_t>(levels_));
-  col_open_.assign(static_cast<std::size_t>(levels_), 0);
-  queue_.reserve(static_cast<std::size_t>(levels_));
-}
-
-double GeoEnumerator::cost_of(int li, int lq) const {
-  const double dx = grid_coord(li, levels_) - ci_;
-  const double dy = grid_coord(lq, levels_) - cq_;
-  return dx * dx + dy * dy;
-}
-
-void GeoEnumerator::reset(cf64 center, DetectionStats& stats) {
-  assert(levels_ > 0 && "attach() must be called before reset()");
-  ci_ = center.real();
-  cq_ = center.imag();
-  queue_.clear();
-  std::fill(col_open_.begin(), col_open_.end(), std::uint8_t{0});
-  horizontal_closed_ = false;
-  pending_advance_ = -1;
-  pending_open_ = false;
-
-  // Slice the received symbol (paper Fig. 5, step 2) and seed the queue
-  // with the closest constellation point.
-  horizontal_.reset(ci_, levels_);
-  li0_ = horizontal_.take();
-  column_[static_cast<std::size_t>(li0_)].reset(cq_, levels_);
-  lq0_ = column_[static_cast<std::size_t>(li0_)].take();
-  ++stats.slicer_ops;
-
-  const double cost = cost_of(li0_, lq0_);
-  ++stats.ped_computations;
-  col_open_[static_cast<std::size_t>(li0_)] = 1;
-  newest_column_ = li0_;
-  queue_.push_back({cost, li0_, lq0_});
-  ++stats.queue_ops;
-}
-
-void GeoEnumerator::advance_column(int li, double budget, DetectionStats& stats) {
-  Zigzag1D& vz = column_[static_cast<std::size_t>(li)];
-  if (vz.done()) return;
-
-  if (options_.geometric_pruning) {
-    // |dQ| offsets are non-decreasing along the vertical zigzag, so one
-    // failed lower-bound test closes the whole remaining column without
-    // any exact distance computation (paper Section 3.2).
-    ++stats.lb_lookups;
-    const int di = std::abs(li - li0_);
-    if (geometric_lower_bound_sq(di, vz.peek_offset()) >= budget) {
-      ++stats.lb_prunes;
-      vz.close();
-      return;
-    }
-  }
-  const int lq = vz.take();
-  const double cost = cost_of(li, lq);
-  ++stats.ped_computations;
-  if (cost >= budget) {
-    vz.close();  // Costs are sorted within a column.
-    return;
-  }
-  queue_.push_back({cost, li, lq});
-  ++stats.queue_ops;
-}
-
-void GeoEnumerator::open_next_column(double budget, DetectionStats& stats) {
-  if (horizontal_closed_ || horizontal_.done()) return;
-
-  if (options_.geometric_pruning) {
-    // Entry points of successive columns sit on the sliced row (dQ = 0)
-    // with non-decreasing |dI|, so one failed test closes all remaining
-    // columns.
-    ++stats.lb_lookups;
-    if (geometric_lower_bound_sq(horizontal_.peek_offset(), 0) >= budget) {
-      ++stats.lb_prunes;
-      horizontal_closed_ = true;
-      return;
-    }
-  }
-  const int li = horizontal_.take();
-  col_open_[static_cast<std::size_t>(li)] = 1;
-  Zigzag1D& vz = column_[static_cast<std::size_t>(li)];
-  vz.reset(cq_, levels_);
-  const int lq = vz.take();  // Entry row: the sliced row.
-  const double cost = cost_of(li, lq);
-  ++stats.ped_computations;
-  newest_column_ = li;
-  if (cost >= budget) {
-    // Entry costs are monotone across the column-opening order, so no
-    // later column can fit either.
-    vz.close();
-    horizontal_closed_ = true;
-    return;
-  }
-  queue_.push_back({cost, li, lq});
-  ++stats.queue_ops;
-}
-
-std::optional<Child> GeoEnumerator::next(double budget, DetectionStats& stats) {
-  // Materialize generations owed by the previous pop, now that the current
-  // (possibly shrunken) budget is known.
-  if (pending_advance_ >= 0) {
-    advance_column(pending_advance_, budget, stats);
-    pending_advance_ = -1;
-  }
-  if (pending_open_) {
-    open_next_column(budget, stats);
-    pending_open_ = false;
-  }
-
-  if (queue_.empty()) return std::nullopt;
-  const std::size_t mi = argmin_cost(queue_);
-  if (queue_[mi].cost >= budget) return std::nullopt;  // Sorted: node exhausted.
-
-  const Entry e = queue_[mi];
-  queue_[mi] = queue_.back();
-  queue_.pop_back();
-  ++stats.queue_ops;
-
-  // Exploring e (paper Fig. 5, step 3) owes: the next point of e's column
-  // (vertical zigzag), and -- if e was the first point dequeued from the
-  // newest column -- the entry of the next column (horizontal zigzag, with
-  // the one-candidate-per-subconstellation rule structural: each column
-  // contributes at most one queue entry).
-  pending_advance_ = e.li;
-  pending_open_ = (e.li == newest_column_);
-
-  return Child{e.li, e.lq, e.cost};
-}
+using detail::argmin_cost;
+using detail::grid_coord;
 
 // ---- HessEnumerator --------------------------------------------------------
 

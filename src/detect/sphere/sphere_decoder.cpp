@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "detect/sphere/center.h"
 #include "linalg/qr.h"
 
 namespace geosphere::sphere {
@@ -16,6 +17,9 @@ void SphereDecoder<Enumerator>::do_prepare(const linalg::CMatrix& h,
     throw std::invalid_argument("SphereDecoder: requires 1 <= n_c <= n_a");
 
   perm_ = config_.sorted_qr ? column_norm_order(h) : identity_order(nc);
+  perm_is_identity_ = true;
+  for (std::size_t j = 0; j < nc; ++j)
+    if (perm_[j] != j) perm_is_identity_ = false;
   const linalg::CMatrix hp = config_.sorted_qr ? h.select_cols(perm_) : h;
 
   auto [q, r] = linalg::householder_qr(hp);
@@ -40,32 +44,29 @@ void SphereDecoder<Enumerator>::do_prepare(const linalg::CMatrix& h,
     current_.assign(nc, 0);
     best_.assign(nc, 0);
   }
+  level_diag_.assign(nc, 0.0);
   for (std::size_t l = 0; l < nc; ++l) {
     const double rll = r_(l, l).real();
     level_scale_[l] = rll * rll * alpha * alpha;
+    // The center denominator rll * alpha is the same product the search
+    // used to form per node; hoisting it here is bit-identical.
+    level_diag_[l] = rll * alpha;
   }
 }
 
 template <class Enumerator>
-void SphereDecoder<Enumerator>::do_solve(const CVector& y, DetectionResult& out) {
-  if (y.size() != na_) throw std::invalid_argument("SphereDecoder: y/H shape mismatch");
-
+bool SphereDecoder<Enumerator>::search(const cf64* yhat, DetectionStats& stats) {
   const std::size_t nc = nc_;
-  multiply_into(qh_, y, yhat_);
-
   const Constellation& cons = constellation();
-  const double alpha = cons.scale();
 
-  DetectionStats stats;
   double radius_sq = config_.initial_radius_sq;
   bool found = false;
   partial_dist_[nc] = 0.0;
 
-  // Center of level l given decisions above it, in grid units.
+  // Center of level l given decisions above it, in grid units (the shared
+  // bit-exact kernel; see center.h).
   const auto center_at = [&](std::size_t l) {
-    cf64 c = yhat_[l];
-    for (std::size_t j = l + 1; j < nc; ++j) c -= r_(l, j) * cons.point(current_[j]);
-    return c / (r_(l, l).real() * alpha);
+    return tree_center(r_, yhat, l, current_.data(), cons, level_diag_[l]);
   };
 
   std::size_t level = nc - 1;
@@ -95,15 +96,56 @@ void SphereDecoder<Enumerator>::do_solve(const CVector& y, DetectionResult& out)
       level_enum_[level].reset(center_at(level), stats);
     }
   }
+  return found;
+}
 
-  if (!found)
+template <class Enumerator>
+void SphereDecoder<Enumerator>::do_solve(const CVector& y, DetectionResult& out) {
+  if (y.size() != na_) throw std::invalid_argument("SphereDecoder: y/H shape mismatch");
+
+  multiply_into(qh_, y, yhat_);
+
+  DetectionStats stats;
+  if (!search(yhat_.data(), stats))
     throw std::runtime_error(
         "SphereDecoder: no solution inside the configured initial radius");
 
   // Undo the detection-order permutation.
-  out.indices.resize(nc);
-  for (std::size_t j = 0; j < nc; ++j) out.indices[perm_[j]] = best_[j];
+  out.indices.resize(nc_);
+  for (std::size_t j = 0; j < nc_; ++j) out.indices[perm_[j]] = best_[j];
   finish_result(out, stats);
+}
+
+template <class Enumerator>
+void SphereDecoder<Enumerator>::do_solve_batch(const linalg::CMatrix& y_batch,
+                                               BatchResult& out) {
+  if (y_batch.rows() != na_)
+    throw std::invalid_argument("SphereDecoder: Y/H shape mismatch");
+
+  // One transposed rotation for the whole batch; row v of (Q^H Y)^T is
+  // bit-identical to Q^H y_v, so every per-row search sees exactly the
+  // per-vector input, read in place from one contiguous span. The
+  // enumeration workspaces stay warm across vectors.
+  multiply_transpose_into(qh_, y_batch, yhat_t_batch_);
+
+  const std::size_t count = y_batch.cols();
+  out.count = count;
+  out.streams = nc_;
+  out.indices.resize(count * nc_);
+  DetectionStats stats;
+  const cf64* rotated = count > 0 ? yhat_t_batch_.row_data(0) : nullptr;
+  unsigned* indices = out.indices.data();
+  for (std::size_t v = 0; v < count; ++v, rotated += nc_, indices += nc_) {
+    if (!search(rotated, stats))
+      throw std::runtime_error(
+          "SphereDecoder: no solution inside the configured initial radius");
+    if (perm_is_identity_) {
+      for (std::size_t j = 0; j < nc_; ++j) indices[j] = best_[j];
+    } else {
+      for (std::size_t j = 0; j < nc_; ++j) indices[perm_[j]] = best_[j];
+    }
+  }
+  out.stats = stats;
 }
 
 template class SphereDecoder<GeoEnumerator>;

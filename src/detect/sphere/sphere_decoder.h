@@ -49,8 +49,17 @@ class SphereDecoder final : public Detector {
  protected:
   void do_prepare(const linalg::CMatrix& h, double noise_var) override;
   void do_solve(const CVector& y, DetectionResult& out) override;
+  /// One mat-mat Q^H Y rotation for the whole batch, then the shared tree
+  /// search per column against warm enumeration workspaces.
+  void do_solve_batch(const linalg::CMatrix& y_batch, BatchResult& out) override;
 
  private:
+  /// Depth-first search against the prepared channel, reading the rotated
+  /// received vector from `yhat` (length nc_); leaves the winning path in
+  /// best_ and accumulates counters into `stats`. Returns false if the
+  /// configured initial radius prunes everything.
+  bool search(const cf64* yhat, DetectionStats& stats);
+
   Enumerator prototype_;
   std::string name_;
   SphereConfig config_;
@@ -59,13 +68,16 @@ class SphereDecoder final : public Detector {
   std::size_t na_ = 0;                ///< Receive antennas of the prepared H.
   std::size_t nc_ = 0;                ///< Streams of the prepared H.
   std::vector<std::size_t> perm_;     ///< Detection-order column permutation.
+  bool perm_is_identity_ = true;      ///< Unsorted QR: emit is a straight copy.
   linalg::CMatrix r_;                 ///< Upper-triangular QR factor.
   linalg::CMatrix qh_;                ///< Q^H, applied to each received vector.
   CVector yhat_;                      ///< Q^H y (per-solve scratch).
+  linalg::CMatrix yhat_t_batch_;      ///< (Q^H Y)^T -- one row per vector.
 
   // Per-level state, reused across solve() calls to avoid allocation.
   std::vector<Enumerator> level_enum_;
   std::vector<double> level_scale_;     ///< |r_ll|^2 * alpha^2.
+  std::vector<double> level_diag_;      ///< r_ll * alpha (center denominator).
   std::vector<double> partial_dist_;    ///< partial_dist_[l] = d(s^(l)); [nc] = 0.
   std::vector<unsigned> current_;       ///< Symbol index per level on the path.
   std::vector<unsigned> best_;

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "constellation/constellation.h"
+#include "detect/sphere/center.h"
 #include "linalg/matrix.h"
 #include "linalg/qr.h"
 
@@ -23,6 +24,7 @@ struct TreeProblem {
   linalg::CMatrix qh;         ///< Q^H, applied to each received vector.
   CVector yhat;               ///< Q^H y (set by load()).
   std::vector<double> scale;  ///< Per level: |r_ll|^2 * alpha^2.
+  std::vector<double> diag;   ///< Per level: r_ll * alpha (center denominator).
   double alpha = 1.0;
 
   /// Channel-only phase: QR-factorize `h` and precompute the per-level
@@ -42,9 +44,13 @@ struct TreeProblem {
     alpha = cons.scale();
     qh = q.hermitian();
     scale.resize(nc);
+    diag.resize(nc);
     for (std::size_t l = 0; l < nc; ++l) {
       const double rll = rr(l, l).real();
       scale[l] = rll * rll * alpha * alpha;
+      // Same product the center() division used to form per node --
+      // hoisted once per channel, bit-identical.
+      diag[l] = rll * alpha;
     }
     r = std::move(rr);
   }
@@ -56,6 +62,22 @@ struct TreeProblem {
     multiply_into(qh, y, yhat);
   }
 
+  /// Batched per-vector phase: rotate every column of `y_batch` at once,
+  /// transposed -- row v of `yhat_t_batch` is bit-identical to what load()
+  /// would put in `yhat` for column v (the multiply_transpose_into
+  /// accumulation guarantee), and contiguous.
+  void rotate_batch(const linalg::CMatrix& y_batch, linalg::CMatrix& yhat_t_batch) const {
+    if (y_batch.rows() != qh.cols())
+      throw std::invalid_argument("TreeProblem: Y/H shape mismatch");
+    multiply_transpose_into(qh, y_batch, yhat_t_batch);
+  }
+
+  /// Selects row `v` of a rotate_batch() result as the loaded vector.
+  void load_rotated(const linalg::CMatrix& yhat_t_batch, std::size_t v) {
+    const cf64* row = yhat_t_batch.row_data(v);
+    yhat.assign(row, row + yhat_t_batch.cols());
+  }
+
   /// One-shot convenience (factorize + load), for single-vector callers.
   static TreeProblem build(const CVector& y, const linalg::CMatrix& h,
                            const Constellation& cons) {
@@ -65,12 +87,11 @@ struct TreeProblem {
     return p;
   }
 
-  /// Grid-units center of level `l` given the decisions `path[j]` for j > l.
+  /// Grid-units center of level `l` given the decisions `path[j]` for j > l
+  /// (the shared bit-exact kernel; see center.h).
   cf64 center(std::size_t l, const std::vector<unsigned>& path,
               const Constellation& cons) const {
-    cf64 c = yhat[l];
-    for (std::size_t j = l + 1; j < r.cols(); ++j) c -= r(l, j) * cons.point(path[j]);
-    return c / (r(l, l).real() * alpha);
+    return tree_center(r, yhat.data(), l, path.data(), cons, diag[l]);
   }
 };
 

@@ -20,4 +20,23 @@ void ZeroForcingDetector::do_solve(const CVector& y, DetectionResult& out) {
   finish_result(out, stats);
 }
 
+void ZeroForcingDetector::do_solve_batch(const linalg::CMatrix& y_batch, BatchResult& out) {
+  // Column v of filter_ * Y is bit-identical to filter_ * y_v (the
+  // multiply_into accumulation-order guarantee), so slicing the batched
+  // product reproduces the per-vector decisions exactly.
+  multiply_into(filter_, y_batch, equalized_batch_);
+  const std::size_t nc = filter_.rows();
+  const std::size_t count = y_batch.cols();
+  out.count = count;
+  out.streams = nc;
+  out.indices.resize(count * nc);
+  DetectionStats stats;
+  for (std::size_t v = 0; v < count; ++v)
+    for (std::size_t k = 0; k < nc; ++k) {
+      out.indices[v * nc + k] = constellation().slice(equalized_batch_(k, v));
+      ++stats.slicer_ops;
+    }
+  out.stats = stats;
+}
+
 }  // namespace geosphere

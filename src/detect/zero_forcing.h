@@ -23,10 +23,13 @@ class ZeroForcingDetector final : public Detector {
  protected:
   void do_prepare(const linalg::CMatrix& h, double noise_var) override;
   void do_solve(const CVector& y, DetectionResult& out) override;
+  /// One mat-mat product pinv(H) * Y instead of a mat-vec per column.
+  void do_solve_batch(const linalg::CMatrix& y_batch, BatchResult& out) override;
 
  private:
   linalg::CMatrix filter_;  ///< pinv(H), built by prepare().
   CVector equalized_;
+  linalg::CMatrix equalized_batch_;  ///< Per-batch scratch (filter_ * Y).
 };
 
 }  // namespace geosphere

@@ -8,6 +8,7 @@
 #include <cstddef>
 #include <initializer_list>
 #include <stdexcept>
+#include <type_traits>
 #include <vector>
 
 #include "common/types.h"
@@ -61,6 +62,15 @@ class Matrix {
   std::size_t cols() const { return cols_; }
   bool empty() const { return data_.empty(); }
 
+  /// Reshapes to rows x cols with every element zeroed, reusing the
+  /// existing storage capacity -- the batched detection paths use this for
+  /// per-batch scratch matrices instead of reallocating.
+  void assign_shape(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, T{});
+  }
+
   T& operator()(std::size_t i, std::size_t j) {
     assert(i < rows_ && j < cols_);
     return data_[i * cols_ + j];
@@ -71,6 +81,14 @@ class Matrix {
   }
 
   const std::vector<T>& data() const { return data_; }
+
+  /// Pointer to row i's contiguous storage (row-major layout). The batched
+  /// tree searches keep per-vector data in rows so each vector is one
+  /// contiguous span.
+  const T* row_data(std::size_t i) const {
+    assert(i < rows_);
+    return data_.data() + i * cols_;
+  }
 
   Matrix transpose() const {
     Matrix out(cols_, rows_);
@@ -93,6 +111,15 @@ class Matrix {
     std::vector<T> out(rows_);
     for (std::size_t i = 0; i < rows_; ++i) out[i] = (*this)(i, j);
     return out;
+  }
+
+  /// Column `j` into a caller-owned buffer whose capacity is reused -- the
+  /// batched detection paths use this to walk the columns of a received
+  /// batch without per-column heap traffic.
+  void col_into(std::size_t j, std::vector<T>& out) const {
+    assert(j < cols_);
+    out.resize(rows_);
+    for (std::size_t i = 0; i < rows_; ++i) out[i] = (*this)(i, j);
   }
 
   std::vector<T> row(std::size_t i) const {
@@ -152,22 +179,110 @@ class Matrix {
   friend Matrix operator*(T s, Matrix a) { return a *= s; }
 
   friend Matrix operator*(const Matrix& a, const Matrix& b) {
+    Matrix out;
+    multiply_into(a, b, out);
+    return out;
+  }
+
+  /// Matrix-matrix product into a caller-owned matrix whose storage is
+  /// reused -- the batched detection hot path (one product per subcarrier
+  /// instead of one mat-vec per received vector). Column `j` of the result
+  /// is bit-identical to `multiply_into(a, b.col(j))`: every output element
+  /// accumulates over k in increasing order, exactly like the mat-vec form,
+  /// so batched and per-vector detection agree to the last bit. operator*
+  /// delegates here (one shared accumulation order). `out` must not alias
+  /// `a` or `b`.
+  friend void multiply_into(const Matrix& a, const Matrix& b, Matrix& out) {
     if (a.cols_ != b.rows_) throw std::invalid_argument("Matrix product: shape mismatch");
-    Matrix out(a.rows_, b.cols_);
+    out.rows_ = a.rows_;
+    out.cols_ = b.cols_;
+    out.data_.assign(a.rows_ * b.cols_, T{});
     for (std::size_t i = 0; i < a.rows_; ++i) {
+      T* orow = out.data_.data() + i * b.cols_;
       for (std::size_t k = 0; k < a.cols_; ++k) {
         const T aik = a(i, k);
-        if (aik == T{}) continue;
-        for (std::size_t j = 0; j < b.cols_; ++j) out(i, j) += aik * b(k, j);
+        const T* brow = b.data_.data() + k * b.cols_;
+        for (std::size_t j = 0; j < b.cols_; ++j) orow[j] += aik * brow[j];
       }
     }
-    return out;
   }
 
   friend std::vector<T> operator*(const Matrix& a, const std::vector<T>& v) {
     std::vector<T> out;
     multiply_into(a, v, out);
     return out;
+  }
+
+  /// out = (a * b)^T into a caller-owned matrix whose storage is reused.
+  /// Row j of the result accumulates over k in increasing order, exactly
+  /// like multiply_into(a, b.col(j)) -- so each row is bit-identical to the
+  /// per-vector product of column j. The batched tree searches use this
+  /// transposed layout: one contiguous row per received vector, read in
+  /// place with no per-vector copy. `out` must not alias `a` or `b`.
+  friend void multiply_transpose_into(const Matrix& a, const Matrix& b, Matrix& out) {
+    if (a.cols_ != b.rows_) throw std::invalid_argument("Matrix product: shape mismatch");
+    out.rows_ = b.cols_;
+    out.cols_ = a.rows_;
+    out.data_.resize(b.cols_ * a.rows_);
+    // b's column j is strided; gathering it once per j (instead of once per
+    // (i, j)) keeps the inner dot products on contiguous data. The k-order
+    // accumulation -- and therefore every result bit -- is unchanged.
+    constexpr std::size_t kColBuf = 32;
+    const bool buffered = a.cols_ <= kColBuf;
+    if constexpr (std::is_same_v<T, std::complex<double>>) {
+      if (buffered) {
+        // Explicit real arithmetic: per product the exact naive formula
+        // (ar*br - ai*bi, ar*bi + ai*br) that std::complex multiplication
+        // computes on its finite-operand fast path, with the same one
+        // rounding per operation and the same accumulation order -- so
+        // results are bit-identical for finite data, without the
+        // per-multiply NaN-recovery branch the complex operator carries.
+        double bre[kColBuf];
+        double bim[kColBuf];
+        for (std::size_t j = 0; j < b.cols_; ++j) {
+          T* orow = out.data_.data() + j * a.rows_;
+          for (std::size_t k = 0; k < a.cols_; ++k) {
+            const T v = b(k, j);
+            bre[k] = v.real();
+            bim[k] = v.imag();
+          }
+          for (std::size_t i = 0; i < a.rows_; ++i) {
+            const T* arow = a.data_.data() + i * a.cols_;
+            double acc_re = 0.0;
+            double acc_im = 0.0;
+            for (std::size_t k = 0; k < a.cols_; ++k) {
+              const double ar = arow[k].real();
+              const double ai = arow[k].imag();
+              const double t_re = ar * bre[k] - ai * bim[k];
+              const double t_im = ar * bim[k] + ai * bre[k];
+              acc_re += t_re;
+              acc_im += t_im;
+            }
+            orow[i] = T(acc_re, acc_im);
+          }
+        }
+        return;
+      }
+    }
+    T colbuf[kColBuf];
+    for (std::size_t j = 0; j < b.cols_; ++j) {
+      T* orow = out.data_.data() + j * a.rows_;
+      if (buffered) {
+        for (std::size_t k = 0; k < a.cols_; ++k) colbuf[k] = b(k, j);
+        for (std::size_t i = 0; i < a.rows_; ++i) {
+          const T* arow = a.data_.data() + i * a.cols_;
+          T acc{};
+          for (std::size_t k = 0; k < a.cols_; ++k) acc += arow[k] * colbuf[k];
+          orow[i] = acc;
+        }
+      } else {
+        for (std::size_t i = 0; i < a.rows_; ++i) {
+          T acc{};
+          for (std::size_t k = 0; k < a.cols_; ++k) acc += a(i, k) * b(k, j);
+          orow[i] = acc;
+        }
+      }
+    }
   }
 
   /// Matrix-vector product into a caller-owned buffer whose capacity is

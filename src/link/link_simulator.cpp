@@ -134,14 +134,22 @@ void LinkSimulator::simulate_frame(Detector& detector, DecisionMode mode, Rng& r
   // Frame-local workspaces, reused across all ofdm_symbols * nsc uses.
   CVector x(nc);
   CVector y(na);
-  DetectionResult result;
-  SoftDetectionResult soft_result;
+  linalg::CMatrix y_batch;
+  BatchResult batch;
+  SoftBatchResult soft_batch;
   std::vector<double> conf;
 
   for (std::size_t sc = 0; sc < nsc; ++sc) {
     const linalg::CMatrix& h = link.subcarriers[sc];
     detector.prepare(h, n0);
     ++stats.detection.preprocess_calls;
+
+    // Assemble all of the subcarrier's received vectors as columns of one
+    // batch. Each column is computed exactly as the per-vector path did
+    // (same multiply_into, same pre-drawn noise), so the batched solve --
+    // itself bit-identical to a loop of per-vector solves -- reproduces
+    // every decision, LLR and counter of the historical implementation.
+    y_batch.assign_shape(na, ofdm_symbols);
     for (std::size_t sym = 0; sym < ofdm_symbols; ++sym) {
       for (std::size_t k = 0; k < nc; ++k)
         x[k] = detector.constellation().point(tx[k].symbol_at(sym, sc, nsc));
@@ -150,21 +158,25 @@ void LinkSimulator::simulate_frame(Detector& detector, DecisionMode mode, Rng& r
         const cf64* w = &noise[(sym * nsc + sc) * na];
         for (std::size_t i = 0; i < na; ++i) y[i] += w[i];
       }
+      for (std::size_t i = 0; i < na; ++i) y_batch(i, sym) = y[i];
+    }
 
-      if (soft != nullptr) {
-        soft->solve_soft(y, soft_result);
-        stats.detection += soft_result.stats;
-        ++stats.detection_calls;
-        llrs_to_confidence(soft_result.llrs, conf);
+    if (soft != nullptr) {
+      soft->solve_soft_batch(y_batch, soft_batch);
+      stats.detection += soft_batch.stats;
+      stats.detection_calls += soft_batch.count;
+      llrs_to_confidence(soft_batch.llrs, conf);
+      for (std::size_t sym = 0; sym < ofdm_symbols; ++sym)
         for (std::size_t k = 0; k < nc; ++k)
           for (unsigned b = 0; b < q; ++b)
-            rx_conf[k][(sym * nsc + sc) * q + b] = conf[k * q + b];
-      } else {
-        detector.solve(y, result);
-        stats.detection += result.stats;
-        ++stats.detection_calls;
-        for (std::size_t k = 0; k < nc; ++k) rx[k][sym * nsc + sc] = result.indices[k];
-      }
+            rx_conf[k][(sym * nsc + sc) * q + b] = conf[(sym * nc + k) * q + b];
+    } else {
+      detector.solve_batch(y_batch, batch);
+      stats.detection += batch.stats;
+      stats.detection_calls += batch.count;
+      for (std::size_t sym = 0; sym < ofdm_symbols; ++sym)
+        for (std::size_t k = 0; k < nc; ++k)
+          rx[k][sym * nsc + sc] = batch.indices[sym * nc + k];
     }
   }
 

@@ -5,14 +5,16 @@
 // simulate_frame(detector, DecisionMode, ...) feeds either hard symbol
 // indices to the hard Viterbi or max-log LLRs to the soft Viterbi.
 //
-// Detection follows the two-phase Detector contract: the frame loop is
+// Detection follows the three-phase Detector contract: the frame loop is
 // subcarrier-major, preparing each of the nsc per-subcarrier channel
-// matrices once (Detector::prepare) and solving all ofdm_symbols received
-// vectors that use it (Detector::solve) -- so LinkStats shows
-// preprocess_calls == frames * nsc while detection_calls ==
-// frames * nsc * ofdm_symbols. The RNG draw order (and therefore every
-// statistic) is bit-identical to the historical symbol-major loop: all
-// noise is pre-drawn in that order.
+// matrices once (Detector::prepare), assembling all ofdm_symbols received
+// vectors that use it as the columns of one batch, and solving the batch
+// in a single call (Detector::solve_batch / SoftDetector::solve_soft_batch)
+// -- so LinkStats shows preprocess_calls == batch_calls == frames * nsc
+// while detection_calls == frames * nsc * ofdm_symbols. The RNG draw order
+// (and therefore every statistic) is bit-identical to the historical
+// symbol-major per-vector loop: all noise is pre-drawn in that order, and
+// batched solves are bit-identical to per-vector solves by contract.
 #pragma once
 
 #include <cstddef>
@@ -47,7 +49,10 @@ struct LinkStats {
   /// Aggregated detector counters. detection.preprocess_calls counts one
   /// per (frame, subcarrier) channel preparation; detection_calls counts
   /// per-received-vector solves -- their ratio is the per-frame
-  /// amortization factor (= OFDM symbols per frame).
+  /// amortization factor (= OFDM symbols per frame). A batched solve of N
+  /// vectors counts as N detections (and one detection.batch_calls), so
+  /// batched and per-vector runs report identical detection_calls and
+  /// per-vector counters.
   DetectionStats detection;
   std::size_t detection_calls = 0;
 

@@ -1,0 +1,353 @@
+// Tests for the batched third phase of the detection contract
+// (solve_batch / solve_soft_batch):
+//  * solve_batch(Y) is bit-exactly a loop of solve() over Y's columns --
+//    same decisions, same summed counters -- for EVERY registry detector
+//    (overridden batch kernels and the base-class loop fallback alike),
+//    across batch sizes {1, 3, ofdm_symbols},
+//  * solve_soft_batch matches a loop of solve_soft() including every LLR
+//    bit,
+//  * changing the batch size (and the stream count) between prepares leaks
+//    no state,
+//  * batch accounting: a batch of N counts as N detections and ONE
+//    batch_call, so batched and per-vector runs report identical
+//    detection_calls / ped_evaluations,
+//  * the batched LinkSimulator reproduces the recorded pre-batching (PR 4
+//    per-vector) LinkStats bit-for-bit, for any thread count.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "channel/spec.h"
+#include "common/db.h"
+#include "common/rng.h"
+#include "detect/spec.h"
+#include "link/link_simulator.h"
+#include "phy/frame.h"
+#include "sim/engine.h"
+#include "test_util.h"
+
+namespace geosphere {
+namespace {
+
+using geosphere::testing::random_channel;
+using geosphere::testing::random_indices;
+using geosphere::testing::transmit;
+
+/// Every registry detector in a creatable spec form (required parameters
+/// get a representative value).
+std::vector<std::string> all_registry_specs() {
+  std::vector<std::string> out;
+  for (const DetectorInfo& info : detector_registry())
+    out.push_back(info.param_required ? info.name + ":8" : info.name);
+  return out;
+}
+
+void expect_same_stats(const DetectionStats& a, const DetectionStats& b,
+                       const std::string& who) {
+  EXPECT_EQ(a.ped_computations, b.ped_computations) << who;
+  EXPECT_EQ(a.visited_nodes, b.visited_nodes) << who;
+  EXPECT_EQ(a.lb_lookups, b.lb_lookups) << who;
+  EXPECT_EQ(a.lb_prunes, b.lb_prunes) << who;
+  EXPECT_EQ(a.slicer_ops, b.slicer_ops) << who;
+  EXPECT_EQ(a.queue_ops, b.queue_ops) << who;
+  EXPECT_EQ(a.preprocess_calls, b.preprocess_calls) << who;
+}
+
+/// One received-vector batch: column v carries `streams` random symbols
+/// through `h` plus noise, drawn exactly like the per-vector helpers.
+linalg::CMatrix make_batch(Rng& rng, const linalg::CMatrix& h, const Constellation& c,
+                           std::size_t count, double n0) {
+  linalg::CMatrix y_batch(h.rows(), count);
+  for (std::size_t v = 0; v < count; ++v) {
+    const auto sent = random_indices(rng, c, h.cols());
+    y_batch.set_col(v, transmit(rng, h, c, sent, n0));
+  }
+  return y_batch;
+}
+
+/// The number of received vectors one prepared subcarrier serves in the
+/// link layer (the tentpole's batch size) for a small representative frame.
+std::size_t link_batch_size() {
+  phy::FrameConfig config;
+  config.qam_order = 16;
+  config.payload_bytes = 120;
+  return phy::FrameCodec(config).ofdm_symbols_per_frame();
+}
+
+class BatchSolveRegistry : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BatchSolveRegistry, BatchMatchesLoopBitExactly) {
+  const DetectorSpec spec = DetectorSpec::parse(GetParam());
+  const Constellation& c = Constellation::qam(16);
+  const auto loop_det = spec.create(c);
+  const auto batch_det = spec.create(c);
+  const double n0 = db_to_lin(-14.0);
+
+  Rng rng(909);
+  CVector y;
+  BatchResult batch;
+  for (const std::size_t count : {std::size_t{1}, std::size_t{3}, link_batch_size()}) {
+    ASSERT_GE(count, 1u);
+    const auto h = random_channel(rng, 4, 3);
+    const linalg::CMatrix y_batch = make_batch(rng, h, c, count, n0);
+
+    loop_det->prepare(h, n0);
+    batch_det->prepare(h, n0);
+
+    // Reference: the loop the base-class fallback promises, via the public
+    // per-vector API on a separate instance.
+    std::vector<unsigned> ref_indices;
+    DetectionStats ref_stats;
+    for (std::size_t v = 0; v < count; ++v) {
+      y_batch.col_into(v, y);
+      const DetectionResult r = loop_det->solve(y);
+      ref_indices.insert(ref_indices.end(), r.indices.begin(), r.indices.end());
+      ref_stats += r.stats;
+    }
+
+    batch_det->solve_batch(y_batch, batch);
+    EXPECT_EQ(batch.count, count) << spec.text();
+    EXPECT_EQ(batch.streams, 3u) << spec.text();
+    EXPECT_EQ(batch.indices, ref_indices) << spec.text() << " count=" << count;
+    expect_same_stats(batch.stats, ref_stats, spec.text());
+    // A batch of N is N detections but ONE batched invocation.
+    EXPECT_EQ(batch.stats.batch_calls, 1u) << spec.text();
+  }
+}
+
+TEST_P(BatchSolveRegistry, BatchSizeAndStreamChangesAcrossPreparesAreSafe) {
+  // Same instance, alternating channels with different stream counts AND
+  // different batch sizes: every per-batch workspace must be fully
+  // re-shaped, so results equal those of a fresh instance.
+  const DetectorSpec spec = DetectorSpec::parse(GetParam());
+  const Constellation& c = Constellation::qam(16);
+  const auto reused = spec.create(c);
+  const double n0 = db_to_lin(-14.0);
+
+  Rng rng(1010);
+  const auto h3 = random_channel(rng, 4, 3);
+  const auto h2 = random_channel(rng, 4, 2);
+  const linalg::CMatrix big = make_batch(rng, h3, c, 7, n0);
+  const linalg::CMatrix small = make_batch(rng, h2, c, 2, n0);
+
+  const auto fresh_run = [&](const linalg::CMatrix& h, const linalg::CMatrix& y_batch) {
+    const auto det = spec.create(c);
+    det->prepare(h, n0);
+    return det->solve_batch(y_batch);
+  };
+  const BatchResult fresh_big = fresh_run(h3, big);
+  const BatchResult fresh_small = fresh_run(h2, small);
+
+  reused->prepare(h3, n0);
+  BatchResult out;
+  reused->solve_batch(big, out);
+  EXPECT_EQ(out.indices, fresh_big.indices) << spec.text();
+
+  reused->prepare(h2, n0);  // 3 -> 2 streams, batch 7 -> 2.
+  reused->solve_batch(small, out);
+  EXPECT_EQ(out.indices, fresh_small.indices) << spec.text();
+  expect_same_stats(out.stats, fresh_small.stats, spec.text());
+
+  reused->prepare(h3, n0);  // ... and back up.
+  reused->solve_batch(big, out);
+  EXPECT_EQ(out.indices, fresh_big.indices) << spec.text();
+  expect_same_stats(out.stats, fresh_big.stats, spec.text());
+}
+
+TEST_P(BatchSolveRegistry, SolveBatchBeforePrepareThrows) {
+  const DetectorSpec spec = DetectorSpec::parse(GetParam());
+  const auto det = spec.create(Constellation::qam(16));
+  BatchResult out;
+  EXPECT_THROW(det->solve_batch(linalg::CMatrix(4, 2), out), std::logic_error)
+      << spec.text();
+  if (SoftDetector* soft = det->soft()) {
+    SoftBatchResult sout;
+    EXPECT_THROW(soft->solve_soft_batch(linalg::CMatrix(4, 2), sout), std::logic_error)
+        << spec.text();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRegistryDetectors, BatchSolveRegistry,
+                         ::testing::ValuesIn(all_registry_specs()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           std::string name = info.param;
+                           for (char& ch : name)
+                             if (ch == ':' || ch == '-') ch = '_';
+                           return name;
+                         });
+
+TEST(BatchSolve, SoftBatchMatchesLoopBitExactlyIncludingLlrs) {
+  const DetectorSpec spec = DetectorSpec::parse("soft-geosphere");
+  const Constellation& c = Constellation::qam(16);
+  const auto loop_det = spec.create(c);
+  const auto batch_det = spec.create(c);
+  const double n0 = db_to_lin(-12.0);
+
+  Rng rng(1111);
+  CVector y;
+  SoftBatchResult batch;
+  for (const std::size_t count : {std::size_t{1}, std::size_t{3}, link_batch_size()}) {
+    const auto h = random_channel(rng, 4, 2);
+    const linalg::CMatrix y_batch = make_batch(rng, h, c, count, n0);
+
+    loop_det->prepare(h, n0);
+    batch_det->prepare(h, n0);
+
+    std::vector<unsigned> ref_indices;
+    std::vector<double> ref_llrs;
+    DetectionStats ref_stats;
+    for (std::size_t v = 0; v < count; ++v) {
+      y_batch.col_into(v, y);
+      const SoftDetectionResult r = loop_det->soft()->solve_soft(y);
+      ref_indices.insert(ref_indices.end(), r.indices.begin(), r.indices.end());
+      ref_llrs.insert(ref_llrs.end(), r.llrs.begin(), r.llrs.end());
+      ref_stats += r.stats;
+    }
+
+    batch_det->soft()->solve_soft_batch(y_batch, batch);
+    EXPECT_EQ(batch.count, count);
+    EXPECT_EQ(batch.streams, 2u);
+    EXPECT_EQ(batch.indices, ref_indices) << "count=" << count;
+    EXPECT_EQ(batch.llrs, ref_llrs) << "count=" << count;  // Bit-exact LLRs.
+    expect_same_stats(batch.stats, ref_stats, "soft-geosphere");
+    EXPECT_EQ(batch.stats.batch_calls, 1u);
+  }
+}
+
+TEST(BatchSolve, HardBatchOfSoftDetectorMatchesLoop) {
+  // The soft detector's hard solve_batch (unconstrained searches only).
+  const DetectorSpec spec = DetectorSpec::parse("soft-geosphere");
+  const Constellation& c = Constellation::qam(16);
+  const auto det = spec.create(c);
+  const auto loop_det = spec.create(c);
+  const double n0 = db_to_lin(-12.0);
+
+  Rng rng(1212);
+  const auto h = random_channel(rng, 3, 2);
+  const linalg::CMatrix y_batch = make_batch(rng, h, c, 5, n0);
+  det->prepare(h, n0);
+  loop_det->prepare(h, n0);
+
+  const BatchResult batch = det->solve_batch(y_batch);
+  CVector y;
+  for (std::size_t v = 0; v < 5; ++v) {
+    y_batch.col_into(v, y);
+    const DetectionResult r = loop_det->solve(y);
+    for (std::size_t k = 0; k < 2; ++k)
+      EXPECT_EQ(batch.indices[v * 2 + k], r.indices[k]) << "v=" << v;
+  }
+}
+
+TEST(BatchSolve, EmptyBatchIsWellDefined) {
+  for (const char* name : {"zf", "geosphere"}) {
+    const auto det = DetectorSpec::parse(name).create(Constellation::qam(16));
+    Rng rng(1313);
+    det->prepare(random_channel(rng, 4, 2), db_to_lin(-14.0));
+    const BatchResult batch = det->solve_batch(linalg::CMatrix(4, 0));
+    EXPECT_EQ(batch.count, 0u) << name;
+    EXPECT_TRUE(batch.indices.empty()) << name;
+    EXPECT_EQ(batch.stats.ped_computations, 0u) << name;
+  }
+}
+
+TEST(BatchSolve, LinkAccountingCountsBatchOfNAsNDetections) {
+  // The satellite's accounting contract: batched and per-vector paths
+  // report identical detection_calls / ped work -- a batch of N counts as
+  // N detections and one batch_call, and preparations are untouched.
+  channel::ChannelSpec spec = channel::ChannelSpec::parse("rayleigh");
+  link::LinkScenario scenario;
+  scenario.frame.qam_order = 16;
+  scenario.frame.payload_bytes = 100;
+  scenario.snr_db = 18.0;
+  const phy::FrameCodec codec(scenario.frame);
+  const std::size_t nsc = scenario.frame.data_subcarriers;
+  const std::size_t syms = codec.ofdm_symbols_per_frame();
+  ASSERT_GE(syms, 2u);
+
+  link::LinkSimulator sim(spec, 2, 4, scenario);
+  const std::size_t frames = 3;
+  for (const char* name : {"geosphere", "soft-geosphere"}) {
+    const DetectorSpec ds = DetectorSpec::parse(name);
+    const auto det = ds.create(Constellation::qam(16));
+    const link::LinkStats stats = sim.run(*det, ds.decision(), frames, /*seed=*/7);
+    EXPECT_EQ(stats.detection_calls, frames * nsc * syms) << name;
+    EXPECT_EQ(stats.detection.batch_calls, frames * nsc) << name;
+    EXPECT_EQ(stats.detection.preprocess_calls, frames * nsc) << name;
+  }
+}
+
+/// The golden LinkStats below were recorded by running THIS scenario on the
+/// PR 4 build (per-vector simulate_frame, before solve_batch existed). The
+/// batched link layer must reproduce every counter bit-for-bit.
+struct GoldenLink {
+  const char* detector;
+  std::size_t bit_errors, fe0, fe1;
+  std::uint64_t ped, visited, slicer, lb_lookups, lb_prunes, queue;
+};
+
+TEST(BatchSolve, LinkStatsMatchPreBatchingGoldensBitForBit) {
+  link::LinkScenario scenario;
+  scenario.frame.qam_order = 16;
+  scenario.frame.payload_bytes = 120;
+  scenario.snr_db = 16.0;
+  scenario.snr_jitter_db = 3.0;
+
+  const auto chspec = channel::ChannelSpec::parse("kronecker:0.6");
+  link::LinkSimulator sim(chspec, 2, 4, scenario);
+  const Constellation& c = Constellation::qam(16);
+  const std::size_t frames = 4;
+  const std::uint64_t seed = 42;
+
+  const GoldenLink goldens[] = {
+      {"geosphere", 0, 0, 0, 4531, 4255, 4243, 8503, 8215, 8525},
+      {"mmse-sic", 0, 0, 0, 0, 0, 4224, 0, 0, 0},
+      {"soft-geosphere", 0, 0, 0, 153168, 43140, 55622, 139431, 41885, 180296},
+  };
+  for (const GoldenLink& g : goldens) {
+    const DetectorSpec ds = DetectorSpec::parse(g.detector);
+    const auto det = ds.create(c);
+    const link::LinkStats s = sim.run(*det, ds.decision(), frames, seed);
+    EXPECT_EQ(s.frames, frames) << g.detector;
+    EXPECT_EQ(s.payload_bits, frames * 2 * scenario.frame.payload_bits()) << g.detector;
+    EXPECT_EQ(s.bit_errors, g.bit_errors) << g.detector;
+    EXPECT_EQ(s.client_frame_errors[0], g.fe0) << g.detector;
+    EXPECT_EQ(s.client_frame_errors[1], g.fe1) << g.detector;
+    EXPECT_EQ(s.detection.ped_computations, g.ped) << g.detector;
+    EXPECT_EQ(s.detection.visited_nodes, g.visited) << g.detector;
+    EXPECT_EQ(s.detection.slicer_ops, g.slicer) << g.detector;
+    EXPECT_EQ(s.detection.lb_lookups, g.lb_lookups) << g.detector;
+    EXPECT_EQ(s.detection.lb_prunes, g.lb_prunes) << g.detector;
+    EXPECT_EQ(s.detection.queue_ops, g.queue) << g.detector;
+    EXPECT_EQ(s.detection.preprocess_calls, frames * 48u) << g.detector;
+    EXPECT_EQ(s.detection_calls, frames * 48u * 11u) << g.detector;
+  }
+}
+
+TEST(BatchSolve, BatchedLinkIsThreadCountInvariant) {
+  // The batched simulate_frame keeps the engine's bit-identical-for-any-
+  // thread-count guarantee, including the new batch_calls counter.
+  link::LinkScenario scenario;
+  scenario.frame.qam_order = 16;
+  scenario.frame.payload_bytes = 80;
+  scenario.snr_db = 15.0;
+
+  const auto chspec = channel::ChannelSpec::parse("kronecker:0.6");
+  sim::Engine one(1);
+  sim::Engine four(4);
+  for (const char* name : {"geosphere", "soft-geosphere"}) {
+    const DetectorSpec ds = DetectorSpec::parse(name);
+    const link::LinkStats a = one.run_link(chspec, 2, 4, scenario, ds, 8, /*seed=*/5);
+    const link::LinkStats b = four.run_link(chspec, 2, 4, scenario, ds, 8, /*seed=*/5);
+    EXPECT_EQ(a.bit_errors, b.bit_errors) << name;
+    EXPECT_EQ(a.client_frame_errors, b.client_frame_errors) << name;
+    EXPECT_EQ(a.detection_calls, b.detection_calls) << name;
+    EXPECT_EQ(a.detection.ped_computations, b.detection.ped_computations) << name;
+    EXPECT_EQ(a.detection.batch_calls, b.detection.batch_calls) << name;
+    EXPECT_EQ(a.detection.preprocess_calls, b.detection.preprocess_calls) << name;
+  }
+}
+
+}  // namespace
+}  // namespace geosphere

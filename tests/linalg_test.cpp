@@ -93,6 +93,77 @@ INSTANTIATE_TEST_SUITE_P(Shapes, QrProperty,
                                            std::pair{4, 4}, std::pair{8, 4}, std::pair{10, 10},
                                            std::pair{16, 8}));
 
+TEST(Matrix, BatchMultiplyIntoMatchesPerColumnBitExactly) {
+  // The batched-detection contract: column j of multiply_into(a, b) and
+  // row j of multiply_transpose_into(a, b) are BIT-identical to the
+  // per-vector product a * b.col(j) -- equality, not tolerance.
+  Rng rng(3);
+  const CMatrix a = random_channel(rng, 4, 3);
+  const CMatrix b = random_channel(rng, 3, 7);
+
+  CMatrix prod;
+  multiply_into(a, b, prod);
+  ASSERT_EQ(prod.rows(), 4u);
+  ASSERT_EQ(prod.cols(), 7u);
+
+  CMatrix prod_t;
+  multiply_transpose_into(a, b, prod_t);
+  ASSERT_EQ(prod_t.rows(), 7u);
+  ASSERT_EQ(prod_t.cols(), 4u);
+
+  CVector ref;
+  for (std::size_t j = 0; j < b.cols(); ++j) {
+    multiply_into(a, b.col(j), ref);
+    const cf64* row = prod_t.row_data(j);
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      EXPECT_EQ(prod(i, j), ref[i]) << i << "," << j;
+      EXPECT_EQ(row[i], ref[i]) << i << "," << j;
+    }
+  }
+
+  // operator* delegates to multiply_into, so it shares the same bits.
+  const CMatrix via_op = a * b;
+  for (std::size_t i = 0; i < prod.rows(); ++i)
+    for (std::size_t j = 0; j < prod.cols(); ++j) EXPECT_EQ(via_op(i, j), prod(i, j));
+
+  CMatrix bad;
+  EXPECT_THROW(multiply_into(a, CMatrix(4, 2), bad), std::invalid_argument);
+  EXPECT_THROW(multiply_transpose_into(a, CMatrix(4, 2), bad), std::invalid_argument);
+}
+
+TEST(Matrix, BatchMultiplyWideInnerDimensionFallback) {
+  // Inner dimensions beyond the gather buffer take the generic path; the
+  // per-column bit-exactness guarantee is the same.
+  Rng rng(4);
+  const CMatrix a = random_channel(rng, 3, 40);
+  const CMatrix b = random_channel(rng, 40, 5);
+  CMatrix prod_t;
+  multiply_transpose_into(a, b, prod_t);
+  CVector ref;
+  for (std::size_t j = 0; j < b.cols(); ++j) {
+    multiply_into(a, b.col(j), ref);
+    for (std::size_t i = 0; i < a.rows(); ++i) EXPECT_EQ(prod_t.row_data(j)[i], ref[i]);
+  }
+}
+
+TEST(Matrix, ColIntoAndAssignShapeReuseBuffers) {
+  Rng rng(5);
+  const CMatrix a = random_channel(rng, 4, 3);
+  CVector col;
+  a.col_into(1, col);
+  ASSERT_EQ(col.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(col[i], a(i, 1));
+  a.col_into(2, col);  // Reuse without reallocation surprises.
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(col[i], a(i, 2));
+
+  CMatrix m(2, 2, cf64{1, 1});
+  m.assign_shape(3, 5);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 5u);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 5; ++j) EXPECT_EQ(m(i, j), cf64{});
+}
+
 TEST(Qr, ThrowsOnWideMatrix) {
   const CMatrix a(2, 3);
   EXPECT_THROW(householder_qr(a), std::invalid_argument);
