@@ -13,13 +13,18 @@
 // sweep per subcarrier instead of per-vector dispatch.
 //
 // Besides the human-readable table, the bench emits machine-readable
-// BENCH_detector_latency.json (--json=PATH to relocate) with one record
-// per (detector, QAM): {detector, qam, dims, ns_prepare, ns_solve,
-// ns_solve_b4, ns_solve_b16, ns_solve_b48, batch_speedup48, ns_oneshot,
-// ped_per_solve} -- the perf trajectory; CI runs it with a small
-// --budget-ms and validates the schema.
+// BENCH_detector_latency.json (--json=PATH to relocate) with a "host"
+// block (compiler, flags, GEOSPHERE_NATIVE, detected SIMD tier -- so
+// committed baselines from different machines are comparable) and one
+// record per (detector, QAM): {detector, qam, dims, ns_prepare, ns_solve,
+// ns_solve_b4, ns_solve_b16, ns_solve_b48, batch_speedup48,
+// batch_speedup48_noise, ns_oneshot, ped_per_solve} -- the perf
+// trajectory; CI runs it with a small --budget-ms and validates the
+// schema. Timings are median-of-5 interleaved passes after a warmup round;
+// ratio columns within the surviving timer noise are flagged with '~'.
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
@@ -33,6 +38,7 @@
 #include "channel/noise.h"
 #include "common/rng.h"
 #include "detect/spec.h"
+#include "detect/sphere/simd/dispatch.h"
 
 namespace {
 
@@ -97,11 +103,16 @@ const Workload& workload(unsigned order) {
   return cache.emplace(order, std::move(w)).first->second;
 }
 
-/// One timeable metric: a callable plus its calibrated iteration count.
+/// One timeable metric: a callable plus its calibrated iteration count and
+/// the statistics of its recorded passes.
 struct Timed {
+  static constexpr int kPasses = 5;
+
   std::function<void()> fn;
   std::size_t iters = 1;
-  double best_ns = 0.0;
+  double ns = 0.0;         ///< Median-of-kPasses per-op estimate.
+  double rel_noise = 0.0;  ///< Inter-quartile half-spread relative to the median.
+  double samples[kPasses] = {};
 
   double time_once() const {
     const auto t0 = Clock::now();
@@ -113,34 +124,45 @@ struct Timed {
 
 /// Measures a group of related metrics with interleaved repetitions: each
 /// metric's iteration count is first calibrated (doubling until the timed
-/// region exceeds `budget_ms`), then the group is re-timed round-robin and
-/// each metric keeps its fastest pass. The interleaving matters on shared
-/// or frequency-scaled hosts: a clock-speed drift between two back-to-back
-/// measurements would otherwise corrupt every ratio derived from them
-/// (e.g. batch speedup = ns/solve over ns/solve_b48); round-robin passes
-/// see the same machine state to first order, and the minimum discards
-/// scheduler interference.
+/// region exceeds `budget_ms`), then -- after one discarded warmup round --
+/// the group is timed over five round-robin passes and each metric keeps
+/// the median. The interleaving matters on shared or frequency-scaled
+/// hosts: a clock-speed drift between two back-to-back measurements would
+/// otherwise corrupt every ratio derived from them (e.g. batch speedup =
+/// ns/solve over ns/solve_b48); round-robin passes see the same machine
+/// state to first order. The median (rather than the minimum of the old
+/// min-of-3 scheme) is robust against scheduler interference in both
+/// directions, and the surviving inter-quartile spread is reported as a
+/// per-metric noise estimate so ratio columns can flag differences the
+/// timer cannot resolve.
 void time_group(double budget_ms, std::vector<Timed>& group) {
   for (Timed& t : group) {
     t.fn();  // Warm-up (first-touch allocations land outside the timing).
     t.iters = 1;
-    for (;;) {
-      t.best_ns = t.time_once();
-      if (t.best_ns >= budget_ms * 1e6 || t.iters >= (std::size_t{1} << 30)) break;
+    while (t.time_once() < budget_ms * 1e6 && t.iters < (std::size_t{1} << 30))
       t.iters *= 2;
-    }
   }
-  for (int rep = 0; rep < 2; ++rep)
-    for (Timed& t : group) t.best_ns = std::min(t.best_ns, t.time_once());
-  for (Timed& t : group) t.best_ns /= static_cast<double>(t.iters);
+  for (Timed& t : group) t.time_once();  // Discarded warmup round.
+  for (int rep = 0; rep < Timed::kPasses; ++rep)
+    for (Timed& t : group) t.samples[rep] = t.time_once();
+  for (Timed& t : group) {
+    std::sort(std::begin(t.samples), std::end(t.samples));
+    const double median = t.samples[Timed::kPasses / 2];
+    t.ns = median / static_cast<double>(t.iters);
+    t.rel_noise = median > 0.0 ? (t.samples[3] - t.samples[1]) / (2.0 * median) : 0.0;
+  }
 }
 
-/// Single-metric convenience form.
-double ns_per_op(double budget_ms, std::function<void()> fn) {
+/// Single-metric convenience form: median-of-5 ns/op plus relative noise.
+struct TimedResult {
+  double ns = 0.0;
+  double rel_noise = 0.0;
+};
+TimedResult ns_per_op(double budget_ms, std::function<void()> fn) {
   std::vector<Timed> group;
   group.push_back({std::move(fn)});
   time_group(budget_ms, group);
-  return group.front().best_ns;
+  return {group.front().ns, group.front().rel_noise};
 }
 
 struct Measurement {
@@ -153,12 +175,21 @@ struct Measurement {
   double ns_solve_batch[std::size(kBatchSizes)] = {};
   double ns_oneshot = 0.0;
   double ped_per_solve = 0.0;
+  /// Relative timer noise (inter-quartile half-spread / median) of the
+  /// measurements entering each reported ratio.
+  double noise_solve = 0.0;
+  double noise_batch48 = 0.0;
+  double noise_oneshot = 0.0;
 
   /// Per-vector solve throughput gain of the largest batch.
   double batch_speedup() const {
     const double b = ns_solve_batch[std::size(kBatchSizes) - 1];
     return b > 0.0 ? ns_solve / b : 0.0;
   }
+
+  /// Combined relative noise of the batch-speedup ratio (first-order sum
+  /// of the numerator's and denominator's relative spreads).
+  double batch_speedup_noise() const { return noise_solve + noise_batch48; }
 };
 
 /// Keeps results observable so the optimizer cannot delete the timed work.
@@ -181,9 +212,9 @@ Measurement measure(const DetectorSpec& spec, unsigned order, const Workload& w,
     const auto det = spec.create(c);
     std::size_t i = 0;
     m.ns_prepare = ns_per_op(budget_ms, [&] {
-      det->prepare(w.h[i], w.n0);
-      i = (i + 1) % kDraws;
-    });
+                     det->prepare(w.h[i], w.n0);
+                     i = (i + 1) % kDraws;
+                   }).ns;
   }
 
   // Phase 2 cost: one instance per channel, prepared outside the timed
@@ -230,9 +261,11 @@ Measurement measure(const DetectorSpec& spec, unsigned order, const Workload& w,
       }});
     time_group(budget_ms, group);
 
-    m.ns_solve = group[0].best_ns;
+    m.ns_solve = group[0].ns;
+    m.noise_solve = group[0].rel_noise;
     for (std::size_t b = 0; b < std::size(kBatchSizes); ++b)
-      m.ns_solve_batch[b] = group[1 + b].best_ns / static_cast<double>(kBatchSizes[b]);
+      m.ns_solve_batch[b] = group[1 + b].ns / static_cast<double>(kBatchSizes[b]);
+    m.noise_batch48 = group[std::size(kBatchSizes)].rel_noise;
     m.ped_per_solve = calls ? static_cast<double>(peds) / static_cast<double>(calls) : 0.0;
     keep(agg.slicer_ops);
   }
@@ -245,7 +278,7 @@ Measurement measure(const DetectorSpec& spec, unsigned order, const Workload& w,
     DetectionResult out;
     std::size_t i = 0;
     std::size_t v = 0;
-    m.ns_oneshot = ns_per_op(budget_ms, [&] {
+    const TimedResult oneshot = ns_per_op(budget_ms, [&] {
       out = det->detect(w.y_cols[i][v], w.h[i], w.n0);
       keep(out.indices[0]);
       if (++v == kBatchMax) {
@@ -253,8 +286,23 @@ Measurement measure(const DetectorSpec& spec, unsigned order, const Workload& w,
         i = (i + 1) % kDraws;
       }
     });
+    m.ns_oneshot = oneshot.ns;
+    m.noise_oneshot = oneshot.rel_noise;
   }
   return m;
+}
+
+/// Formats a ratio column entry. A ratio whose deviation from 1.0 the
+/// timer cannot resolve (|ratio - 1| <= combined relative noise of its
+/// inputs) is flagged with '~' and, when below 1.0, clamped to 1.00 --
+/// noise must not print as a phantom slowdown (or speedup). Genuine
+/// regressions beyond the noise band still print raw.
+std::string format_ratio(double ratio, double rel_noise) {
+  char buf[32];
+  const bool in_noise = ratio > 0.0 && std::fabs(ratio - 1.0) <= rel_noise;
+  const double shown = in_noise && ratio < 1.0 ? 1.0 : ratio;
+  std::snprintf(buf, sizeof buf, "%s%.2fx", in_noise ? "~" : "", shown);
+  return buf;
 }
 
 /// Per-frame detection speedup of prepare-once vs one-shot when each
@@ -285,6 +333,38 @@ std::string json_escape(const std::string& in) {
   return out;
 }
 
+/// Compiler identification baked in at build time, so a committed baseline
+/// records what produced it.
+std::string compiler_id() {
+#if defined(__clang__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + __VERSION__;
+#elif defined(_MSC_VER)
+  return "msvc " + std::to_string(_MSC_VER);
+#else
+  return "unknown";
+#endif
+}
+
+/// The optimization flags this binary was built with (stamped by CMake; the
+/// fallback covers ad-hoc compiles outside the build system).
+std::string build_flags() {
+#ifdef GEOSPHERE_BENCH_FLAGS
+  return GEOSPHERE_BENCH_FLAGS;
+#else
+  return "unknown";
+#endif
+}
+
+bool native_build() {
+#ifdef GEOSPHERE_BENCH_NATIVE
+  return GEOSPHERE_BENCH_NATIVE != 0;
+#else
+  return false;
+#endif
+}
+
 void write_json(const std::string& path, const std::string& channel,
                 const std::vector<Measurement>& results) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -292,8 +372,18 @@ void write_json(const std::string& path, const std::string& channel,
     std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
     std::exit(1);
   }
+  const auto& kern = geosphere::sphere::simd::active_kernel();
   std::fprintf(f, "{\n  \"bench\": \"detector_latency\",\n  \"channel\": \"%s\",\n",
                json_escape(channel).c_str());
+  // Host metadata: committed baselines from different machines / build
+  // configs are only comparable when the JSON says what produced them.
+  std::fprintf(f,
+               "  \"host\": {\"compiler\": \"%s\", \"flags\": \"%s\", "
+               "\"geosphere_native\": %s, \"simd_tier\": \"%s\", "
+               "\"simd_width\": %zu, \"tree_lanes\": %zu},\n",
+               json_escape(compiler_id()).c_str(), json_escape(build_flags()).c_str(),
+               native_build() ? "true" : "false", kern.name, kern.width,
+               geosphere::sphere::simd::tree_lane_count(kern.width));
   std::fprintf(f, "  \"snr_db\": 25.0,\n  \"results\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const Measurement& m = results[i];
@@ -301,12 +391,12 @@ void write_json(const std::string& path, const std::string& channel,
                  "    {\"detector\": \"%s\", \"qam\": %u, \"dims\": \"%s\", "
                  "\"ns_prepare\": %.1f, \"ns_solve\": %.1f, "
                  "\"ns_solve_b4\": %.1f, \"ns_solve_b16\": %.1f, \"ns_solve_b48\": %.1f, "
-                 "\"batch_speedup48\": %.3f, \"ns_oneshot\": %.1f, "
-                 "\"ped_per_solve\": %.2f}%s\n",
+                 "\"batch_speedup48\": %.3f, \"batch_speedup48_noise\": %.3f, "
+                 "\"ns_oneshot\": %.1f, \"ped_per_solve\": %.2f}%s\n",
                  json_escape(m.detector).c_str(), m.qam, json_escape(m.dims).c_str(),
                  m.ns_prepare, m.ns_solve, m.ns_solve_batch[0], m.ns_solve_batch[1],
-                 m.ns_solve_batch[2], m.batch_speedup(), m.ns_oneshot, m.ped_per_solve,
-                 i + 1 < results.size() ? "," : "");
+                 m.ns_solve_batch[2], m.batch_speedup(), m.batch_speedup_noise(),
+                 m.ns_oneshot, m.ped_per_solve, i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -320,6 +410,7 @@ int main(int argc, char** argv) {
   // Bench-local flags (everything shared is already stripped).
   double budget_ms = 20.0;
   std::string json_path = "BENCH_detector_latency.json";
+  std::string detector_filter;  ///< Comma-separated spec allowlist; empty = all.
   for (int i = 1; i < argc; ++i) {
     const std::string token = argv[i];
     if (token.rfind("--budget-ms=", 0) == 0) {
@@ -330,9 +421,11 @@ int main(int argc, char** argv) {
       }
     } else if (token.rfind("--json=", 0) == 0) {
       json_path = token.substr(7);
+    } else if (token.rfind("--detectors=", 0) == 0) {
+      detector_filter = token.substr(12);
     } else {
       std::fprintf(stderr, "error: unknown flag %s (supported: --budget-ms=N --json=PATH"
-                           " --seed=N --channel=SPEC)\n", token.c_str());
+                           " --detectors=a,b,... --seed=N --channel=SPEC)\n", token.c_str());
       return 1;
     }
   }
@@ -341,14 +434,16 @@ int main(int argc, char** argv) {
     const char* spec;
     std::vector<unsigned> qams;
   };
-  // ml is excluded (16M hypotheses per solve at 64-QAM 4x4); fsd at
-  // 256-QAM would plunge 256 paths per vector and is excluded as before.
+  // ml is excluded (16M hypotheses per solve at 64-QAM 4x4). fsd runs the
+  // full grid including 256-QAM: the root level fully expands to 256 paths
+  // per vector (~15x the 16-QAM solve cost), which is exactly the
+  // fixed-complexity trade the detector makes and worth tracking.
   const std::vector<Case> cases = {
       {"zf", {16, 64, 256}},        {"mmse", {16, 64, 256}},
       {"mmse-sic", {16, 64, 256}},  {"geosphere", {16, 64, 256}},
       {"geosphere-2dzz", {16, 64, 256}}, {"geosphere-sqrd", {16, 64, 256}},
       {"eth-sd", {16, 64, 256}},    {"shabany", {16, 64, 256}},
-      {"rvd", {16, 64, 256}},       {"fsd", {16, 64}},
+      {"rvd", {16, 64, 256}},       {"fsd", {16, 64, 256}},
       {"kbest:8", {16, 64, 256}},   {"hybrid", {16, 64, 256}},
       {"soft-geosphere", {16, 64}},
   };
@@ -356,25 +451,50 @@ int main(int argc, char** argv) {
   const std::string channel = geosphere::bench::channel_or("rayleigh");
   // Dims come off the resolved channel: a fixed-dims trace pins its own.
   const Workload& probe = workload(16);
-  std::printf("detector latency on %s %zux%zu @ 25 dB (%zu channel draws, %.0f ms/timer)\n\n",
+  const auto& kern = geosphere::sphere::simd::active_kernel();
+  std::printf("detector latency on %s %zux%zu @ 25 dB (%zu channel draws, %.0f ms/timer)\n",
               channel.c_str(), probe.h.front().rows(), probe.h.front().cols(), kDraws,
               budget_ms);
+  std::printf("kernel tier: %s (width %zu, tree lanes %zu), %s build\n\n", kern.name,
+              kern.width, geosphere::sphere::simd::tree_lane_count(kern.width),
+              native_build() ? "native" : "portable");
   std::printf("%-16s %5s %11s %10s %10s %10s %10s %10s %11s %10s %13s\n", "detector",
               "QAM", "ns/prepare", "ns/solve", "ns/slv_b4", "ns/slv_b16", "ns/slv_b48",
               "batchx@48", "ns/oneshot", "PED/solve", "speedup@4sym");
 
+  // Tokenize the allowlist once; exact spec matches only.
+  std::vector<std::string> wanted_specs;
+  for (std::size_t pos = 0; pos < detector_filter.size();) {
+    const std::size_t comma = detector_filter.find(',', pos);
+    const std::size_t end = comma == std::string::npos ? detector_filter.size() : comma;
+    if (end > pos) wanted_specs.push_back(detector_filter.substr(pos, end - pos));
+    pos = end + 1;
+  }
+  const auto selected = [&](const char* spec) {
+    if (detector_filter.empty()) return true;
+    for (const std::string& w : wanted_specs)
+      if (w == spec) return true;
+    return false;
+  };
+
   std::vector<Measurement> results;
   for (const Case& c : cases) {
+    if (!selected(c.spec)) continue;
     for (const unsigned qam : c.qams) {
       const Measurement m =
           measure(geosphere::DetectorSpec::parse(c.spec), qam, workload(qam), budget_ms);
-      std::printf("%-16s %5u %11.0f %10.0f %10.0f %10.0f %10.0f %9.2fx %11.0f %10.1f %12.2fx\n",
+      // The frame-speedup ratio compares oneshot against prepare+solve, so
+      // its noise band combines those components' spreads.
+      std::printf("%-16s %5u %11.0f %10.0f %10.0f %10.0f %10.0f %10s %11.0f %10.1f %13s\n",
                   m.detector.c_str(), m.qam, m.ns_prepare, m.ns_solve, m.ns_solve_batch[0],
-                  m.ns_solve_batch[1], m.ns_solve_batch[2], m.batch_speedup(), m.ns_oneshot,
-                  m.ped_per_solve, frame_speedup(m, 4.0));
+                  m.ns_solve_batch[1], m.ns_solve_batch[2],
+                  format_ratio(m.batch_speedup(), m.batch_speedup_noise()).c_str(),
+                  m.ns_oneshot, m.ped_per_solve,
+                  format_ratio(frame_speedup(m, 4.0), m.noise_oneshot + m.noise_solve).c_str());
       results.push_back(m);
     }
   }
+  std::printf("\n~ = ratio within timer noise (clamped to 1.00 when below)\n");
 
   write_json(json_path, channel, results);
   std::printf("\nwrote %s (%zu records)\n", json_path.c_str(), results.size());

@@ -1,6 +1,10 @@
 #include "detect/fsd.h"
 
+#include <algorithm>
 #include <limits>
+
+#include "detect/sphere/center.h"
+#include "detect/sphere/simd/dispatch.h"
 
 namespace geosphere {
 
@@ -40,6 +44,7 @@ const std::vector<unsigned>& FsdDetector::search(DetectionStats& stats) {
   const std::size_t nc = problem_.r.cols();
   const Constellation& cons = constellation();
   constexpr double kInf = std::numeric_limits<double>::infinity();
+  const sphere::simd::Kernel& kern = sphere::simd::active_kernel();
 
   // Full expansion of the top level.
   std::size_t used = 0;
@@ -49,30 +54,42 @@ const std::vector<unsigned>& FsdDetector::search(DetectionStats& stats) {
     enumerator_.reset(problem_.center(top, root_, cons), stats);
     while (const auto child = enumerator_.next(kInf, stats)) {
       ++stats.visited_nodes;
-      if (paths_.size() <= used) paths_.emplace_back();
-      Path& p = paths_[used++];
-      p.path.assign(nc, 0);
-      p.path[top] = cons.index_from_levels(child->li, child->lq);
-      p.pd = problem_.scale[top] * child->cost_grid;
+      // Grown independently: nc can change across prepares, so the flat
+      // path rows are sized by (count, nc), not just count.
+      if (paths_pd_.size() <= used) paths_pd_.resize(used + 1);
+      if (paths_flat_.size() < (used + 1) * nc) paths_flat_.resize((used + 1) * nc);
+      unsigned* p = paths_flat_.data() + used * nc;
+      std::fill(p, p + nc, 0u);
+      p[top] = cons.index_from_levels(child->li, child->lq);
+      paths_pd_[used] = problem_.scale[top] * child->cost_grid;
+      ++used;
     }
   }
 
-  // Single-child (sliced) plunge for every path.
-  for (std::size_t i = 0; i < used; ++i) {
-    Path& p = paths_[i];
-    for (std::size_t level = nc - 1; level-- > 0;) {
-      enumerator_.reset(problem_.center(level, p.path, cons), stats);
+  // Single-child (sliced) plunge, level-major: every path's decisions at a
+  // level depend only on its own higher levels, so the paths are lockstep
+  // lanes and each level's centers compute packed across all of them.
+  for (std::size_t level = nc - 1; level-- > 0;) {
+    centers_.resize(used);
+    sphere::tree_center_lanes(
+        problem_.r, problem_.yhat.data(), level, cons, problem_.diag[level], kern, used,
+        [&](std::size_t i, std::size_t j) { return paths_flat_[i * nc + j]; },
+        centers_.data());
+    for (std::size_t i = 0; i < used; ++i) {
+      enumerator_.reset(centers_[i], stats);
       const auto child = enumerator_.next(kInf, stats);
       ++stats.visited_nodes;
-      p.path[level] = cons.index_from_levels(child->li, child->lq);
-      p.pd += problem_.scale[level] * child->cost_grid;
+      paths_flat_[i * nc + level] = cons.index_from_levels(child->li, child->lq);
+      paths_pd_[i] += problem_.scale[level] * child->cost_grid;
     }
   }
 
-  const Path* best = &paths_.front();
+  std::size_t best = 0;
   for (std::size_t i = 1; i < used; ++i)
-    if (paths_[i].pd < best->pd) best = &paths_[i];
-  return best->path;
+    if (paths_pd_[i] < paths_pd_[best]) best = i;
+  best_path_.assign(paths_flat_.begin() + static_cast<std::ptrdiff_t>(best * nc),
+                    paths_flat_.begin() + static_cast<std::ptrdiff_t>((best + 1) * nc));
+  return best_path_;
 }
 
 }  // namespace geosphere

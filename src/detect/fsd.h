@@ -24,11 +24,6 @@ class FsdDetector final : public Detector {
   void do_solve_batch(const linalg::CMatrix& y_batch, BatchResult& out) override;
 
  private:
-  struct Path {
-    double pd = 0.0;
-    std::vector<unsigned> path;
-  };
-
   /// Expand-and-plunge pass over the loaded problem_; returns the winning
   /// path. Counters accumulate into `stats`.
   const std::vector<unsigned>& search(DetectionStats& stats);
@@ -36,9 +31,15 @@ class FsdDetector final : public Detector {
   sphere::GeoEnumerator enumerator_;
   sphere::TreeProblem problem_;  ///< Factorized by prepare().
 
-  // Reused per-solve workspaces (grown once, then allocation-free).
-  std::vector<Path> paths_;
+  // Reused per-solve workspaces (grown once, then allocation-free). The
+  // expanded paths are structure-of-arrays -- pd[i] plus a flat nc-entry
+  // row per path -- and the plunge runs level-major so each level's centers
+  // compute packed across all paths at once (tree_center_lanes).
+  std::vector<double> paths_pd_;
+  std::vector<unsigned> paths_flat_;
+  std::vector<cf64> centers_;
   std::vector<unsigned> root_;
+  std::vector<unsigned> best_path_;
   linalg::CMatrix yhat_t_batch_;  ///< (Q^H Y)^T -- one row per vector.
 };
 

@@ -4,6 +4,9 @@
 #include <limits>
 #include <stdexcept>
 
+#include "detect/sphere/center.h"
+#include "detect/sphere/simd/dispatch.h"
+
 namespace geosphere {
 
 KBestDetector::KBestDetector(const Constellation& c, unsigned k)
@@ -22,7 +25,8 @@ void KBestDetector::do_solve(const CVector& y, DetectionResult& out) {
   problem_.load(y);
   DetectionStats stats;
   search(stats);
-  out.indices = survivors_.front().path;
+  out.indices.assign(surv_path_.begin(),
+                     surv_path_.begin() + static_cast<std::ptrdiff_t>(problem_.r.cols()));
   finish_result(out, stats);
 }
 
@@ -37,8 +41,7 @@ void KBestDetector::do_solve_batch(const linalg::CMatrix& y_batch, BatchResult& 
   for (std::size_t v = 0; v < count; ++v) {
     problem_.load_rotated(yhat_t_batch_, v);
     search(stats);
-    const std::vector<unsigned>& path = survivors_.front().path;
-    for (std::size_t k = 0; k < nc; ++k) out.indices[v * nc + k] = path[k];
+    for (std::size_t k = 0; k < nc; ++k) out.indices[v * nc + k] = surv_path_[k];
   }
   out.stats = stats;
 }
@@ -47,38 +50,60 @@ void KBestDetector::search(DetectionStats& stats) {
   const std::size_t nc = problem_.r.cols();
   const Constellation& cons = constellation();
   constexpr double kInf = std::numeric_limits<double>::infinity();
+  const sphere::simd::Kernel& kern = sphere::simd::active_kernel();
 
-  if (survivors_.empty()) survivors_.emplace_back();
-  survivors_[0].pd = 0.0;
-  survivors_[0].path.assign(nc, 0);
+  surv_pd_.assign(1, 0.0);
+  surv_path_.assign(nc, 0);
   std::size_t survivor_count = 1;
 
   for (std::size_t level = nc; level-- > 0;) {
+    // The survivors are lockstep lanes at this level: their centers share
+    // one broadcast r(level, j) per term through the dispatched kernel.
+    centers_.resize(survivor_count);
+    sphere::tree_center_lanes(
+        problem_.r, problem_.yhat.data(), level, cons, problem_.diag[level], kern,
+        survivor_count,
+        [&](std::size_t s, std::size_t j) { return surv_path_[s * nc + j]; },
+        centers_.data());
+
     std::size_t used = 0;
     for (std::size_t s = 0; s < survivor_count; ++s) {
-      const Candidate& cand = survivors_[s];
-      enumerator_.reset(problem_.center(level, cand.path, cons), stats);
+      enumerator_.reset(centers_[s], stats);
       // The sorted enumerator delivers children best-first, so K children
       // per survivor suffice to find the global K best (sorted K-best).
       for (unsigned t = 0; t < k_; ++t) {
         const auto child = enumerator_.next(kInf, stats);
         if (!child) break;
         ++stats.visited_nodes;
-        if (expanded_.size() <= used) expanded_.emplace_back();
-        Candidate& next = expanded_[used++];
-        next.path = cand.path;
-        next.path[level] = cons.index_from_levels(child->li, child->lq);
-        next.pd = cand.pd + problem_.scale[level] * child->cost_grid;
+        // Grown independently: nc can change across prepares, so the flat
+        // path rows are sized by (count, nc), not just count.
+        if (exp_pd_.size() <= used) exp_pd_.resize(used + 1);
+        if (exp_path_.size() < (used + 1) * nc) exp_path_.resize((used + 1) * nc);
+        unsigned* next = exp_path_.data() + used * nc;
+        std::copy(surv_path_.data() + s * nc, surv_path_.data() + (s + 1) * nc, next);
+        next[level] = cons.index_from_levels(child->li, child->lq);
+        exp_pd_[used] = surv_pd_[s] + problem_.scale[level] * child->cost_grid;
+        ++used;
       }
     }
-    std::sort(expanded_.begin(),
-              expanded_.begin() + static_cast<std::ptrdiff_t>(used),
-              [](const Candidate& a, const Candidate& b) { return a.pd < b.pd; });
+    // Sort (pd, slot) keys instead of whole candidates. The comparator
+    // reads pd alone, so std::sort's comparison/swap sequence -- and with
+    // it the resulting permutation, ties included -- is the same one the
+    // array-of-structs sort produced.
+    order_.resize(used);
+    for (std::size_t i = 0; i < used; ++i)
+      order_[i] = {exp_pd_[i], static_cast<unsigned>(i)};
+    std::sort(order_.begin(), order_.end(),
+              [](const std::pair<double, unsigned>& a,
+                 const std::pair<double, unsigned>& b) { return a.first < b.first; });
     survivor_count = std::min<std::size_t>(used, k_);
-    while (survivors_.size() < survivor_count) survivors_.emplace_back();
+    surv_pd_.resize(survivor_count);
+    surv_path_.resize(survivor_count * nc);
     for (std::size_t s = 0; s < survivor_count; ++s) {
-      survivors_[s].pd = expanded_[s].pd;
-      survivors_[s].path = expanded_[s].path;
+      const std::size_t slot = order_[s].second;
+      surv_pd_[s] = exp_pd_[slot];
+      std::copy(exp_path_.data() + slot * nc, exp_path_.data() + (slot + 1) * nc,
+                surv_path_.data() + s * nc);
     }
   }
 }

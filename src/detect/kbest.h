@@ -5,6 +5,9 @@
 // paper points out for dense constellations.
 #pragma once
 
+#include <utility>
+#include <vector>
+
 #include "detect/detector.h"
 #include "detect/sphere/enumerators.h"
 #include "detect/sphere/tree_problem.h"
@@ -26,13 +29,8 @@ class KBestDetector final : public Detector {
   void do_solve_batch(const linalg::CMatrix& y_batch, BatchResult& out) override;
 
  private:
-  struct Candidate {
-    double pd = 0.0;
-    std::vector<unsigned> path;
-  };
-
   /// Breadth-first K-best pass over the loaded problem_; the winner ends in
-  /// survivors_.front().path. Counters accumulate into `stats`.
+  /// the first row of surv_path_. Counters accumulate into `stats`.
   void search(DetectionStats& stats);
 
   unsigned k_;
@@ -40,8 +38,13 @@ class KBestDetector final : public Detector {
   sphere::TreeProblem problem_;  ///< Factorized by prepare().
 
   // Reused per-solve workspaces (grown once, then allocation-free).
-  std::vector<Candidate> survivors_;
-  std::vector<Candidate> expanded_;
+  // Candidates are structure-of-arrays: pd[i] plus a flat nc-entry path row
+  // per candidate, so the per-level center computations treat the survivors
+  // as lockstep SIMD lanes (tree_center_lanes).
+  std::vector<double> surv_pd_, exp_pd_;
+  std::vector<unsigned> surv_path_, exp_path_;
+  std::vector<std::pair<double, unsigned>> order_;  ///< (pd, slot) sort keys.
+  std::vector<cf64> centers_;
   linalg::CMatrix yhat_t_batch_;  ///< (Q^H Y)^T -- one row per vector.
 };
 

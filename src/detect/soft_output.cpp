@@ -1,5 +1,6 @@
 #include "detect/soft_output.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
@@ -14,9 +15,11 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 }
 
 SoftGeosphereDetector::SoftGeosphereDetector(const Constellation& c, double llr_clamp)
-    : Detector(c), llr_clamp_(llr_clamp) {
+    : Detector(c), llr_clamp_(llr_clamp),
+      enum_proto_({.geometric_pruning = true}) {
   if (llr_clamp <= 0.0)
     throw std::invalid_argument("SoftGeosphereDetector: llr_clamp must be positive");
+  enum_proto_.attach(c);
 
   // The per-bit counter-hypothesis masks depend only on the constellation,
   // so build all 2 * bits of them once instead of on every solve.
@@ -32,8 +35,8 @@ SoftGeosphereDetector::SoftGeosphereDetector(const Constellation& c, double llr_
 }
 
 SoftGeosphereDetector::Search SoftGeosphereDetector::search(
-    double radius_sq, std::ptrdiff_t mask_level, const std::vector<std::uint8_t>* mask,
-    DetectionStats& stats) {
+    const cf64* yhat, cf64 root_center, double radius_sq, std::ptrdiff_t mask_level,
+    const std::vector<std::uint8_t>* mask, DetectionStats& stats) {
   const std::size_t nc = scale_.size();
   const Constellation& cons = constellation();
 
@@ -43,11 +46,11 @@ SoftGeosphereDetector::Search SoftGeosphereDetector::search(
   partial_[nc] = 0.0;
 
   const auto center_at = [&](std::size_t l) {
-    return sphere::tree_center(r_, yhat_.data(), l, current_.data(), cons, diag_[l]);
+    return sphere::tree_center(r_, yhat, l, current_.data(), cons, diag_[l]);
   };
 
   std::size_t level = nc - 1;
-  level_enum_[level].reset(center_at(level), stats);
+  level_enum_[level].reset(root_center, stats);
 
   for (;;) {
     const double budget = (out.best_dist - partial_[level + 1]) / scale_[level];
@@ -109,9 +112,7 @@ void SoftGeosphereDetector::do_prepare(const linalg::CMatrix& h, double noise_va
     diag_[l] = rll * alpha;
   }
   if (level_enum_.size() != nc) {
-    sphere::GeoEnumerator proto({.geometric_pruning = true});
-    proto.attach(cons);
-    level_enum_.assign(nc, proto);
+    level_enum_.assign(nc, enum_proto_);
     current_.assign(nc, 0);
     partial_.assign(nc + 1, 0.0);
   }
@@ -126,7 +127,8 @@ void SoftGeosphereDetector::load(const CVector& y) {
 void SoftGeosphereDetector::do_solve(const CVector& y, DetectionResult& out) {
   load(y);
   DetectionStats stats;
-  const Search ml = search(kInf, -1, nullptr, stats);
+  const Search ml = search(yhat_.data(), root_center_of(yhat_.data()), kInf, -1,
+                           nullptr, stats);
   out.indices = ml.best;
   finish_result(out, stats);
 }
@@ -135,7 +137,9 @@ void SoftGeosphereDetector::do_solve_batch(const linalg::CMatrix& y_batch,
                                            BatchResult& out) {
   if (y_batch.rows() != na_)
     throw std::invalid_argument("SoftGeosphereDetector: shape mismatch");
-  multiply_transpose_into(qh_, y_batch, yhat_t_batch_);
+  // One SIMD-batched rotation for the whole batch; row v is bit-identical
+  // to load(y_v) (see simd/rotate.h).
+  sphere::simd::rotate_transpose(qh_, y_batch, yhat_t_batch_, rot_scratch_);
 
   const std::size_t nc = scale_.size();
   const std::size_t count = y_batch.cols();
@@ -143,12 +147,36 @@ void SoftGeosphereDetector::do_solve_batch(const linalg::CMatrix& y_batch,
   out.streams = nc;
   out.indices.resize(count * nc);
   DetectionStats stats;
-  for (std::size_t v = 0; v < count; ++v) {
-    const cf64* row = yhat_t_batch_.row_data(v);
-    yhat_.assign(row, row + nc);
-    const Search ml = search(kInf, -1, nullptr, stats);
-    for (std::size_t k = 0; k < nc; ++k) out.indices[v * nc + k] = ml.best[k];
+
+  if (sphere::LaneTreeSearch<sphere::GeoEnumerator>::lanes() == 1) {
+    // Sequential lane policy (the default; see simd::tree_lane_count):
+    // per-vector unconstrained searches straight off the rotated rows, with
+    // the root-center divides packed batch-wide. With infinite initial
+    // radius every search finds the ML solution; there is no column
+    // permutation here, so the winning paths copy directly into
+    // out.indices.
+    sphere::simd::packed_root_centers(yhat_t_batch_, nc - 1, diag_[nc - 1],
+                                      root_centers_, rot_scratch_);
+    for (std::size_t v = 0; v < count; ++v) {
+      const Search ml = search(yhat_t_batch_.row_data(v), root_centers_[v], kInf, -1,
+                               nullptr, stats);
+      std::copy(ml.best.begin(), ml.best.end(),
+                out.indices.begin() + static_cast<std::ptrdiff_t>(v * nc));
+    }
+    out.stats = stats;
+    return;
   }
+
+  // Lockstep lane policy (GEOSPHERE_LANES): the columns' unconstrained
+  // searches run as lockstep lanes of the SoA engine.
+  jobs_.assign(count, sphere::LaneJob{});
+  for (std::size_t v = 0; v < count; ++v) {
+    jobs_[v].yhat = yhat_t_batch_.row_data(v);
+    jobs_[v].best_out = out.indices.data() + v * nc;
+    jobs_[v].radius_sq = kInf;
+  }
+  lane_engine_.configure(r_, scale_, diag_, constellation(), enum_proto_);
+  lane_engine_.run(jobs_.data(), count, stats);
   out.stats = stats;
 }
 
@@ -156,29 +184,116 @@ void SoftGeosphereDetector::do_solve_soft_batch(const linalg::CMatrix& y_batch,
                                                 SoftBatchResult& out) {
   if (y_batch.rows() != na_)
     throw std::invalid_argument("SoftGeosphereDetector: shape mismatch");
-  // One transposed rotation for the whole batch (row v of (Q^H Y)^T is
-  // bit-identical to load(y_v)); the ~1 + streams*Q searches per vector
-  // then run against warm enumeration workspaces.
-  multiply_transpose_into(qh_, y_batch, yhat_t_batch_);
+  // One SIMD-batched transposed rotation for the whole batch (row v of
+  // (Q^H Y)^T is bit-identical to load(y_v)); the ~1 + streams*Q searches
+  // per vector then run against warm enumeration workspaces.
+  sphere::simd::rotate_transpose(qh_, y_batch, yhat_t_batch_, rot_scratch_);
 
   const std::size_t nc = scale_.size();
-  const unsigned bits = constellation().bits_per_symbol();
+  const Constellation& cons = constellation();
+  const unsigned bits = cons.bits_per_symbol();
   const std::size_t count = y_batch.cols();
   out.count = count;
   out.streams = nc;
   out.indices.resize(count * nc);
   out.llrs.resize(count * nc * bits);
-  out.stats = DetectionStats{};
-  for (std::size_t v = 0; v < count; ++v) {
-    const cf64* row = yhat_t_batch_.row_data(v);
-    yhat_.assign(row, row + nc);
-    solve_soft_loaded(soft_scratch_);
-    for (std::size_t k = 0; k < nc; ++k)
-      out.indices[v * nc + k] = soft_scratch_.indices[k];
-    for (std::size_t i = 0; i < nc * bits; ++i)
-      out.llrs[v * nc * bits + i] = soft_scratch_.llrs[i];
-    out.stats += soft_scratch_.stats;
+  DetectionStats stats;
+
+  if (sphere::LaneTreeSearch<sphere::GeoEnumerator>::lanes() == 1) {
+    // Sequential lane policy (the default): each vector's full soft solve
+    // -- unconstrained search plus its streams*Q counter-hypothesis
+    // searches -- runs per-vector against its rotated row, exactly the
+    // solve_soft_loaded sequence. Only the root-center divides are packed
+    // batch-wide; every search of one vector shares that root center
+    // (identical value, identical reset accounting). Searches are fully
+    // independent and the counters are order-independent sums, so results
+    // are bit-identical to the lockstep two-pass path below.
+    sphere::simd::packed_root_centers(yhat_t_batch_, nc - 1, diag_[nc - 1],
+                                      root_centers_, rot_scratch_);
+    ml_bits_.resize(bits);
+    for (std::size_t v = 0; v < count; ++v) {
+      const cf64* yhat = yhat_t_batch_.row_data(v);
+      const cf64 root = root_centers_[v];
+      const Search ml = search(yhat, root, kInf, -1, nullptr, stats);
+      std::copy(ml.best.begin(), ml.best.end(),
+                out.indices.begin() + static_cast<std::ptrdiff_t>(v * nc));
+      // Counter-hypothesis radius: LLR magnitudes are clamped, so any
+      // solution farther than d_ml + clamp * N0 cannot change the result.
+      const double counter_radius = ml.best_dist + llr_clamp_ * noise_var_;
+      for (std::size_t k = 0; k < nc; ++k) {
+        cons.bits_from_index(ml.best[k], ml_bits_.data());
+        for (unsigned b = 0; b < bits; ++b) {
+          // Allowed set: symbols whose bit b complements the ML bit.
+          const unsigned want = ml_bits_[b] ^ 1u;
+          const std::vector<std::uint8_t>& mask = bit_masks_[b * 2 + want];
+          const Search counter = search(yhat, root, counter_radius,
+                                        static_cast<std::ptrdiff_t>(k), &mask, stats);
+          const double delta = counter.found
+                                   ? (counter.best_dist - ml.best_dist) / noise_var_
+                                   : llr_clamp_;
+          // Positive LLR favours bit 0.
+          const double magnitude = std::min(delta, llr_clamp_);
+          out.llrs[(v * nc + k) * bits + b] = (ml_bits_[b] == 0) ? magnitude : -magnitude;
+        }
+      }
+    }
+    out.stats = stats;
+    return;
   }
+
+  lane_engine_.configure(r_, scale_, diag_, cons, enum_proto_);
+
+  // Pass 1: every column's unconstrained ML search, as lockstep lanes.
+  jobs_.assign(count, sphere::LaneJob{});
+  for (std::size_t v = 0; v < count; ++v) {
+    jobs_[v].yhat = yhat_t_batch_.row_data(v);
+    jobs_[v].best_out = out.indices.data() + v * nc;
+    jobs_[v].radius_sq = kInf;
+  }
+  lane_engine_.run(jobs_.data(), count, stats);
+
+  // Pass 2: the counter-hypothesis searches of the WHOLE batch pooled into
+  // one job list -- each (vector, stream, bit) constrained search is a
+  // lane, so one vector's ~streams*Q problems pack into SIMD width
+  // alongside its neighbours'. Only found/best_dist are needed per job.
+  ml_dist_.resize(count);
+  ml_bits_batch_.resize(count * nc * bits);
+  counter_jobs_.assign(count * nc * bits, sphere::LaneJob{});
+  for (std::size_t v = 0; v < count; ++v) {
+    ml_dist_[v] = jobs_[v].best_dist;
+    // Counter-hypothesis radius: LLR magnitudes are clamped, so any
+    // solution farther than d_ml + clamp * N0 cannot change the result.
+    const double counter_radius = jobs_[v].best_dist + llr_clamp_ * noise_var_;
+    for (std::size_t k = 0; k < nc; ++k) {
+      std::uint8_t* sym_bits = ml_bits_batch_.data() + (v * nc + k) * bits;
+      cons.bits_from_index(out.indices[v * nc + k], sym_bits);
+      for (unsigned b = 0; b < bits; ++b) {
+        sphere::LaneJob& jb = counter_jobs_[(v * nc + k) * bits + b];
+        jb.yhat = yhat_t_batch_.row_data(v);
+        jb.radius_sq = counter_radius;
+        jb.mask_level = static_cast<std::ptrdiff_t>(k);
+        // Allowed set: symbols whose bit b complements the ML bit.
+        jb.mask = bit_masks_[b * 2 + (sym_bits[b] ^ 1u)].data();
+      }
+    }
+  }
+  lane_engine_.run(counter_jobs_.data(), counter_jobs_.size(), stats);
+
+  // LLR assembly: identical formulas to the per-vector path.
+  for (std::size_t v = 0; v < count; ++v) {
+    for (std::size_t k = 0; k < nc; ++k) {
+      for (unsigned b = 0; b < bits; ++b) {
+        const sphere::LaneJob& jb = counter_jobs_[(v * nc + k) * bits + b];
+        const double delta =
+            jb.found ? (jb.best_dist - ml_dist_[v]) / noise_var_ : llr_clamp_;
+        // Positive LLR favours bit 0.
+        const double magnitude = std::min(delta, llr_clamp_);
+        const std::uint8_t ml_bit = ml_bits_batch_[(v * nc + k) * bits + b];
+        out.llrs[(v * nc + k) * bits + b] = (ml_bit == 0) ? magnitude : -magnitude;
+      }
+    }
+  }
+  out.stats = stats;
 }
 
 void SoftGeosphereDetector::do_solve_soft(const CVector& y, SoftDetectionResult& out) {
@@ -191,9 +306,10 @@ void SoftGeosphereDetector::solve_soft_loaded(SoftDetectionResult& out) {
   const Constellation& cons = constellation();
 
   DetectionStats stats;
+  const cf64 root = root_center_of(yhat_.data());
 
   // Unconstrained pass: ML solution.
-  const Search ml = search(kInf, -1, nullptr, stats);
+  const Search ml = search(yhat_.data(), root, kInf, -1, nullptr, stats);
   out.indices = ml.best;
 
   const unsigned bits = cons.bits_per_symbol();
@@ -210,8 +326,8 @@ void SoftGeosphereDetector::solve_soft_loaded(SoftDetectionResult& out) {
       // Allowed set: symbols whose bit b is the complement of the ML bit.
       const unsigned want = ml_bits_[b] ^ 1u;
       const std::vector<std::uint8_t>& mask = bit_masks_[b * 2 + want];
-      const Search counter =
-          search(counter_radius, static_cast<std::ptrdiff_t>(k), &mask, stats);
+      const Search counter = search(yhat_.data(), root, counter_radius,
+                                    static_cast<std::ptrdiff_t>(k), &mask, stats);
       const double delta = counter.found
                                ? (counter.best_dist - ml.best_dist) / noise_var_
                                : llr_clamp_;

@@ -27,6 +27,8 @@
 #include "constellation/constellation.h"
 #include "detect/detector.h"
 #include "detect/sphere/enumerators.h"
+#include "detect/sphere/lane_engine.h"
+#include "detect/sphere/simd/rotate.h"
 #include "linalg/matrix.h"
 
 namespace geosphere {
@@ -57,12 +59,19 @@ class SoftGeosphereDetector final : public Detector, public SoftDetector {
   /// Hard decisions plus max-log LLRs for every transmitted bit.
   void do_solve_soft(const CVector& y, SoftDetectionResult& out) override;
 
-  /// One mat-mat Q^H Y rotation, then the unconstrained search per column.
+  /// One SIMD-batched Q^H Y rotation (vectors as lanes, see simd/rotate.h)
+  /// plus packed root-center divides, then the columns' unconstrained
+  /// searches run per-vector (the default W = 1 lane policy) or as
+  /// lockstep lanes of the SoA engine (see lane_engine.h).
   void do_solve_batch(const linalg::CMatrix& y_batch, BatchResult& out) override;
 
-  /// Batched rotation shared across the batch; each column then runs the
-  /// unconstrained search plus its ~streams*Q counter-hypothesis searches
-  /// against warm workspaces.
+  /// SIMD-batched rotation shared across the batch, then the ~1 +
+  /// streams*Q searches per vector. Under the default W = 1 lane policy
+  /// each vector's soft solve runs sequentially against its rotated row;
+  /// under a lockstep policy (GEOSPHERE_LANES) two lane-engine passes run
+  /// instead -- every column's unconstrained search first, then the pooled
+  /// ~count*streams*Q counter-hypothesis searches, each constrained search
+  /// a lane. Bit-identical either way.
   void do_solve_soft_batch(const linalg::CMatrix& y_batch, SoftBatchResult& out) override;
 
   Detector& owner() override { return *this; }
@@ -77,10 +86,22 @@ class SoftGeosphereDetector final : public Detector, public SoftDetector {
   /// Rotates `y` into the prepared triangular basis (yhat_ = Q^H y).
   void load(const CVector& y);
 
-  /// Depth-first search; `mask_level`/`mask` optionally restrict the symbol
-  /// at one tree level to a subset of constellation indices.
-  Search search(double radius_sq, std::ptrdiff_t mask_level,
-                const std::vector<std::uint8_t>* mask, DetectionStats& stats);
+  /// Depth-first search reading the rotated received vector from `yhat`;
+  /// `mask_level`/`mask` optionally restrict the symbol at one tree level
+  /// to a subset of constellation indices. `root_center` is the root-level
+  /// tree center (root_center_of(yhat), or the batched path's packed
+  /// equivalent -- bit-identical values either way).
+  Search search(const cf64* yhat, cf64 root_center, double radius_sq,
+                std::ptrdiff_t mask_level, const std::vector<std::uint8_t>* mask,
+                DetectionStats& stats);
+
+  /// Root-level tree center of a rotated vector: the lone componentwise
+  /// divide pair tree_center performs where the j-sum above is empty.
+  cf64 root_center_of(const cf64* yhat) const {
+    const std::size_t root = scale_.size() - 1;
+    const double d = diag_[root];
+    return cf64(yhat[root].real() / d, yhat[root].imag() / d);
+  }
 
   /// The soft solve against the already-loaded yhat_ (everything in
   /// do_solve_soft after load()): unconstrained search + per-bit
@@ -103,14 +124,23 @@ class SoftGeosphereDetector final : public Detector, public SoftDetector {
 
   // Per-solve workspaces.
   CVector yhat_;
+  sphere::GeoEnumerator enum_proto_;  ///< Attached prototype (zigzag + pruning).
   std::vector<sphere::GeoEnumerator> level_enum_;
   std::vector<unsigned> current_;
   std::vector<double> partial_;
   std::vector<std::uint8_t> ml_bits_;
 
-  // Per-batch workspaces.
-  linalg::CMatrix yhat_t_batch_;      ///< (Q^H Y)^T -- one row per vector.
-  SoftDetectionResult soft_scratch_;  ///< Per-vector result, copied out.
+  // Per-batch workspaces. (The per-vector soft path keeps its own scalar
+  // search; the batch paths below share the SIMD rotation and -- under a
+  // lockstep lane policy -- the lane engine.)
+  linalg::CMatrix yhat_t_batch_;  ///< (Q^H Y)^T -- one row per vector.
+  sphere::simd::RotateScratch rot_scratch_;
+  std::vector<cf64> root_centers_;  ///< Packed per-vector root centers.
+  sphere::LaneTreeSearch<sphere::GeoEnumerator> lane_engine_;
+  std::vector<sphere::LaneJob> jobs_;          ///< Unconstrained searches.
+  std::vector<sphere::LaneJob> counter_jobs_;  ///< Per-(vector, stream, bit).
+  std::vector<double> ml_dist_;              ///< Per-vector ML distance.
+  std::vector<std::uint8_t> ml_bits_batch_;  ///< count x streams x Q ML bits.
 };
 
 }  // namespace geosphere

@@ -1,0 +1,386 @@
+// Structure-of-arrays lane engine for the depth-first tree searches.
+//
+// The per-vector SphereDecoder::search walks one tree at a time; the lane
+// engine runs W of those walks in lockstep "lanes" (W = the lane policy's
+// count for the dispatched SIMD kernel, see simd::tree_lane_count) against
+// one prepared channel. Per superstep it
+//   1. computes every active lane's enumeration budget with one packed
+//      divide,
+//   2. advances each lane's enumerator by one candidate (zigzag control
+//      flow is per-lane; its costs are data-dependent scalar work),
+//   3. applies all accepted candidates' PED updates with one packed
+//      mul-add, and
+//   4. recomputes descent centers grouped by level, so lanes descending to
+//      the same level share one broadcast r(l, j) per term.
+// Lanes are fully independent searches -- different received vectors, or
+// different constrained hypotheses of the same vector (soft output) -- so
+// packing them changes neither any lane's arithmetic sequence nor its
+// decisions, and the shared DetectionStats counters are order-independent
+// uint64 sums: results are bit-identical to running the per-vector path on
+// each job in order, on every kernel tier.
+//
+// A lane whose search finishes (its root enumerator exhausts) retires and
+// the next queued job takes over the lane immediately, so early-pruning
+// searches never stall the others; at W = 1 (the default lane policy --
+// out-of-order hosts already overlap a single search's latencies with its
+// own zigzag control flow, see simd::tree_lane_count) the engine runs
+// exactly the sequential per-vector loop over the job queue.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "constellation/constellation.h"
+#include "detect/detector.h"
+#include "detect/sphere/center.h"
+#include "detect/sphere/simd/dispatch.h"
+#include "linalg/matrix.h"
+
+namespace geosphere::sphere {
+
+/// One tree search for the lane engine: where to read the rotated received
+/// vector and what to report back. Covers the hard batch case (best_out set,
+/// no mask), the soft unconstrained pass, and the soft counter-hypothesis
+/// searches (mask set, best_out null -- only found/best_dist matter).
+struct LaneJob {
+  const cf64* yhat = nullptr;    ///< Rotated received vector (nc entries).
+  unsigned* best_out = nullptr;  ///< Winning path in detection order, or null.
+  double radius_sq = 0.0;        ///< Initial squared sphere radius.
+  /// When `mask` is non-null, candidates at tree level `mask_level` whose
+  /// symbol index `mask` maps to 0 are enumerated but never descended --
+  /// the soft detector's per-bit constrained search.
+  std::ptrdiff_t mask_level = -1;
+  const std::uint8_t* mask = nullptr;
+  bool found = false;      ///< Out: any leaf inside the radius?
+  double best_dist = 0.0;  ///< Out: tightened radius (ML distance) if found.
+};
+
+template <class Enumerator>
+class LaneTreeSearch {
+ public:
+  /// Rebinds the engine to a prepared channel. `r`, `scale`, `diag`, and
+  /// `cons` must stay valid across run() calls; `prototype` carries the
+  /// enumeration options and is only re-copied when the tree shape changes
+  /// (lane workspaces stay warm across prepares of same-shaped channels).
+  void configure(const linalg::CMatrix& r, const std::vector<double>& scale,
+                 const std::vector<double>& diag, const Constellation& cons,
+                 const Enumerator& prototype) {
+    r_ = &r;
+    scale_ = scale.data();
+    diag_ = diag.data();
+    if (r.cols() != nc_ || &cons != cons_) {
+      nc_ = r.cols();
+      cons_ = &cons;
+      prototype_ = prototype;
+      shaped_for_ = nullptr;  // Force lane workspace rebuild on next run().
+    }
+  }
+
+  /// Runs all `count` jobs to completion, accumulating counters into
+  /// `stats`. Job results land in jobs[i].found / best_dist / *best_out
+  /// (best_out paths are in detection order; callers undo any column
+  /// permutation). A job whose radius prunes everything completes with
+  /// found == false; the engine itself never throws on it.
+  void run(LaneJob* jobs, std::size_t count, DetectionStats& stats) {
+    ensure_lanes();
+    if (w_ == 1 || count <= 1) {
+      // One lane (scalar tier) or nothing to pack: the lockstep superstep
+      // machinery is pure overhead, so run the plain sequential search.
+      // Identical arithmetic either way -- this is a latency fast path, not
+      // a semantic branch.
+      for (std::size_t i = 0; i < count; ++i) run_one(jobs[i], stats);
+      return;
+    }
+    const std::size_t W = w_;
+    const std::size_t nc = nc_;
+    const simd::Kernel& kern = *kernel_;
+    const Constellation& cons = *cons_;
+
+    std::size_t next_job = 0;
+    std::size_t active = 0;
+    for (std::size_t lane = 0; lane < W; ++lane) job_[lane] = nullptr;
+    for (std::size_t lane = 0; lane < W && next_job < count; ++lane, ++active)
+      start_job(lane, jobs[next_job++], stats);
+
+    std::array<unsigned, simd::kMaxLanes> ids, didx;
+    std::array<double, simd::kMaxLanes> num, den, budget, base, scl, cost, pd;
+
+    while (active > 0) {
+      // Phase 1: enumeration budgets for every active lane, packed.
+      std::size_t m = 0;
+      for (std::size_t lane = 0; lane < W; ++lane) {
+        if (job_[lane] == nullptr) continue;
+        const std::size_t l = level_[lane];
+        ids[m] = static_cast<unsigned>(lane);
+        num[m] = radius_[lane] - partial_[(l + 1) * W + lane];
+        den[m] = scale_[l];
+        ++m;
+      }
+      packed_quotients(kern, num.data(), den.data(), budget.data(), m);
+
+      // Phase 2: one enumeration step per lane. Exhausted levels backtrack;
+      // an exhausted root retires the lane and the next queued job refills
+      // it without stalling the other lanes.
+      std::size_t nchild = 0, ndesc = 0;
+      for (std::size_t a = 0; a < m; ++a) {
+        const std::size_t lane = ids[a];
+        const std::size_t l = level_[lane];
+        const std::optional<Child> child = enums_[l * W + lane].next(budget[a], stats);
+        if (!child) {
+          if (l + 1 == nc) {
+            finish_job(lane);
+            if (next_job < count) {
+              start_job(lane, jobs[next_job++], stats);
+            } else {
+              job_[lane] = nullptr;
+              --active;
+            }
+          } else {
+            level_[lane] = l + 1;
+          }
+          continue;
+        }
+        const unsigned idx = cons.index_from_levels(child->li, child->lq);
+        const LaneJob& jb = *job_[lane];
+        if (jb.mask != nullptr && static_cast<std::ptrdiff_t>(l) == jb.mask_level &&
+            jb.mask[idx] == 0)
+          continue;  // Constrained level: enumerated but never descended.
+        ++stats.visited_nodes;
+        current_[l * W + lane] = idx;
+        ids[nchild] = static_cast<unsigned>(lane);  // Compact: nchild <= a.
+        base[nchild] = partial_[(l + 1) * W + lane];
+        scl[nchild] = scale_[l];
+        cost[nchild] = child->cost_grid;
+        ++nchild;
+      }
+
+      // Phase 3: PED updates for every accepted candidate, packed.
+      if (nchild == 1) {
+        pd[0] = base[0] + scl[0] * cost[0];
+      } else {
+        kern.pd_update(base.data(), scl.data(), cost.data(), pd.data(), nchild);
+      }
+      for (std::size_t a = 0; a < nchild; ++a) {
+        const std::size_t lane = ids[a];
+        const std::size_t l = level_[lane];
+        partial_[l * W + lane] = pd[a];
+        if (l == 0) {
+          // Leaf inside the sphere: tighten this lane's radius and record.
+          radius_[lane] = pd[a];
+          found_[lane] = true;
+          for (std::size_t j = 0; j < nc; ++j) best_[j * W + lane] = current_[j * W + lane];
+        } else {
+          level_[lane] = l - 1;
+          didx[ndesc++] = static_cast<unsigned>(lane);
+        }
+      }
+
+      // Phase 4: descent centers, grouped by level.
+      std::size_t grouped = 0;
+      while (grouped < ndesc) {
+        const std::size_t l = level_[didx[grouped]];
+        std::size_t gn = 0;
+        for (std::size_t i = grouped; i < ndesc; ++i) {
+          if (level_[didx[i]] == l) {
+            // Stable partition: pull equal-level lanes forward. Reset order
+            // within a superstep is lane order either way; counters are
+            // order-independent sums.
+            const unsigned lane = didx[i];
+            didx[i] = didx[grouped + gn];
+            didx[grouped + gn] = lane;
+            ++gn;
+          }
+        }
+        centers_at_level(l, &didx[grouped], gn, stats);
+        grouped += gn;
+      }
+    }
+  }
+
+  /// Lanes the engine packs per run with the currently dispatched kernel
+  /// and lane policy (see simd::tree_lane_count for the default rationale).
+  static std::size_t lanes() { return simd::tree_lane_count(simd::active_kernel().width); }
+
+ private:
+  /// Single-lane elementwise ops skip the kernel call: the scalar formula
+  /// is bit-identical to what the kernel's n==1 tail would compute, minus
+  /// the indirect-call overhead.
+  static void packed_quotients(const simd::Kernel& k, const double* num, const double* den,
+                               double* out, std::size_t n) {
+    if (n == 1) {
+      out[0] = num[0] / den[0];
+      return;
+    }
+    k.quotients(num, den, out, n);
+  }
+
+  /// The plain depth-first search, one job on lane 0's workspace -- the
+  /// exact per-vector loop, used when there is nothing to pack. Arithmetic
+  /// is the same documented sequence the packed phases perform.
+  void run_one(LaneJob& jb, DetectionStats& stats) {
+    const std::size_t nc = nc_;
+    const std::size_t W = w_;
+    const Constellation& cons = *cons_;
+    start_job(0, jb, stats);
+    double radius = radius_[0];
+    std::size_t level = nc - 1;
+    for (;;) {
+      const double budget = (radius - partial_[(level + 1) * W]) / scale_[level];
+      const std::optional<Child> child = enums_[level * W].next(budget, stats);
+      if (!child) {
+        ++level;
+        if (level == nc) break;
+        continue;
+      }
+      const unsigned idx = cons.index_from_levels(child->li, child->lq);
+      if (jb.mask != nullptr && static_cast<std::ptrdiff_t>(level) == jb.mask_level &&
+          jb.mask[idx] == 0)
+        continue;
+      ++stats.visited_nodes;
+      current_[level * W] = idx;
+      partial_[level * W] = partial_[(level + 1) * W] + scale_[level] * child->cost_grid;
+      if (level == 0) {
+        radius = partial_[0];
+        found_[0] = 1;
+        for (std::size_t j = 0; j < nc; ++j) best_[j * W] = current_[j * W];
+      } else {
+        --level;
+        // tree_center over the W-strided path (same ops, same order).
+        const cf64* rrow = r_->row_data(level);
+        double cre = yhat_[0][level].real();
+        double cim = yhat_[0][level].imag();
+        for (std::size_t j = level + 1; j < nc; ++j) {
+          const cf64 rij = rrow[j];
+          const cf64 s = cons.point(current_[j * W]);
+          const double t_re = rij.real() * s.real() - rij.imag() * s.imag();
+          const double t_im = rij.real() * s.imag() + rij.imag() * s.real();
+          cre -= t_re;
+          cim -= t_im;
+        }
+        enums_[level * W].reset(cf64(cre, cim) / diag_[level], stats);
+      }
+    }
+    radius_[0] = radius;
+    finish_job(0);
+    job_[0] = nullptr;
+  }
+
+  void ensure_lanes() {
+    const simd::Kernel& k = simd::active_kernel();
+    const std::size_t want = simd::tree_lane_count(k.width);
+    if (&k == kernel_ && shaped_for_ == this && w_ == want) return;
+    kernel_ = &k;
+    w_ = want;
+    enums_.assign(nc_ * w_, prototype_);
+    partial_.assign((nc_ + 1) * w_, 0.0);
+    current_.assign(nc_ * w_, 0);
+    best_.assign(nc_ * w_, 0);
+    job_.assign(w_, nullptr);
+    yhat_.assign(w_, nullptr);
+    radius_.assign(w_, 0.0);
+    level_.assign(w_, 0);
+    found_.assign(w_, 0);
+    shaped_for_ = this;
+  }
+
+  void start_job(std::size_t lane, LaneJob& jb, DetectionStats& stats) {
+    job_[lane] = &jb;
+    yhat_[lane] = jb.yhat;
+    radius_[lane] = jb.radius_sq;
+    found_[lane] = 0;
+    const std::size_t root = nc_ - 1;
+    level_[lane] = root;
+    partial_[nc_ * w_ + lane] = 0.0;
+    // Root center: the j-sum above the root is empty, so this is exactly
+    // yhat[root] / diag[root] -- the same componentwise division pair
+    // tree_center performs (a lone divide per component, contraction-proof).
+    const double d = diag_[root];
+    enums_[root * w_ + lane].reset(cf64(jb.yhat[root].real() / d, jb.yhat[root].imag() / d),
+                                   stats);
+  }
+
+  void finish_job(std::size_t lane) {
+    LaneJob& jb = *job_[lane];
+    jb.found = found_[lane] != 0;
+    jb.best_dist = radius_[lane];
+    if (jb.best_out != nullptr && jb.found)
+      for (std::size_t j = 0; j < nc_; ++j) jb.best_out[j] = best_[j * w_ + lane];
+  }
+
+  /// Centers for `m` lanes descending to level `l`: per-lane tree_center
+  /// arithmetic with the j terms packed across lanes (broadcast r(l, j),
+  /// gathered per-lane symbols), then the componentwise quotient by
+  /// diag[l]. Bit-identical per lane to tree_center (same sequence, one
+  /// rounding per op).
+  void centers_at_level(std::size_t l, const unsigned* lanes_at, std::size_t m,
+                        DetectionStats& stats) {
+    const simd::Kernel& kern = *kernel_;
+    const linalg::CMatrix& r = *r_;
+    const cf64* rrow = r.row_data(l);
+    if (m == 1) {
+      // Lone descender: the scalar tree_center sequence, no packed calls.
+      const std::size_t lane = lanes_at[0];
+      double cre = yhat_[lane][l].real();
+      double cim = yhat_[lane][l].imag();
+      for (std::size_t j = l + 1; j < nc_; ++j) {
+        const cf64 rij = rrow[j];
+        const cf64 s = cons_->point(current_[j * w_ + lane]);
+        const double t_re = rij.real() * s.real() - rij.imag() * s.imag();
+        const double t_im = rij.real() * s.imag() + rij.imag() * s.real();
+        cre -= t_re;
+        cim -= t_im;
+      }
+      enums_[l * w_ + lane].reset(cf64(cre, cim) / diag_[l], stats);
+      return;
+    }
+    std::array<double, simd::kMaxLanes> are, aim, sre, sim, den, cre, cim;
+    for (std::size_t a = 0; a < m; ++a) {
+      const cf64 y = yhat_[lanes_at[a]][l];
+      are[a] = y.real();
+      aim[a] = y.imag();
+      den[a] = diag_[l];
+    }
+    for (std::size_t j = l + 1; j < nc_; ++j) {
+      const cf64 rij = rrow[j];
+      for (std::size_t a = 0; a < m; ++a) {
+        const cf64 s = cons_->point(current_[j * w_ + lanes_at[a]]);
+        sre[a] = s.real();
+        sim[a] = s.imag();
+      }
+      kern.center_accum(rij.real(), rij.imag(), sre.data(), sim.data(), are.data(),
+                        aim.data(), m);
+    }
+    kern.quotients(are.data(), den.data(), cre.data(), m);
+    kern.quotients(aim.data(), den.data(), cim.data(), m);
+    for (std::size_t a = 0; a < m; ++a)
+      enums_[l * w_ + lanes_at[a]].reset(cf64(cre[a], cim[a]), stats);
+  }
+
+  // Bound problem (set by configure()).
+  const linalg::CMatrix* r_ = nullptr;
+  const double* scale_ = nullptr;
+  const double* diag_ = nullptr;
+  const Constellation* cons_ = nullptr;
+  Enumerator prototype_;
+  std::size_t nc_ = 0;
+
+  // Lane workspaces, level-major: element (level l, lane a) at [l * w_ + a].
+  const simd::Kernel* kernel_ = nullptr;
+  const void* shaped_for_ = nullptr;
+  std::size_t w_ = 0;
+  std::vector<Enumerator> enums_;
+  std::vector<double> partial_;   ///< (nc_+1) x W; row nc_ is the zero root PED.
+  std::vector<unsigned> current_;  ///< nc_ x W current path.
+  std::vector<unsigned> best_;     ///< nc_ x W best path.
+  std::vector<LaneJob*> job_;      ///< Per lane; null = idle.
+  std::vector<const cf64*> yhat_;
+  std::vector<double> radius_;
+  std::vector<std::size_t> level_;
+  std::vector<std::uint8_t> found_;
+};
+
+}  // namespace geosphere::sphere

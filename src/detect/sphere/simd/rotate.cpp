@@ -1,0 +1,78 @@
+#include "detect/sphere/simd/rotate.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "detect/sphere/simd/dispatch.h"
+
+namespace geosphere::sphere::simd {
+
+namespace {
+
+// std::complex<double> is array-compatible with double[2] (re, im) by the
+// standard's array-oriented access guarantee, so rows of a CMatrix can be
+// read and accumulated in place as interleaved double arrays.
+inline const double* as_doubles(const cf64* p) {
+  return reinterpret_cast<const double*>(p);
+}
+
+}  // namespace
+
+void rotate_transpose(const linalg::CMatrix& a, const linalg::CMatrix& y,
+                      linalg::CMatrix& out, RotateScratch& scratch) {
+  if (a.cols() != y.rows())
+    throw std::invalid_argument("rotate_transpose: shape mismatch");
+  const std::size_t m = a.rows();
+  const std::size_t kd = a.cols();
+  const std::size_t count = y.cols();
+  out.resize_shape(count, m);  // Every element is written below.
+  if (count == 0 || m == 0 || kd == 0) {
+    if (kd == 0) out.assign_shape(count, m);  // Empty sum: all zeros.
+    return;
+  }
+  const Kernel& kern = active_kernel();
+
+  // One interleaved accumulator row (count complex values); y's rows are
+  // read in place -- no deinterleave pass, the batch dimension is already
+  // the contiguous one.
+  scratch.planes.resize(2 * count);
+  double* const acc = scratch.planes.data();
+
+  // Per output element i: zero the accumulator, accumulate the k terms in
+  // ascending order (one broadcast a(i, k) times y's whole row k each),
+  // then scatter to the interleaved transposed layout.
+  for (std::size_t i = 0; i < m; ++i) {
+    std::fill(acc, acc + 2 * count, 0.0);
+    for (std::size_t k = 0; k < kd; ++k) {
+      const cf64 aik = a(i, k);
+      kern.cmul_accum(aik.real(), aik.imag(), as_doubles(y.row_data(k)), acc, count);
+    }
+    for (std::size_t v = 0; v < count; ++v) out(v, i) = cf64(acc[2 * v], acc[2 * v + 1]);
+  }
+}
+
+void packed_root_centers(const linalg::CMatrix& yhat_t, std::size_t root, double diag,
+                         std::vector<cf64>& out, RotateScratch& scratch) {
+  const std::size_t count = yhat_t.rows();
+  out.resize(count);
+  if (count == 0) return;
+  const Kernel& kern = active_kernel();
+
+  // One quotients call covers both components: numerators are the gathered
+  // re plane then the im plane, denominators all `diag`. Each lane is a
+  // lone IEEE divide, so packing changes no bits.
+  scratch.planes.resize(6 * count);
+  double* const num = scratch.planes.data();
+  double* const den = num + 2 * count;
+  double* const quo = den + 2 * count;
+  for (std::size_t v = 0; v < count; ++v) {
+    const cf64 z = yhat_t(v, root);
+    num[v] = z.real();
+    num[count + v] = z.imag();
+  }
+  std::fill(den, den + 2 * count, diag);
+  kern.quotients(num, den, quo, 2 * count);
+  for (std::size_t v = 0; v < count; ++v) out[v] = cf64(quo[v], quo[count + v]);
+}
+
+}  // namespace geosphere::sphere::simd

@@ -56,6 +56,16 @@ void SphereDecoder<Enumerator>::do_prepare(const linalg::CMatrix& h,
 
 template <class Enumerator>
 bool SphereDecoder<Enumerator>::search(const cf64* yhat, DetectionStats& stats) {
+  // Root center: the j-sum above the root is empty, so tree_center reduces
+  // to the lone componentwise divide pair (see center.h).
+  const std::size_t root = nc_ - 1;
+  const double d = level_diag_[root];
+  return search(yhat, stats, cf64(yhat[root].real() / d, yhat[root].imag() / d));
+}
+
+template <class Enumerator>
+bool SphereDecoder<Enumerator>::search(const cf64* yhat, DetectionStats& stats,
+                                       cf64 root_center) {
   const std::size_t nc = nc_;
   const Constellation& cons = constellation();
 
@@ -70,7 +80,7 @@ bool SphereDecoder<Enumerator>::search(const cf64* yhat, DetectionStats& stats) 
   };
 
   std::size_t level = nc - 1;
-  level_enum_[level].reset(center_at(level), stats);
+  level_enum_[level].reset(root_center, stats);
 
   for (;;) {
     const double budget = (radius_sq - partial_dist_[level + 1]) / level_scale_[level];
@@ -122,28 +132,63 @@ void SphereDecoder<Enumerator>::do_solve_batch(const linalg::CMatrix& y_batch,
   if (y_batch.rows() != na_)
     throw std::invalid_argument("SphereDecoder: Y/H shape mismatch");
 
-  // One transposed rotation for the whole batch; row v of (Q^H Y)^T is
-  // bit-identical to Q^H y_v, so every per-row search sees exactly the
-  // per-vector input, read in place from one contiguous span. The
-  // enumeration workspaces stay warm across vectors.
-  multiply_transpose_into(qh_, y_batch, yhat_t_batch_);
+  // One SIMD-batched transposed rotation for the whole batch (vectors as
+  // lanes; see simd/rotate.h): row v of (Q^H Y)^T is bit-identical to
+  // Q^H y_v, so every search sees exactly the per-vector input, read in
+  // place from one contiguous span.
+  simd::rotate_transpose(qh_, y_batch, yhat_t_batch_, rot_scratch_);
 
   const std::size_t count = y_batch.cols();
   out.count = count;
   out.streams = nc_;
   out.indices.resize(count * nc_);
   DetectionStats stats;
-  const cf64* rotated = count > 0 ? yhat_t_batch_.row_data(0) : nullptr;
-  unsigned* indices = out.indices.data();
-  for (std::size_t v = 0; v < count; ++v, rotated += nc_, indices += nc_) {
-    if (!search(rotated, stats))
+
+  if (LaneTreeSearch<Enumerator>::lanes() == 1) {
+    // Sequential lane policy (the default; see simd::tree_lane_count): the
+    // per-vector search runs each row directly -- only the root-center
+    // divides remain batch-wide lockstep work, packed here.
+    simd::packed_root_centers(yhat_t_batch_, nc_ - 1, level_diag_[nc_ - 1],
+                              root_centers_, rot_scratch_);
+    for (std::size_t v = 0; v < count; ++v) {
+      if (!search(yhat_t_batch_.row_data(v), stats, root_centers_[v]))
+        throw std::runtime_error(
+            "SphereDecoder: no solution inside the configured initial radius");
+      unsigned* dst = out.indices.data() + v * nc_;
+      if (perm_is_identity_) {
+        for (std::size_t j = 0; j < nc_; ++j) dst[j] = best_[j];
+      } else {
+        for (std::size_t j = 0; j < nc_; ++j) dst[perm_[j]] = best_[j];
+      }
+    }
+    out.stats = stats;
+    return;
+  }
+
+  // Lockstep lane policy (GEOSPHERE_LANES): the rows become lane jobs and
+  // the engine runs W searches in lockstep through the dispatched SIMD
+  // kernel, refilling lanes as searches retire. With the unsorted QR the
+  // winning paths land directly in out.indices; sorted QR goes through
+  // lane_best_ and undoes the permutation after.
+  jobs_.assign(count, LaneJob{});
+  if (!perm_is_identity_) lane_best_.resize(count * nc_);
+  for (std::size_t v = 0; v < count; ++v) {
+    jobs_[v].yhat = yhat_t_batch_.row_data(v);
+    jobs_[v].best_out =
+        perm_is_identity_ ? out.indices.data() + v * nc_ : lane_best_.data() + v * nc_;
+    jobs_[v].radius_sq = config_.initial_radius_sq;
+  }
+  lane_engine_.configure(r_, level_scale_, level_diag_, constellation(), prototype_);
+  lane_engine_.run(jobs_.data(), count, stats);
+
+  for (std::size_t v = 0; v < count; ++v)
+    if (!jobs_[v].found)
       throw std::runtime_error(
           "SphereDecoder: no solution inside the configured initial radius");
-    if (perm_is_identity_) {
-      for (std::size_t j = 0; j < nc_; ++j) indices[j] = best_[j];
-    } else {
-      for (std::size_t j = 0; j < nc_; ++j) indices[perm_[j]] = best_[j];
-    }
+  if (!perm_is_identity_) {
+    for (std::size_t v = 0; v < count; ++v)
+      for (std::size_t j = 0; j < nc_; ++j)
+        out.indices[v * nc_ + perm_[j]] = lane_best_[v * nc_ + j];
   }
   out.stats = stats;
 }

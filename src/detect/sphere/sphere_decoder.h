@@ -20,7 +20,9 @@
 
 #include "detect/detector.h"
 #include "detect/sphere/enumerators.h"
+#include "detect/sphere/lane_engine.h"
 #include "detect/sphere/preprocess.h"
+#include "detect/sphere/simd/rotate.h"
 
 namespace geosphere::sphere {
 
@@ -49,8 +51,12 @@ class SphereDecoder final : public Detector {
  protected:
   void do_prepare(const linalg::CMatrix& h, double noise_var) override;
   void do_solve(const CVector& y, DetectionResult& out) override;
-  /// One mat-mat Q^H Y rotation for the whole batch, then the shared tree
-  /// search per column against warm enumeration workspaces.
+  /// One SIMD-batched Q^H Y rotation for the whole batch (vectors as lanes,
+  /// see simd/rotate.h) plus packed root-center divides, then the rows run
+  /// through the per-vector search (the default W = 1 lane policy) or as
+  /// lockstep lanes of the SoA engine (see lane_engine.h and
+  /// simd::tree_lane_count). Bit-identical to looping do_solve over the
+  /// columns on every tier and under either policy.
   void do_solve_batch(const linalg::CMatrix& y_batch, BatchResult& out) override;
 
  private:
@@ -59,6 +65,10 @@ class SphereDecoder final : public Detector {
   /// best_ and accumulates counters into `stats`. Returns false if the
   /// configured initial radius prunes everything.
   bool search(const cf64* yhat, DetectionStats& stats);
+  /// Same search with the root-level center precomputed by the caller (the
+  /// batched path packs all the root divides; the value is bit-identical to
+  /// what the one-argument form computes, so both forms agree exactly).
+  bool search(const cf64* yhat, DetectionStats& stats, cf64 root_center);
 
   Enumerator prototype_;
   std::string name_;
@@ -81,6 +91,14 @@ class SphereDecoder final : public Detector {
   std::vector<double> partial_dist_;    ///< partial_dist_[l] = d(s^(l)); [nc] = 0.
   std::vector<unsigned> current_;       ///< Symbol index per level on the path.
   std::vector<unsigned> best_;
+
+  // Batched-solve state: SIMD rotation scratch (see simd/rotate.h) and the
+  // lane engine for the lockstep policy (see lane_engine.h).
+  simd::RotateScratch rot_scratch_;
+  std::vector<cf64> root_centers_;  ///< Packed per-vector root centers.
+  LaneTreeSearch<Enumerator> lane_engine_;
+  std::vector<LaneJob> jobs_;
+  std::vector<unsigned> lane_best_;  ///< Pre-permutation paths (sorted QR only).
 };
 
 /// Geosphere: 2D zigzag enumeration + geometric pruning (the full system).

@@ -71,6 +71,16 @@ class Matrix {
     data_.assign(rows * cols, T{});
   }
 
+  /// Reshapes to rows x cols WITHOUT clearing retained elements (grown
+  /// storage is value-initialized by vector::resize) -- for outputs the
+  /// caller overwrites in full, e.g. the batched rotation, where the
+  /// per-batch zero pass of assign_shape is pure waste.
+  void resize_shape(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
   T& operator()(std::size_t i, std::size_t j) {
     assert(i < rows_ && j < cols_);
     return data_[i * cols_ + j];
