@@ -32,6 +32,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
@@ -380,10 +381,12 @@ void write_json(const std::string& path, const std::string& channel,
   std::fprintf(f,
                "  \"host\": {\"compiler\": \"%s\", \"flags\": \"%s\", "
                "\"geosphere_native\": %s, \"simd_tier\": \"%s\", "
-               "\"simd_width\": %zu, \"tree_lanes\": %zu},\n",
+               "\"simd_width\": %zu, \"tree_lanes\": %zu, "
+               "\"hardware_concurrency\": %u},\n",
                json_escape(compiler_id()).c_str(), json_escape(build_flags()).c_str(),
                native_build() ? "true" : "false", kern.name, kern.width,
-               geosphere::sphere::simd::tree_lane_count(kern.width));
+               geosphere::sphere::simd::tree_lane_count(kern.width),
+               std::thread::hardware_concurrency());
   std::fprintf(f, "  \"snr_db\": 25.0,\n  \"results\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const Measurement& m = results[i];

@@ -31,6 +31,20 @@ class Rng {
     return z ^ (z >> 31);
   }
 
+  /// Multi-index derivations for nested counter spaces, chaining the
+  /// splitmix64 step per index: derive_seed(seed, cell, tti, frame) is the
+  /// serving layer's per-frame seed, independent for every (cell, tti,
+  /// frame) triple and -- like the single-index form -- independent of
+  /// which thread does the work or in what order.
+  static std::uint64_t derive_seed(std::uint64_t master, std::uint64_t i,
+                                   std::uint64_t j) {
+    return derive_seed(derive_seed(master, i), j);
+  }
+  static std::uint64_t derive_seed(std::uint64_t master, std::uint64_t i,
+                                   std::uint64_t j, std::uint64_t k) {
+    return derive_seed(derive_seed(master, i, j), k);
+  }
+
   /// The dedicated generator for frame `frame_index` of the experiment with
   /// master seed `master_seed` (counter-based per-frame seeding).
   static Rng for_frame(std::uint64_t master_seed, std::uint64_t frame_index) {

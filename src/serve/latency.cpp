@@ -1,0 +1,57 @@
+#include "serve/latency.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace geosphere::serve {
+
+namespace {
+
+/// 2^(1/4): the quarter-octave bucket growth ratio.
+const double kRatio = std::pow(2.0, 0.25);
+const double kLogRatio = std::log(kRatio);
+
+}  // namespace
+
+std::size_t LatencyRecorder::bucket_of(std::uint64_t ns) {
+  if (ns <= kMinNs) return 0;
+  const double exact =
+      std::log(static_cast<double>(ns) / static_cast<double>(kMinNs)) / kLogRatio;
+  const auto index = static_cast<std::size_t>(exact);
+  return std::min(index, kBuckets - 1);
+}
+
+double LatencyRecorder::bucket_floor_ns(std::size_t index) {
+  return static_cast<double>(kMinNs) * std::pow(kRatio, static_cast<double>(index));
+}
+
+void LatencyRecorder::record(std::uint64_t ns) {
+  ++counts_[bucket_of(ns)];
+  ++count_;
+  max_ns_ = std::max(max_ns_, ns);
+}
+
+void LatencyRecorder::merge(const LatencyRecorder& o) {
+  for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += o.counts_[i];
+  count_ += o.count_;
+  max_ns_ = std::max(max_ns_, o.max_ns_);
+}
+
+double LatencyRecorder::percentile_ns(double p) const {
+  if (count_ == 0) return 0.0;
+  const double clamped = std::clamp(p, 0.0, 1.0);
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(clamped * static_cast<double>(count_))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += counts_[i];
+    if (seen >= rank) {
+      // Geometric midpoint of [floor, floor * ratio): sqrt(ratio) * floor.
+      return bucket_floor_ns(i) * std::sqrt(kRatio);
+    }
+  }
+  return bucket_floor_ns(kBuckets - 1) * std::sqrt(kRatio);
+}
+
+}  // namespace geosphere::serve

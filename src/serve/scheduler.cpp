@@ -1,0 +1,135 @@
+#include "serve/scheduler.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/rng.h"
+#include "link/rate_adapt.h"
+#include "link/user_selection.h"
+
+namespace geosphere::serve {
+
+namespace {
+
+/// Probe frames for the per-TTI rate choice are short: the probe emulates
+/// ideal rate adaptation (link::best_rate over the candidate list on a
+/// fresh deterministic channel draw), and a full-length payload would make
+/// the scheduler as expensive as the detection pipeline it feeds.
+constexpr std::size_t kProbePayloadBytes = 100;
+
+}  // namespace
+
+CellScheduler::CellScheduler(const CellSpec& spec, std::uint64_t master_seed,
+                             std::size_t cell_index)
+    : spec_(spec),
+      det_spec_(DetectorSpec::parse(spec.detector)),
+      chan_spec_(channel::ChannelSpec::parse(spec.channel)),
+      master_seed_(master_seed),
+      cell_(cell_index),
+      queue_(spec.users, 0),
+      last_served_plus1_(spec.users, 0) {
+  // Static per-user mean SNRs: one derived stream per (seed, cell), drawn
+  // in user order -- identical for any TTI count or thread layout.
+  Rng rng(Rng::derive_seed(master_seed_, cell_));
+  snr_db_.reserve(spec_.users);
+  for (std::size_t u = 0; u < spec_.users; ++u)
+    snr_db_.push_back(spec_.snr_db +
+                      (spec_.snr_spread_db > 0.0
+                           ? rng.uniform(-spec_.snr_spread_db, spec_.snr_spread_db)
+                           : 0.0));
+}
+
+const channel::ChannelModel& CellScheduler::channel(std::size_t streams) {
+  auto& slot = channels_[streams];
+  if (!slot) slot = chan_spec_.create(streams, spec_.antennas);
+  return *slot;
+}
+
+std::uint64_t CellScheduler::backlog() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t q : queue_) total += q;
+  return total;
+}
+
+void CellScheduler::complete(std::size_t user, bool delivered) {
+  if (user >= queue_.size())
+    throw std::invalid_argument("CellScheduler::complete: unknown user");
+  if (delivered && queue_[user] > 0) --queue_[user];
+}
+
+CellSchedule CellScheduler::schedule_tti(std::uint64_t tti) {
+  // All of this TTI's scheduling randomness (arrivals, the rate probe's
+  // seed) comes from one (seed, cell, tti)-derived stream.
+  Rng rng(Rng::derive_seed(master_seed_, cell_, tti));
+  for (std::size_t u = 0; u < spec_.users; ++u) {
+    if (rng.uniform() < spec_.load) {
+      ++queue_[u];
+      ++arrivals_;
+    }
+  }
+
+  CellSchedule out;
+  out.tti = tti;
+
+  // Backlogged users only: zero-demand users are never scheduled.
+  candidates_.clear();
+  candidate_snrs_.clear();
+  for (std::size_t u = 0; u < spec_.users; ++u) {
+    if (queue_[u] > 0) {
+      candidates_.push_back(u);
+      candidate_snrs_.push_back(snr_db_[u]);
+    }
+  }
+  if (candidates_.empty()) return out;
+
+  // SNR-windowed selection (keeps the group's condition number small, the
+  // paper's Section 5.2 method). An empty window must not starve the cell:
+  // fall back to every backlogged user.
+  const std::vector<std::size_t> in_window =
+      link::select_in_snr_range(candidate_snrs_, spec_.snr_db, spec_.window_db);
+  ranked_.clear();
+  if (in_window.empty()) {
+    ranked_ = candidates_;
+  } else {
+    for (const std::size_t i : in_window) ranked_.push_back(candidates_[i]);
+  }
+
+  // Longest-unserved-first round robin, user index as the deterministic
+  // tie-break; stable ordering for any candidate arrangement.
+  std::sort(ranked_.begin(), ranked_.end(), [&](std::size_t a, std::size_t b) {
+    if (last_served_plus1_[a] != last_served_plus1_[b])
+      return last_served_plus1_[a] < last_served_plus1_[b];
+    return a < b;
+  });
+  ranked_.resize(std::min(ranked_.size(), spec_.antennas));
+
+  out.users = ranked_;
+  std::sort(out.users.begin(), out.users.end());
+  double snr_sum = 0.0;
+  for (const std::size_t u : out.users) {
+    snr_sum += snr_db_[u];
+    last_served_plus1_[u] = tti + 1;
+  }
+  out.snr_db = snr_sum / static_cast<double>(out.users.size());
+
+  // Rate choice over the candidate QAM list. A single-candidate list needs
+  // no probe; otherwise a short probe frame per candidate on a fresh
+  // (seed, cell, tti)-derived channel draw emulates ideal rate adaptation
+  // (link::best_rate semantics: candidate order, strictly greater net
+  // throughput wins).
+  if (spec_.qams.size() == 1) {
+    out.qam = spec_.qams.front();
+  } else {
+    link::LinkScenario probe;
+    probe.frame.payload_bytes = std::min(spec_.payload_bytes, kProbePayloadBytes);
+    probe.snr_db = out.snr_db;
+    const std::uint64_t probe_seed = rng.engine()();
+    const link::RateChoice choice =
+        link::best_rate(channel(out.users.size()), probe, det_spec_, 1, probe_seed,
+                        spec_.qams);
+    out.qam = choice.qam_order;
+  }
+  return out;
+}
+
+}  // namespace geosphere::serve

@@ -15,6 +15,8 @@
 //                 [--detectors zf,geosphere,soft-geosphere] [--snrs 15,20,25]
 //                 [--qams 4,16,64] [--decision auto|hard|soft]
 //                 [--channel NAME]
+//   geosphere_cli serve --spec "users=32,load=0.6;users=8,detector=mmse"
+//                 [--ttis N] [--json PATH]
 //   geosphere_cli trace-record --out FILE --links N --clients N --antennas N
 //                 [--channel NAME]
 //   geosphere_cli trace-info FILE
@@ -22,8 +24,10 @@
 // Detector names are DetectorSpec registry forms (`list-detectors` prints
 // them all); channel names are ChannelSpec registry forms (`list-channels`
 // prints them all) -- a channel recorded with trace-record replays through
-// any command via --channel trace:FILE.
+// any command via --channel trace:FILE. serve specs are ServeSpec forms
+// (';'-separated cells of key=value pairs).
 // Common flags: --threads N (default: all cores), --frames N, --seed N.
+// Flags accept both "--flag value" and "--flag=value".
 #include <cstdio>
 #include <iostream>
 #include <map>
@@ -34,6 +38,8 @@
 #include "channel/spec.h"
 #include "channel/trace.h"
 #include "detect/spec.h"
+#include "serve/server.h"
+#include "serve/spec.h"
 #include "sim/complexity_experiment.h"
 #include "sim/conditioning_experiment.h"
 #include "sim/engine.h"
@@ -121,8 +127,13 @@ Args parse(int argc, char** argv) {
   for (int i = 2; i < argc; ++i) {
     const std::string token = argv[i];
     if (token.rfind("--", 0) == 0) {
-      if (i + 1 >= argc) throw std::runtime_error("missing value for " + token);
-      args.flags[token.substr(2)] = argv[++i];
+      const std::size_t eq = token.find('=');
+      if (eq != std::string::npos) {  // --flag=value form
+        args.flags[token.substr(2, eq - 2)] = token.substr(eq + 1);
+      } else {
+        if (i + 1 >= argc) throw std::runtime_error("missing value for " + token);
+        args.flags[token.substr(2)] = argv[++i];
+      }
     } else {
       args.positional.push_back(token);
     }
@@ -233,12 +244,17 @@ int cmd_sweep(const Args& args) {
   // soft-capable registry entries; hard-only defaults would refuse it.
   spec.detectors = split_list(
       args.get("detectors", decision == "soft" ? "soft-geosphere" : "zf,geosphere"));
+  // Validate eagerly so a typo'd detector fails here with the registry's
+  // valid forms instead of surfacing mid-sweep.
+  for (const auto& d : spec.detectors) DetectorSpec::parse(d);
   for (const auto& s : split_list(args.get("snrs", "15,20,25")))
     spec.snr_grid_db.push_back(Args::parse_double("--snrs", s));
   spec.candidate_qams.clear();
   for (const auto& q : split_list(args.get("qams", "4,16,64"))) {
     const long qam = Args::parse_long("--qams", q);
-    if (qam <= 0) throw std::runtime_error("--qams entries must be positive");
+    if (qam != 4 && qam != 16 && qam != 64 && qam != 256)
+      throw std::runtime_error("--qams entries must be 4, 16, 64 or 256, got \"" + q +
+                               "\"");
     spec.candidate_qams.push_back(static_cast<unsigned>(qam));
   }
   if (spec.detectors.empty() || spec.snr_grid_db.empty() || spec.candidate_qams.empty())
@@ -266,6 +282,112 @@ int cmd_sweep(const Args& args) {
                    sim::TablePrinter::fmt(cell.stats.fer()),
                    sim::TablePrinter::fmt(cell.stats.avg_ped_per_subcarrier(), 1)});
   table.print(std::cout);
+  return 0;
+}
+
+void write_serve_json(const std::string& path, const serve::ServeResult& r,
+                      const std::string& spec_text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) throw std::runtime_error("cannot open " + path + " for writing");
+  const auto latency = [f](const serve::LatencyRecorder& rec, const char* indent) {
+    std::fprintf(f,
+                 "%s\"latency_ns\": {\"count\": %llu, \"p50\": %.1f, \"p90\": %.1f, "
+                 "\"p99\": %.1f, \"max\": %llu}",
+                 indent, static_cast<unsigned long long>(rec.count()),
+                 rec.percentile_ns(0.5), rec.percentile_ns(0.9), rec.percentile_ns(0.99),
+                 static_cast<unsigned long long>(rec.max_ns()));
+  };
+  std::fprintf(f, "{\n  \"spec\": \"%s\",\n  \"ttis\": %llu,\n  \"seed\": %llu,\n",
+               spec_text.c_str(), static_cast<unsigned long long>(r.ttis),
+               static_cast<unsigned long long>(r.seed));
+  std::fprintf(f, "  \"threads\": %zu,\n  \"cells\": [\n", r.threads);
+  for (std::size_t c = 0; c < r.cells.size(); ++c) {
+    const serve::CellCounters& cc = r.cells[c].counters;
+    std::fprintf(f, "    {\n      \"spec\": \"%s\",\n", r.cells[c].spec.text().c_str());
+    std::fprintf(f,
+                 "      \"arrivals\": %llu,\n      \"scheduled_frames\": %llu,\n"
+                 "      \"scheduled_users\": %llu,\n      \"user_frames_ok\": %llu,\n"
+                 "      \"user_frames_error\": %llu,\n      \"bit_errors\": %llu,\n"
+                 "      \"delivered_bits\": %llu,\n      \"backlog_end\": %llu,\n"
+                 "      \"detection_calls\": %llu,\n"
+                 "      \"schedule_hash\": \"%016llx\",\n"
+                 "      \"fer\": %.6f,\n      \"goodput_mbps\": %.6f,\n",
+                 static_cast<unsigned long long>(cc.arrivals),
+                 static_cast<unsigned long long>(cc.scheduled_frames),
+                 static_cast<unsigned long long>(cc.scheduled_users),
+                 static_cast<unsigned long long>(cc.user_frames_ok),
+                 static_cast<unsigned long long>(cc.user_frames_error),
+                 static_cast<unsigned long long>(cc.bit_errors),
+                 static_cast<unsigned long long>(cc.delivered_bits),
+                 static_cast<unsigned long long>(cc.backlog_end),
+                 static_cast<unsigned long long>(cc.detection_calls),
+                 static_cast<unsigned long long>(cc.schedule_hash), cc.fer(),
+                 cc.goodput_mbps());
+    latency(r.cells[c].latency, "      ");
+    std::fprintf(f, "\n    }%s\n", c + 1 < r.cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  latency(r.latency, "  ");
+  std::fprintf(f, "\n}\n");
+  std::fclose(f);
+}
+
+int cmd_serve(const Args& args) {
+  const std::string spec_text = args.get("spec", "");
+  if (spec_text.empty())
+    throw std::runtime_error(
+        "serve needs --spec: ';'-separated cells of key=value pairs (valid keys: " +
+        serve::cell_spec_keys() + ")");
+  const serve::ServeSpec spec = serve::ServeSpec::parse(spec_text);
+  const std::size_t ttis = args.get_size("ttis", 200);
+  const long threads = args.get_int("threads", 0);
+  if (threads < 0 || threads > 1024)
+    throw std::runtime_error("--threads must be in [0, 1024] (0 = all cores)");
+
+  serve::Server server(spec, static_cast<std::size_t>(threads));
+  const serve::ServeResult result = server.run(ttis, args.seed());
+
+  // First line carries the host-dependent context (thread count); every
+  // line from the table to the "--- latency" separator is deterministic in
+  // (spec, ttis, seed) -- CI byte-diffs that span across thread counts.
+  std::printf("serving %zu cells for %llu TTIs, seed %llu, threads %zu\n",
+              spec.cells.size(), static_cast<unsigned long long>(result.ttis),
+              static_cast<unsigned long long>(result.seed), server.threads());
+  sim::TablePrinter table({"cell", "users", "detector", "arrivals", "frames", "streams",
+                           "FER", "goodput (Mbps)", "backlog", "schedule hash"});
+  for (std::size_t c = 0; c < result.cells.size(); ++c) {
+    const serve::CellReport& rep = result.cells[c];
+    const serve::CellCounters& cc = rep.counters;
+    char hash[32];
+    std::snprintf(hash, sizeof(hash), "%016llx",
+                  static_cast<unsigned long long>(cc.schedule_hash));
+    table.add_row({std::to_string(c), std::to_string(rep.spec.users), rep.spec.detector,
+                   std::to_string(cc.arrivals), std::to_string(cc.scheduled_frames),
+                   std::to_string(cc.scheduled_users), sim::TablePrinter::fmt(cc.fer()),
+                   sim::TablePrinter::fmt(cc.goodput_mbps()),
+                   std::to_string(cc.backlog_end), hash});
+  }
+  table.print(std::cout);
+
+  std::printf("\n--- latency (host-dependent) ---\n");
+  sim::TablePrinter lat({"cell", "frames", "p50 (us)", "p90 (us)", "p99 (us)", "max (us)"});
+  const auto lat_row = [&lat](const std::string& name, const serve::LatencyRecorder& r) {
+    lat.add_row({name, std::to_string(r.count()),
+                 sim::TablePrinter::fmt(r.percentile_ns(0.5) / 1000.0, 1),
+                 sim::TablePrinter::fmt(r.percentile_ns(0.9) / 1000.0, 1),
+                 sim::TablePrinter::fmt(r.percentile_ns(0.99) / 1000.0, 1),
+                 sim::TablePrinter::fmt(static_cast<double>(r.max_ns()) / 1000.0, 1)});
+  };
+  for (std::size_t c = 0; c < result.cells.size(); ++c)
+    lat_row(std::to_string(c), result.cells[c].latency);
+  lat_row("all", result.latency);
+  lat.print(std::cout);
+
+  const std::string json = args.get("json", "");
+  if (!json.empty()) {
+    write_serve_json(json, result, spec.text());
+    std::printf("\nwrote %s\n", json.c_str());
+  }
   return 0;
 }
 
@@ -359,6 +481,11 @@ void usage() {
        "  sweep          --clients N --antennas N [--detectors A,B] [--snrs 15,20,25]\n"
        "                 [--qams 4,16,64] [--decision auto|hard|soft] [--payload BYTES]\n"
        "                 [--jitter DB] [--channel NAME]\n"
+       "  serve          --spec CELLS [--ttis N] [--json PATH]\n"
+       "                 (CELLS: ';'-separated cells of key=value pairs;\n"
+       "                  keys: " +
+       serve::cell_spec_keys() +
+       ")\n"
        "  trace-record   --out FILE --links N --clients N --antennas N [--channel NAME]\n"
        "  trace-info     FILE\n"
        "common flags: --threads N (default all cores; results identical for any N),\n"
@@ -384,6 +511,7 @@ int main(int argc, char** argv) {
     if (args.command == "throughput") return cmd_throughput(args);
     if (args.command == "complexity") return cmd_complexity(args);
     if (args.command == "sweep") return cmd_sweep(args);
+    if (args.command == "serve") return cmd_serve(args);
     if (args.command == "trace-record") return cmd_trace_record(args);
     if (args.command == "trace-info") return cmd_trace_info(args);
     usage();
