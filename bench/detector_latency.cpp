@@ -12,16 +12,25 @@
 // measure the phase-3 amortization: one mat-mat product / warm workspace
 // sweep per subcarrier instead of per-vector dispatch.
 //
+// Soft-capable detectors additionally report the per-vector LLR cost
+// (ns/soft = solve_soft, ns/soft_b48 = per-vector cost of
+// solve_soft_batch at batch 48) and srch/soft -- the measured
+// tree_searches per solve_soft, which is the soft-output strategy in one
+// number: 1 + streams*Q for the repeated-tree-search detector, exactly
+// 1.0 for soft-geosphere-sts. Hard-only rows print '-' and record 0 in
+// the JSON.
+//
 // Besides the human-readable table, the bench emits machine-readable
 // BENCH_detector_latency.json (--json=PATH to relocate) with a "host"
 // block (compiler, flags, GEOSPHERE_NATIVE, detected SIMD tier -- so
 // committed baselines from different machines are comparable) and one
 // record per (detector, QAM): {detector, qam, dims, ns_prepare, ns_solve,
 // ns_solve_b4, ns_solve_b16, ns_solve_b48, batch_speedup48,
-// batch_speedup48_noise, ns_oneshot, ped_per_solve} -- the perf
-// trajectory; CI runs it with a small --budget-ms and validates the
-// schema. Timings are median-of-5 interleaved passes after a warmup round;
-// ratio columns within the surviving timer noise are flagged with '~'.
+// batch_speedup48_noise, ns_oneshot, ped_per_solve, ns_solve_soft,
+// ns_solve_soft_b48, searches_per_soft} -- the perf trajectory; CI runs
+// it with a small --budget-ms and validates the schema. Timings are
+// median-of-5 interleaved passes after a warmup round; ratio columns
+// within the surviving timer noise are flagged with '~'.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -176,6 +185,12 @@ struct Measurement {
   double ns_solve_batch[std::size(kBatchSizes)] = {};
   double ns_oneshot = 0.0;
   double ped_per_solve = 0.0;
+  /// Soft-output columns (0 for hard-only detectors): per-vector
+  /// solve_soft cost, per-vector solve_soft_batch cost at the largest
+  /// batch, and measured tree_searches per solve_soft.
+  double ns_solve_soft = 0.0;
+  double ns_solve_soft_b48 = 0.0;
+  double searches_per_soft = 0.0;
   /// Relative timer noise (inter-quartile half-spread / median) of the
   /// measurements entering each reported ratio.
   double noise_solve = 0.0;
@@ -260,6 +275,38 @@ Measurement measure(const DetectorSpec& spec, unsigned order, const Workload& w,
         keep(batch.indices[0]);
         j = (j + 1) % kDraws;
       }});
+
+    // Soft-output metrics ride in the same interleaved group over the same
+    // vector population, so ns/soft ratios across detectors share machine
+    // state to first order. tree_searches is aggregated alongside the
+    // timing: it is the strategy's headline counter (1 + streams*Q searches
+    // per vector repeated vs exactly 1 single-tree-search).
+    const bool has_soft = prepared.front()->soft() != nullptr;
+    SoftDetectionResult soft_out;
+    SoftBatchResult soft_batch;
+    std::uint64_t soft_searches = 0;
+    std::uint64_t soft_calls = 0;
+    std::size_t si = 0;
+    std::size_t sv = 0;
+    std::size_t sbi = 0;
+    if (has_soft) {
+      group.push_back({[&] {
+        prepared[si]->soft()->solve_soft(w.y_cols[si][sv], soft_out);
+        soft_searches += soft_out.stats.tree_searches;
+        ++soft_calls;
+        keep(soft_out.indices[0]);
+        if (++sv == kBatchMax) {
+          sv = 0;
+          si = (si + 1) % kDraws;
+        }
+      }});
+      group.push_back({[&] {
+        prepared[sbi]->soft()->solve_soft_batch(
+            w.y_batches[sbi][std::size(kBatchSizes) - 1], soft_batch);
+        keep(soft_batch.indices[0]);
+        sbi = (sbi + 1) % kDraws;
+      }});
+    }
     time_group(budget_ms, group);
 
     m.ns_solve = group[0].ns;
@@ -268,6 +315,15 @@ Measurement measure(const DetectorSpec& spec, unsigned order, const Workload& w,
       m.ns_solve_batch[b] = group[1 + b].ns / static_cast<double>(kBatchSizes[b]);
     m.noise_batch48 = group[std::size(kBatchSizes)].rel_noise;
     m.ped_per_solve = calls ? static_cast<double>(peds) / static_cast<double>(calls) : 0.0;
+    if (has_soft) {
+      const std::size_t base = 1 + std::size(kBatchSizes);
+      m.ns_solve_soft = group[base].ns;
+      m.ns_solve_soft_b48 =
+          group[base + 1].ns / static_cast<double>(kBatchSizes[std::size(kBatchSizes) - 1]);
+      m.searches_per_soft = soft_calls ? static_cast<double>(soft_searches) /
+                                             static_cast<double>(soft_calls)
+                                       : 0.0;
+    }
     keep(agg.slicer_ops);
   }
 
@@ -395,11 +451,14 @@ void write_json(const std::string& path, const std::string& channel,
                  "\"ns_prepare\": %.1f, \"ns_solve\": %.1f, "
                  "\"ns_solve_b4\": %.1f, \"ns_solve_b16\": %.1f, \"ns_solve_b48\": %.1f, "
                  "\"batch_speedup48\": %.3f, \"batch_speedup48_noise\": %.3f, "
-                 "\"ns_oneshot\": %.1f, \"ped_per_solve\": %.2f}%s\n",
+                 "\"ns_oneshot\": %.1f, \"ped_per_solve\": %.2f, "
+                 "\"ns_solve_soft\": %.1f, \"ns_solve_soft_b48\": %.1f, "
+                 "\"searches_per_soft\": %.2f}%s\n",
                  json_escape(m.detector).c_str(), m.qam, json_escape(m.dims).c_str(),
                  m.ns_prepare, m.ns_solve, m.ns_solve_batch[0], m.ns_solve_batch[1],
                  m.ns_solve_batch[2], m.batch_speedup(), m.batch_speedup_noise(),
-                 m.ns_oneshot, m.ped_per_solve, i + 1 < results.size() ? "," : "");
+                 m.ns_oneshot, m.ped_per_solve, m.ns_solve_soft, m.ns_solve_soft_b48,
+                 m.searches_per_soft, i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -448,7 +507,8 @@ int main(int argc, char** argv) {
       {"eth-sd", {16, 64, 256}},    {"shabany", {16, 64, 256}},
       {"rvd", {16, 64, 256}},       {"fsd", {16, 64, 256}},
       {"kbest:8", {16, 64, 256}},   {"hybrid", {16, 64, 256}},
-      {"soft-geosphere", {16, 64}},
+      {"soft-geosphere", {16, 64, 256}},
+      {"soft-geosphere-sts", {16, 64, 256}},
   };
 
   const std::string channel = geosphere::bench::channel_or("rayleigh");
@@ -461,9 +521,10 @@ int main(int argc, char** argv) {
   std::printf("kernel tier: %s (width %zu, tree lanes %zu), %s build\n\n", kern.name,
               kern.width, geosphere::sphere::simd::tree_lane_count(kern.width),
               native_build() ? "native" : "portable");
-  std::printf("%-16s %5s %11s %10s %10s %10s %10s %10s %11s %10s %13s\n", "detector",
-              "QAM", "ns/prepare", "ns/solve", "ns/slv_b4", "ns/slv_b16", "ns/slv_b48",
-              "batchx@48", "ns/oneshot", "PED/solve", "speedup@4sym");
+  std::printf("%-18s %5s %11s %10s %10s %10s %10s %10s %11s %10s %13s %10s %11s %10s\n",
+              "detector", "QAM", "ns/prepare", "ns/solve", "ns/slv_b4", "ns/slv_b16",
+              "ns/slv_b48", "batchx@48", "ns/oneshot", "PED/solve", "speedup@4sym",
+              "ns/soft", "ns/soft_b48", "srch/soft");
 
   // Tokenize the allowlist once; exact spec matches only.
   std::vector<std::string> wanted_specs;
@@ -487,13 +548,24 @@ int main(int argc, char** argv) {
       const Measurement m =
           measure(geosphere::DetectorSpec::parse(c.spec), qam, workload(qam), budget_ms);
       // The frame-speedup ratio compares oneshot against prepare+solve, so
-      // its noise band combines those components' spreads.
-      std::printf("%-16s %5u %11.0f %10.0f %10.0f %10.0f %10.0f %10s %11.0f %10.1f %13s\n",
+      // its noise band combines those components' spreads. Soft columns
+      // print '-' for hard-only detectors.
+      char soft_cols[3][32];
+      if (m.ns_solve_soft > 0.0) {
+        std::snprintf(soft_cols[0], sizeof soft_cols[0], "%.0f", m.ns_solve_soft);
+        std::snprintf(soft_cols[1], sizeof soft_cols[1], "%.0f", m.ns_solve_soft_b48);
+        std::snprintf(soft_cols[2], sizeof soft_cols[2], "%.1f", m.searches_per_soft);
+      } else {
+        for (auto& col : soft_cols) std::snprintf(col, sizeof col, "-");
+      }
+      std::printf("%-18s %5u %11.0f %10.0f %10.0f %10.0f %10.0f %10s %11.0f %10.1f %13s"
+                  " %10s %11s %10s\n",
                   m.detector.c_str(), m.qam, m.ns_prepare, m.ns_solve, m.ns_solve_batch[0],
                   m.ns_solve_batch[1], m.ns_solve_batch[2],
                   format_ratio(m.batch_speedup(), m.batch_speedup_noise()).c_str(),
                   m.ns_oneshot, m.ped_per_solve,
-                  format_ratio(frame_speedup(m, 4.0), m.noise_oneshot + m.noise_solve).c_str());
+                  format_ratio(frame_speedup(m, 4.0), m.noise_oneshot + m.noise_solve).c_str(),
+                  soft_cols[0], soft_cols[1], soft_cols[2]);
       results.push_back(m);
     }
   }

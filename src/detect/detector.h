@@ -80,6 +80,15 @@ struct DetectionStats {
   /// N per-vector solves, so batched and per-vector runs report identical
   /// work -- batch_calls only records how it was dispatched.
   std::uint64_t batch_calls = 0;
+  /// Depth-first enumeration passes started (one per tree-search root
+  /// reset). This is the counter that separates the soft-output
+  /// strategies: the repeated-tree-search detector pays 1 + streams*Q of
+  /// these per received vector, the single-tree-search detector exactly 1.
+  std::uint64_t tree_searches = 0;
+  /// Counter-hypothesis PED table writes (single-tree-search soft output
+  /// only): how many times a reached leaf improved some bit's
+  /// counter-hypothesis distance.
+  std::uint64_t counter_updates = 0;
 
   DetectionStats& operator+=(const DetectionStats& o) {
     ped_computations += o.ped_computations;
@@ -90,6 +99,8 @@ struct DetectionStats {
     queue_ops += o.queue_ops;
     preprocess_calls += o.preprocess_calls;
     batch_calls += o.batch_calls;
+    tree_searches += o.tree_searches;
+    counter_updates += o.counter_updates;
     return *this;
   }
 };

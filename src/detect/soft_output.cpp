@@ -40,6 +40,7 @@ SoftGeosphereDetector::Search SoftGeosphereDetector::search(
   const std::size_t nc = scale_.size();
   const Constellation& cons = constellation();
 
+  ++stats.tree_searches;
   Search out;
   out.best.assign(nc, 0);
   out.best_dist = radius_sq;

@@ -1,0 +1,369 @@
+#include "detect/soft_sts.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "detect/sphere/center.h"
+#include "linalg/qr.h"
+
+namespace geosphere {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+SoftGeosphereStsDetector::SoftGeosphereStsDetector(const Constellation& c,
+                                                   double llr_clamp)
+    : Detector(c), llr_clamp_(llr_clamp), enum_proto_({.geometric_pruning = true}) {
+  if (llr_clamp <= 0.0)
+    throw std::invalid_argument("SoftGeosphereStsDetector: llr_clamp must be positive");
+  enum_proto_.attach(c);
+
+  // Pack each symbol's bits into one word so the leaf updates can diff a
+  // whole symbol against the ML candidate with a single XOR.
+  const unsigned bits = c.bits_per_symbol();
+  std::vector<std::uint8_t> sym_bits(bits);
+  bit_word_.assign(c.order(), 0);
+  for (unsigned idx = 0; idx < c.order(); ++idx) {
+    c.bits_from_index(idx, sym_bits.data());
+    for (unsigned b = 0; b < bits; ++b)
+      if (sym_bits[b]) bit_word_[idx] |= 1u << b;
+  }
+}
+
+void SoftGeosphereStsDetector::do_prepare(const linalg::CMatrix& h, double noise_var) {
+  const std::size_t nc = h.cols();
+  if (nc == 0 || h.rows() < nc)
+    throw std::invalid_argument("SoftGeosphereStsDetector: shape mismatch");
+  if (noise_var <= 0.0)
+    throw std::invalid_argument(
+        "SoftGeosphereStsDetector: needs positive noise variance");
+
+  const Constellation& cons = constellation();
+  auto [q, r] = linalg::householder_qr(h);
+  const double rank_tol = 1e-10 * std::sqrt(std::max(h.frobenius_norm_sq(), 1e-300));
+  for (std::size_t l = 0; l < nc; ++l)
+    if (r(l, l).real() <= rank_tol)
+      throw std::domain_error("SoftGeosphereStsDetector: rank-deficient channel");
+
+  na_ = h.rows();
+  qh_ = q.hermitian();
+  r_ = std::move(r);
+  noise_var_ = noise_var;
+  const double alpha = cons.scale();
+  scale_.assign(nc, 0.0);
+  diag_.assign(nc, 0.0);
+  for (std::size_t l = 0; l < nc; ++l) {
+    const double rll = r_(l, l).real();
+    scale_[l] = rll * rll * alpha * alpha;
+    // Same product the per-node center division used to form -- hoisted
+    // once per channel, bit-identical.
+    diag_[l] = rll * alpha;
+  }
+  if (level_enum_.size() != nc) {
+    level_enum_.assign(nc, enum_proto_);
+    current_.assign(nc, 0);
+    partial_.assign(nc + 1, 0.0);
+    ml_best_.assign(nc, 0);
+    ml_word_.assign(nc, 0);
+    radius_epoch_.assign(nc, 0);
+    radius_cache_.assign(nc, 0.0);
+  }
+  lambda_bar_.assign(nc * cons.bits_per_symbol(), kInf);
+}
+
+void SoftGeosphereStsDetector::load(const CVector& y) {
+  if (y.size() != na_)
+    throw std::invalid_argument("SoftGeosphereStsDetector: shape mismatch");
+  multiply_into(qh_, y, yhat_);
+}
+
+SoftGeosphereStsDetector::Search SoftGeosphereStsDetector::search_ml(
+    const cf64* yhat, cf64 root_center, DetectionStats& stats) {
+  const std::size_t nc = scale_.size();
+  const Constellation& cons = constellation();
+  ++stats.tree_searches;
+
+  Search out;
+  out.best.assign(nc, 0);
+  out.best_dist = kInf;
+  partial_[nc] = 0.0;
+
+  const auto center_at = [&](std::size_t l) {
+    return sphere::tree_center(r_, yhat, l, current_.data(), cons, diag_[l]);
+  };
+
+  std::size_t level = nc - 1;
+  level_enum_[level].reset(root_center, stats);
+
+  for (;;) {
+    const double budget = (out.best_dist - partial_[level + 1]) / scale_[level];
+    const auto child = level_enum_[level].next(budget, stats);
+    if (!child) {
+      ++level;
+      if (level == nc) break;
+      continue;
+    }
+    ++stats.visited_nodes;
+    current_[level] = cons.index_from_levels(child->li, child->lq);
+    partial_[level] = partial_[level + 1] + scale_[level] * child->cost_grid;
+    if (level == 0) {
+      out.best_dist = partial_[0];
+      out.best = current_;
+      out.found = true;
+    } else {
+      --level;
+      level_enum_[level].reset(center_at(level), stats);
+    }
+  }
+  return out;
+}
+
+double SoftGeosphereStsDetector::prune_radius(std::size_t level) const {
+  const std::size_t nc = scale_.size();
+  const unsigned bits = constellation().bits_per_symbol();
+  double r = lambda_ml_;
+  // Decided levels (above `level`): this subtree can only serve bits whose
+  // path value already differs from the ML candidate's -- other bits'
+  // counter-hypotheses live in sibling subtrees (and a later ML flip
+  // re-admits its bits at old-lambda_ml, which every prune here respected).
+  for (std::size_t j = level + 1; j < nc; ++j) {
+    unsigned diff = bit_word_[current_[j]] ^ ml_word_[j];
+    for (unsigned b = 0; diff != 0; ++b, diff >>= 1)
+      if (diff & 1u) r = std::max(r, lambda_bar_[j * bits + b]);
+  }
+  // Open levels (<= `level`): both bit values are still reachable below.
+  for (std::size_t j = 0; j <= level; ++j)
+    for (unsigned b = 0; b < bits; ++b) r = std::max(r, lambda_bar_[j * bits + b]);
+  // Clamp bound: leaves at lambda_ml + clamp * N0 or farther saturate the
+  // LLR in both soft strategies, so they never need to be visited. Same
+  // expression as the reference detector's counter_radius.
+  return std::min(r, lambda_ml_ + llr_clamp_ * noise_var_);
+}
+
+void SoftGeosphereStsDetector::leaf_update(DetectionStats& stats) {
+  const std::size_t nc = scale_.size();
+  const unsigned bits = constellation().bits_per_symbol();
+  const double d = partial_[0];
+
+  if (!ml_found_) {
+    // First leaf: becomes the ML candidate; no other visited leaf exists
+    // yet, so the counter table stays empty.
+    for (std::size_t k = 0; k < nc; ++k) {
+      ml_best_[k] = current_[k];
+      ml_word_[k] = bit_word_[current_[k]];
+    }
+    lambda_ml_ = d;
+    ml_found_ = true;
+    ++epoch_;
+    return;
+  }
+
+  if (d < lambda_ml_) {
+    // ML flip: for every bit where the new leaf differs, the OLD candidate
+    // is the closest visited leaf with the now-countered value (lambda_ml
+    // is the min over all visited leaves), so old lambda_ml is the exact
+    // new counter distance -- and it never exceeds the slot's old value.
+    for (std::size_t k = 0; k < nc; ++k) {
+      const unsigned w = bit_word_[current_[k]];
+      unsigned diff = w ^ ml_word_[k];
+      for (unsigned b = 0; diff != 0; ++b, diff >>= 1)
+        if (diff & 1u) {
+          lambda_bar_[k * bits + b] = lambda_ml_;
+          ++stats.counter_updates;
+        }
+      ml_best_[k] = current_[k];
+      ml_word_[k] = w;
+    }
+    lambda_ml_ = d;
+    ++epoch_;
+    return;
+  }
+
+  // Ordinary leaf: a counter-hypothesis candidate for every differing bit.
+  bool changed = false;
+  for (std::size_t k = 0; k < nc; ++k) {
+    unsigned diff = bit_word_[current_[k]] ^ ml_word_[k];
+    for (unsigned b = 0; diff != 0; ++b, diff >>= 1)
+      if ((diff & 1u) && d < lambda_bar_[k * bits + b]) {
+        lambda_bar_[k * bits + b] = d;
+        ++stats.counter_updates;
+        changed = true;
+      }
+  }
+  if (changed) ++epoch_;
+}
+
+void SoftGeosphereStsDetector::sts_search(const cf64* yhat, cf64 root_center,
+                                          DetectionStats& stats) {
+  const std::size_t nc = scale_.size();
+  const Constellation& cons = constellation();
+  ++stats.tree_searches;
+
+  ml_found_ = false;
+  lambda_ml_ = kInf;
+  std::fill(lambda_bar_.begin(), lambda_bar_.end(), kInf);
+  // epoch_ = 1 with all stamps at 0 marks every cached radius stale.
+  epoch_ = 1;
+  std::fill(radius_epoch_.begin(), radius_epoch_.end(), 0);
+  partial_[nc] = 0.0;
+
+  const auto center_at = [&](std::size_t l) {
+    return sphere::tree_center(r_, yhat, l, current_.data(), cons, diag_[l]);
+  };
+
+  std::size_t level = nc - 1;
+  level_enum_[level].reset(root_center, stats);
+
+  for (;;) {
+    // The pruning radius of a level depends on the decided path above it
+    // and the tables; recompute only when either changed (epoch stamps).
+    if (radius_epoch_[level] != epoch_) {
+      radius_cache_[level] = prune_radius(level);
+      radius_epoch_[level] = epoch_;
+    }
+    const double budget = (radius_cache_[level] - partial_[level + 1]) / scale_[level];
+    const auto child = level_enum_[level].next(budget, stats);
+    if (!child) {
+      ++level;
+      if (level == nc) break;
+      continue;
+    }
+    ++stats.visited_nodes;
+    current_[level] = cons.index_from_levels(child->li, child->lq);
+    partial_[level] = partial_[level + 1] + scale_[level] * child->cost_grid;
+    if (level == 0) {
+      leaf_update(stats);
+    } else {
+      --level;
+      level_enum_[level].reset(center_at(level), stats);
+      radius_epoch_[level] = 0;  // Decided path changed: cache is stale.
+    }
+  }
+
+  if (!ml_found_)
+    throw std::runtime_error(
+        "SoftGeosphereStsDetector: no solution found (unbounded search)");
+}
+
+void SoftGeosphereStsDetector::emit_llrs(double* llrs) const {
+  const std::size_t nc = scale_.size();
+  const unsigned bits = constellation().bits_per_symbol();
+  // Identical formulas (and expression order) to the repeated-tree-search
+  // reference: a counter-hypothesis counts as "found" only strictly inside
+  // the clamp radius, then its LLR magnitude is min(delta, clamp). Together
+  // with the exactness of lambda_bar below that radius, every emitted LLR
+  // is bit-identical to the reference detector's.
+  const double counter_radius = lambda_ml_ + llr_clamp_ * noise_var_;
+  for (std::size_t k = 0; k < nc; ++k) {
+    for (unsigned b = 0; b < bits; ++b) {
+      const double lbar = lambda_bar_[k * bits + b];
+      const double delta =
+          lbar < counter_radius ? (lbar - lambda_ml_) / noise_var_ : llr_clamp_;
+      // Positive LLR favours bit 0.
+      const double magnitude = std::min(delta, llr_clamp_);
+      const unsigned ml_bit = (ml_word_[k] >> b) & 1u;
+      llrs[k * bits + b] = (ml_bit == 0) ? magnitude : -magnitude;
+    }
+  }
+}
+
+void SoftGeosphereStsDetector::do_solve(const CVector& y, DetectionResult& out) {
+  load(y);
+  DetectionStats stats;
+  const Search ml = search_ml(yhat_.data(), root_center_of(yhat_.data()), stats);
+  out.indices = ml.best;
+  finish_result(out, stats);
+}
+
+void SoftGeosphereStsDetector::do_solve_soft(const CVector& y,
+                                             SoftDetectionResult& out) {
+  load(y);
+  const std::size_t nc = scale_.size();
+  const unsigned bits = constellation().bits_per_symbol();
+  DetectionStats stats;
+  sts_search(yhat_.data(), root_center_of(yhat_.data()), stats);
+  out.indices = ml_best_;
+  out.llrs.resize(nc * bits);
+  emit_llrs(out.llrs.data());
+  out.stats = stats;
+}
+
+void SoftGeosphereStsDetector::do_solve_batch(const linalg::CMatrix& y_batch,
+                                              BatchResult& out) {
+  if (y_batch.rows() != na_)
+    throw std::invalid_argument("SoftGeosphereStsDetector: shape mismatch");
+  // One SIMD-batched rotation for the whole batch; row v is bit-identical
+  // to load(y_v) (see simd/rotate.h).
+  sphere::simd::rotate_transpose(qh_, y_batch, yhat_t_batch_, rot_scratch_);
+
+  const std::size_t nc = scale_.size();
+  const std::size_t count = y_batch.cols();
+  out.count = count;
+  out.streams = nc;
+  out.indices.resize(count * nc);
+  DetectionStats stats;
+
+  if (sphere::LaneTreeSearch<sphere::GeoEnumerator>::lanes() == 1) {
+    // Sequential lane policy (the default): per-vector unconstrained
+    // searches straight off the rotated rows, root-center divides packed
+    // batch-wide.
+    sphere::simd::packed_root_centers(yhat_t_batch_, nc - 1, diag_[nc - 1],
+                                      root_centers_, rot_scratch_);
+    for (std::size_t v = 0; v < count; ++v) {
+      const Search ml = search_ml(yhat_t_batch_.row_data(v), root_centers_[v], stats);
+      std::copy(ml.best.begin(), ml.best.end(),
+                out.indices.begin() + static_cast<std::ptrdiff_t>(v * nc));
+    }
+    out.stats = stats;
+    return;
+  }
+
+  // Lockstep lane policy (GEOSPHERE_LANES): the columns' unconstrained
+  // searches run as lockstep lanes of the SoA engine.
+  jobs_.assign(count, sphere::LaneJob{});
+  for (std::size_t v = 0; v < count; ++v) {
+    jobs_[v].yhat = yhat_t_batch_.row_data(v);
+    jobs_[v].best_out = out.indices.data() + v * nc;
+    jobs_[v].radius_sq = kInf;
+  }
+  lane_engine_.configure(r_, scale_, diag_, constellation(), enum_proto_);
+  lane_engine_.run(jobs_.data(), count, stats);
+  out.stats = stats;
+}
+
+void SoftGeosphereStsDetector::do_solve_soft_batch(const linalg::CMatrix& y_batch,
+                                                   SoftBatchResult& out) {
+  if (y_batch.rows() != na_)
+    throw std::invalid_argument("SoftGeosphereStsDetector: shape mismatch");
+  // One SIMD-batched transposed rotation for the whole batch (row v of
+  // (Q^H Y)^T is bit-identical to load(y_v)) and packed root-center
+  // divides; then one STS pass per column against warm workspaces. The
+  // walk is a single radius-stateful search per vector -- there is no pool
+  // of independent constrained lanes left to pack -- so this path does not
+  // consult the lane policy and is byte-identical under GEOSPHERE_LANES.
+  sphere::simd::rotate_transpose(qh_, y_batch, yhat_t_batch_, rot_scratch_);
+
+  const std::size_t nc = scale_.size();
+  const unsigned bits = constellation().bits_per_symbol();
+  const std::size_t count = y_batch.cols();
+  out.count = count;
+  out.streams = nc;
+  out.indices.resize(count * nc);
+  out.llrs.resize(count * nc * bits);
+  DetectionStats stats;
+
+  sphere::simd::packed_root_centers(yhat_t_batch_, nc - 1, diag_[nc - 1],
+                                    root_centers_, rot_scratch_);
+  for (std::size_t v = 0; v < count; ++v) {
+    sts_search(yhat_t_batch_.row_data(v), root_centers_[v], stats);
+    std::copy(ml_best_.begin(), ml_best_.end(),
+              out.indices.begin() + static_cast<std::ptrdiff_t>(v * nc));
+    emit_llrs(out.llrs.data() + (v * nc) * bits);
+  }
+  out.stats = stats;
+}
+
+}  // namespace geosphere

@@ -1,0 +1,194 @@
+// Single-tree-search (STS) soft-output MIMO detection.
+//
+// The repeated-tree-search detector (soft_output.h) prices every received
+// vector at one unconstrained Geosphere search plus ~streams*Q constrained
+// counter-hypothesis re-searches. The STS strategy (Studer et al., IEEE
+// JSAC 2008, adapted here to Geosphere's zigzag enumeration) collapses all
+// of them into ONE depth-first enumeration pass that maintains
+//
+//   * the running ML candidate x^ML with distance lambda_ml, and
+//   * a per-bit counter-hypothesis PED table lambda_bar[k][b]
+//     (2 * streams * Q entries conceptually; one slot per bit suffices
+//     because the ML side of each bit is lambda_ml itself):
+//     the smallest distance of any visited leaf whose bit (k, b) differs
+//     from the CURRENT ML candidate's.
+//
+// Leaf update rules, applied at every reached leaf with distance d:
+//   d <  lambda_ml: every bit where the new leaf differs from the old ML
+//                   candidate inherits the old lambda_ml as its counter
+//                   distance (the old candidate is the closest visited
+//                   leaf carrying that bit value -- lambda_ml is the min
+//                   over ALL visited leaves, so this is exact), then the
+//                   leaf becomes the ML candidate.
+//   d >= lambda_ml: d lowers lambda_bar[k][b] for every bit where the
+//                   leaf differs from the ML candidate.
+//
+// Pruning radius: a subtree rooted at level l may be skipped only if no
+// leaf below it can still change the output. Bits decided by the partial
+// path (levels > l) can only use this subtree for counter-hypotheses
+// where the path already differs from the ML bit; bits at open levels
+// (<= l) can still take either value. The node budget therefore prunes
+// against the LOOSEST RELEVANT radius
+//
+//   radius(l) = min( lambda_ml + llr_clamp * N0,
+//                    max( lambda_ml,
+//                         max_{j > l, path bit != ML bit} lambda_bar[j][b],
+//                         max_{j <= l, all bits}          lambda_bar[j][b] ) )
+//
+// -- the clamp term is sound because any leaf at distance >= lambda_ml +
+// llr_clamp * N0 saturates the LLR either way. The radius is
+// non-increasing between enumerator resets (lambda_ml and every
+// lambda_bar only decrease; an ML flip at a decided level re-admits its
+// bits with lambda_bar = old lambda_ml, which is <= every distance this
+// subtree was ever pruned against), so the enumerator's non-increasing-
+// budget contract holds. Pruned leaves either cannot improve any
+// reachable table entry or saturate at the clamp in both strategies, so
+// the final LLRs are bit-identical to the repeated-tree-search reference
+// (tests assert exact equality, including under clamp saturation).
+//
+// SoftGeosphereStsDetector implements the full three-phase contract:
+// prepare(h, n0) QR-factorizes once; solve()/solve_batch() run the plain
+// unconstrained search (same ML decisions as the hard Geosphere detector,
+// lane-engine lockstep under GEOSPHERE_LANES); solve_soft()/
+// solve_soft_batch() run one STS pass per vector, with the batch path
+// sharing the SIMD-batched Q^H Y rotation and packed root-center divides
+// (src/detect/sphere/simd/). DetectionStats::tree_searches records the
+// collapse: 1 per vector here vs 1 + streams*Q for soft-geosphere.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "constellation/constellation.h"
+#include "detect/detector.h"
+#include "detect/sphere/enumerators.h"
+#include "detect/sphere/lane_engine.h"
+#include "detect/sphere/simd/rotate.h"
+#include "linalg/matrix.h"
+
+namespace geosphere {
+
+class SoftGeosphereStsDetector final : public Detector, public SoftDetector {
+ public:
+  /// `llr_clamp`: LLR magnitudes saturate at +/- llr_clamp; the clamp also
+  /// bounds the search (leaves beyond lambda_ml + llr_clamp * N0 cannot
+  /// change any output bit). Same semantics and default as soft-geosphere.
+  explicit SoftGeosphereStsDetector(const Constellation& c, double llr_clamp = 30.0);
+
+  SoftDetector* soft() override { return this; }
+
+  std::string name() const override { return "soft-geosphere-sts"; }
+
+  double llr_clamp() const { return llr_clamp_; }
+
+ protected:
+  /// Validates inputs and QR-factorizes the channel. Requires
+  /// noise_var > 0 (the LLR normalization and clamp radius divide by it).
+  void do_prepare(const linalg::CMatrix& h, double noise_var) override;
+
+  /// Hard decisions only: the plain unconstrained Geosphere search (no
+  /// counter-hypothesis table) -- same ML solution as the hard detector.
+  void do_solve(const CVector& y, DetectionResult& out) override;
+
+  /// Hard decisions plus max-log LLRs from ONE enumeration pass.
+  void do_solve_soft(const CVector& y, SoftDetectionResult& out) override;
+
+  /// One SIMD-batched Q^H Y rotation plus packed root-center divides, then
+  /// per-vector unconstrained searches (W = 1) or lockstep lane-engine
+  /// searches (GEOSPHERE_LANES) -- identical to the soft-geosphere hard
+  /// batch path.
+  void do_solve_batch(const linalg::CMatrix& y_batch, BatchResult& out) override;
+
+  /// SIMD-batched rotation and packed root centers shared across the
+  /// batch, then one STS pass per column. The STS walk is a single
+  /// radius-stateful search per vector -- there is no pool of independent
+  /// constrained searches left to pack into lockstep lanes -- so this path
+  /// is the same per-vector code under every lane policy (byte-identical
+  /// results with or without GEOSPHERE_LANES, which tests assert).
+  void do_solve_soft_batch(const linalg::CMatrix& y_batch, SoftBatchResult& out) override;
+
+  Detector& owner() override { return *this; }
+
+ private:
+  struct Search {
+    std::vector<unsigned> best;
+    double best_dist = 0.0;
+    bool found = false;
+  };
+
+  /// Rotates `y` into the prepared triangular basis (yhat_ = Q^H y).
+  void load(const CVector& y);
+
+  /// Root-level tree center of a rotated vector (the lone componentwise
+  /// divide pair; bit-identical to the batched packed_root_centers value).
+  cf64 root_center_of(const cf64* yhat) const {
+    const std::size_t root = scale_.size() - 1;
+    const double d = diag_[root];
+    return cf64(yhat[root].real() / d, yhat[root].imag() / d);
+  }
+
+  /// Plain unconstrained depth-first search (hard decisions; identical
+  /// arithmetic sequence to the soft-geosphere / SphereDecoder search).
+  Search search_ml(const cf64* yhat, cf64 root_center, DetectionStats& stats);
+
+  /// The single tree search: one enumeration pass filling ml_best_ /
+  /// lambda_ml_ / lambda_bar_ for the loaded vector.
+  void sts_search(const cf64* yhat, cf64 root_center, DetectionStats& stats);
+
+  /// Applies the STS leaf-update rules for the leaf in current_ at
+  /// distance partial_[0].
+  void leaf_update(DetectionStats& stats);
+
+  /// The loosest relevant pruning radius at `level` (see file comment).
+  double prune_radius(std::size_t level) const;
+
+  /// Writes the nc * Q LLRs of the finished tables into `llrs`
+  /// (stream-major), using the reference detector's exact formulas.
+  void emit_llrs(double* llrs) const;
+
+  double llr_clamp_;
+
+  // Prepared channel state, shared by every search until the next prepare.
+  std::size_t na_ = 0;
+  linalg::CMatrix r_;
+  linalg::CMatrix qh_;
+  double noise_var_ = 0.0;
+  std::vector<double> scale_;
+  std::vector<double> diag_;  ///< Per level: r_ll * alpha (center denominator).
+
+  /// bit_word_[idx]: the Q bits of constellation symbol idx packed LSB-
+  /// first (bit b of Constellation::bits_from_index at 1u << b), so leaf
+  /// updates diff whole symbols with one XOR.
+  std::vector<unsigned> bit_word_;
+
+  // Per-solve workspaces.
+  CVector yhat_;
+  sphere::GeoEnumerator enum_proto_;  ///< Attached prototype (zigzag + pruning).
+  std::vector<sphere::GeoEnumerator> level_enum_;
+  std::vector<unsigned> current_;
+  std::vector<double> partial_;
+
+  // STS state (valid between sts_search and emit_llrs).
+  bool ml_found_ = false;
+  double lambda_ml_ = 0.0;
+  std::vector<unsigned> ml_best_;   ///< ML candidate path (symbol indices).
+  std::vector<unsigned> ml_word_;   ///< Packed bits of each ML symbol.
+  std::vector<double> lambda_bar_;  ///< nc x Q counter-hypothesis distances.
+  /// Lazy radius revalidation: epoch_ bumps on every table change; a
+  /// level's cached radius is recomputed when its stamp falls behind (and
+  /// invalidated outright on descent, since the decided path changed).
+  std::uint64_t epoch_ = 0;
+  std::vector<std::uint64_t> radius_epoch_;
+  std::vector<double> radius_cache_;
+
+  // Per-batch workspaces (shared SIMD rotation; lane engine for the hard
+  // batch path's lockstep policy).
+  linalg::CMatrix yhat_t_batch_;  ///< (Q^H Y)^T -- one row per vector.
+  sphere::simd::RotateScratch rot_scratch_;
+  std::vector<cf64> root_centers_;  ///< Packed per-vector root centers.
+  sphere::LaneTreeSearch<sphere::GeoEnumerator> lane_engine_;
+  std::vector<sphere::LaneJob> jobs_;
+};
+
+}  // namespace geosphere

@@ -11,6 +11,7 @@
 #include "detect/mmse_sic.h"
 #include "detect/rvd_sphere.h"
 #include "detect/soft_output.h"
+#include "detect/soft_sts.h"
 #include "detect/sphere/sphere_decoder.h"
 #include "detect/zero_forcing.h"
 
@@ -115,6 +116,22 @@ std::vector<DetectorInfo> build_registry() {
       .default_param = 30,
       .make = [](const Constellation& c, unsigned clamp) {
         return std::make_unique<SoftGeosphereDetector>(c, static_cast<double>(clamp));
+      },
+  });
+
+  out.push_back(DetectorInfo{
+      .name = "soft-geosphere-sts",
+      .summary = "Geosphere with max-log LLR output (single tree search)",
+      .decision = DecisionMode::kSoft,
+      .soft_capable = true,
+      .takes_param = true,
+      .param_required = false,
+      .param_name = "CLAMP",
+      .min_param = 1,
+      .max_param = 1000,
+      .default_param = 30,
+      .make = [](const Constellation& c, unsigned clamp) {
+        return std::make_unique<SoftGeosphereStsDetector>(c, static_cast<double>(clamp));
       },
   });
   return out;

@@ -288,6 +288,7 @@ class LaneTreeSearch {
   }
 
   void start_job(std::size_t lane, LaneJob& jb, DetectionStats& stats) {
+    ++stats.tree_searches;  // One enumeration pass per job, any lane policy.
     job_[lane] = &jb;
     yhat_[lane] = jb.yhat;
     radius_[lane] = jb.radius_sq;

@@ -68,6 +68,7 @@ bool SphereDecoder<Enumerator>::search(const cf64* yhat, DetectionStats& stats,
                                        cf64 root_center) {
   const std::size_t nc = nc_;
   const Constellation& cons = constellation();
+  ++stats.tree_searches;
 
   double radius_sq = config_.initial_radius_sq;
   bool found = false;

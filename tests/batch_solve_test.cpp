@@ -53,6 +53,8 @@ void expect_same_stats(const DetectionStats& a, const DetectionStats& b,
   EXPECT_EQ(a.slicer_ops, b.slicer_ops) << who;
   EXPECT_EQ(a.queue_ops, b.queue_ops) << who;
   EXPECT_EQ(a.preprocess_calls, b.preprocess_calls) << who;
+  EXPECT_EQ(a.tree_searches, b.tree_searches) << who;
+  EXPECT_EQ(a.counter_updates, b.counter_updates) << who;
 }
 
 /// One received-vector batch: column v carries `streams` random symbols
@@ -336,7 +338,7 @@ TEST(BatchSolve, BatchedLinkIsThreadCountInvariant) {
   const auto chspec = channel::ChannelSpec::parse("kronecker:0.6");
   sim::Engine one(1);
   sim::Engine four(4);
-  for (const char* name : {"geosphere", "soft-geosphere"}) {
+  for (const char* name : {"geosphere", "soft-geosphere", "soft-geosphere-sts"}) {
     const DetectorSpec ds = DetectorSpec::parse(name);
     const link::LinkStats a = one.run_link(chspec, 2, 4, scenario, ds, 8, /*seed=*/5);
     const link::LinkStats b = four.run_link(chspec, 2, 4, scenario, ds, 8, /*seed=*/5);
@@ -346,6 +348,8 @@ TEST(BatchSolve, BatchedLinkIsThreadCountInvariant) {
     EXPECT_EQ(a.detection.ped_computations, b.detection.ped_computations) << name;
     EXPECT_EQ(a.detection.batch_calls, b.detection.batch_calls) << name;
     EXPECT_EQ(a.detection.preprocess_calls, b.detection.preprocess_calls) << name;
+    EXPECT_EQ(a.detection.tree_searches, b.detection.tree_searches) << name;
+    EXPECT_EQ(a.detection.counter_updates, b.detection.counter_updates) << name;
   }
 }
 

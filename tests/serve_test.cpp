@@ -90,7 +90,9 @@ TEST(CellScheduler, NeverExceedsAntennasAndOnlySchedulesBackloggedUsers) {
     EXPECT_EQ(s.users.size(), 3u);
     for (std::size_t i = 0; i < s.users.size(); ++i) {
       EXPECT_LT(s.users[i], 10u);
-      if (i > 0) EXPECT_LT(s.users[i - 1], s.users[i]);  // Ascending, unique.
+      if (i > 0) {
+        EXPECT_LT(s.users[i - 1], s.users[i]);  // Ascending, unique.
+      }
     }
   }
 }

@@ -449,9 +449,16 @@ int cmd_list_detectors() {
       form += info.param_required ? ":" + info.param_name
                                   : "[:" + info.param_name + "]";
     std::string bounds;
-    if (info.takes_param)
+    if (info.takes_param) {
       bounds = " (" + info.param_name + " in [" + std::to_string(info.min_param) +
-               ", " + std::to_string(info.max_param) + "])";
+               ", " + std::to_string(info.max_param) + "]";
+      // Optional parameters resolve to a default; spell it out so users
+      // don't have to read spec.cpp to learn what bare "soft-geosphere"
+      // means.
+      if (!info.param_required)
+        bounds += ", default " + std::to_string(info.default_param);
+      bounds += ")";
+    }
     table.add_row({info.name, form, to_string(info.decision),
                    info.soft_capable ? "yes" : "no", info.summary + bounds});
   }
@@ -492,7 +499,7 @@ void usage() {
        "              --frames N, --seed N\n"
        "detectors: " +
        detectors +
-       " kbest:K (soft-geosphere takes an optional :CLAMP)\n"
+       " kbest:K (list-detectors shows optional :PARAM forms and defaults)\n"
        "channels:  " +
        channels)
           .c_str());
