@@ -51,8 +51,12 @@ std::vector<double> BlockInterleaver::deinterleave_soft(
   if (block.size() != inverse_.size())
     throw std::invalid_argument("BlockInterleaver: wrong block size");
   std::vector<double> out(block.size());
-  for (std::size_t k = 0; k < block.size(); ++k) out[inverse_[k]] = block[k];
+  deinterleave_soft(block.data(), out.data());
   return out;
+}
+
+void BlockInterleaver::deinterleave_soft(const double* block, double* out) const {
+  for (std::size_t k = 0; k < inverse_.size(); ++k) out[inverse_[k]] = block[k];
 }
 
 }  // namespace geosphere::coding

@@ -23,6 +23,10 @@ class BlockInterleaver {
   /// Deinterleave soft values (confidences) instead of bits.
   std::vector<double> deinterleave_soft(const std::vector<double>& block) const;
 
+  /// Allocation-free variant: both pointers address block_size() values and
+  /// must not alias.
+  void deinterleave_soft(const double* block, double* out) const;
+
   std::size_t block_size() const { return forward_.size(); }
 
   /// forward()[k] = position of input bit k in the output block.

@@ -60,13 +60,19 @@ std::size_t Puncturer::punctured_length(std::size_t coded_bits) const {
 
 std::vector<double> Puncturer::depuncture(const std::vector<double>& received,
                                           std::size_t coded_bits) const {
+  std::vector<double> out;
+  depuncture(received, coded_bits, out);
+  return out;
+}
+
+void Puncturer::depuncture(const std::vector<double>& received, std::size_t coded_bits,
+                           std::vector<double>& out) const {
   if (received.size() != punctured_length(coded_bits))
     throw std::invalid_argument("Puncturer::depuncture: length mismatch");
-  std::vector<double> out(coded_bits, 0.5);
+  out.assign(coded_bits, 0.5);
   std::size_t r = 0;
   for (std::size_t i = 0; i < coded_bits; ++i)
     if (pattern_[i % pattern_.size()]) out[i] = received[r++];
-  return out;
 }
 
 }  // namespace geosphere::coding

@@ -32,6 +32,11 @@ class Puncturer {
   std::vector<double> depuncture(const std::vector<double>& received,
                                  std::size_t coded_bits) const;
 
+  /// Allocation-free variant for the hot decode path: `out` is resized to
+  /// `coded_bits` (reusing capacity) and filled.
+  void depuncture(const std::vector<double>& received, std::size_t coded_bits,
+                  std::vector<double>& out) const;
+
   CodeRate rate() const { return rate_; }
 
  private:

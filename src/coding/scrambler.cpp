@@ -9,14 +9,18 @@ Scrambler::Scrambler(unsigned seed) : seed_(seed & 0x7Fu) {
 }
 
 BitVector Scrambler::apply(const BitVector& bits) const {
-  BitVector out(bits.size());
+  BitVector out = bits;
+  apply_in_place(out);
+  return out;
+}
+
+void Scrambler::apply_in_place(BitVector& bits) const {
   unsigned state = seed_;
   for (std::size_t i = 0; i < bits.size(); ++i) {
     const unsigned feedback = ((state >> 6) ^ (state >> 3)) & 1u;  // x^7 + x^4 + 1.
     state = ((state << 1) | feedback) & 0x7Fu;
-    out[i] = static_cast<std::uint8_t>((bits[i] ^ feedback) & 1u);
+    bits[i] = static_cast<std::uint8_t>((bits[i] ^ feedback) & 1u);
   }
-  return out;
 }
 
 }  // namespace geosphere::coding

@@ -14,6 +14,9 @@ class Scrambler {
   /// Scrambles (or, applied again, descrambles) the bits.
   BitVector apply(const BitVector& bits) const;
 
+  /// Allocation-free variant for the hot decode path.
+  void apply_in_place(BitVector& bits) const;
+
  private:
   unsigned seed_;
 };

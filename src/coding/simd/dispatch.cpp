@@ -1,0 +1,92 @@
+#include "coding/simd/dispatch.h"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace geosphere::coding::simd {
+
+namespace detail {
+// Each kernel TU defines its tier or a nullptr stub, so the set of compiled
+// kernels is decided entirely at compile time; this file never needs
+// ISA-specific flags.
+const ViterbiKernel* sse2_viterbi_kernel_or_null();
+const ViterbiKernel* avx2_viterbi_kernel_or_null();
+}  // namespace detail
+
+namespace {
+
+bool cpu_has_avx2() {
+#if (defined(__GNUC__) || defined(__clang__)) && (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+const ViterbiKernel* find_supported(const std::string& name) {
+  for (const ViterbiKernel* k : supported_viterbi_kernels())
+    if (name == k->name) return k;
+  return nullptr;
+}
+
+std::string supported_names() {
+  std::string names = "auto";
+  for (const ViterbiKernel* k : supported_viterbi_kernels()) {
+    names += ", ";
+    names += k->name;
+  }
+  return names;
+}
+
+const ViterbiKernel* g_override = nullptr;
+
+const ViterbiKernel& resolve_default() {
+  const char* env = std::getenv("GEOSPHERE_KERNEL");
+  const std::string name = (env != nullptr) ? env : "auto";
+  if (name == "auto" || name.empty()) return *supported_viterbi_kernels().back();
+  if (const ViterbiKernel* k = find_supported(name)) return *k;
+  throw std::invalid_argument("GEOSPHERE_KERNEL: unknown or unsupported kernel '" +
+                              name + "' (valid here: " + supported_names() + ")");
+}
+
+}  // namespace
+
+std::vector<const ViterbiKernel*> compiled_viterbi_kernels() {
+  std::vector<const ViterbiKernel*> out{&scalar_viterbi_kernel()};
+  if (const ViterbiKernel* k = detail::sse2_viterbi_kernel_or_null()) out.push_back(k);
+  if (const ViterbiKernel* k = detail::avx2_viterbi_kernel_or_null()) out.push_back(k);
+  return out;
+}
+
+std::vector<const ViterbiKernel*> supported_viterbi_kernels() {
+  std::vector<const ViterbiKernel*> out;
+  for (const ViterbiKernel* k : compiled_viterbi_kernels()) {
+    // SSE2 is part of the x86-64 baseline, so compiled implies supported;
+    // AVX2 is compiled unconditionally (given -mavx2 support) and gated
+    // here by cpuid.
+    if (std::string(k->name) == "avx2" && !cpu_has_avx2()) continue;
+    out.push_back(k);
+  }
+  return out;
+}
+
+const ViterbiKernel& active_viterbi_kernel() {
+  if (g_override != nullptr) return *g_override;
+  static const ViterbiKernel& resolved = resolve_default();
+  return resolved;
+}
+
+void set_viterbi_kernel_override(const char* name) {
+  if (name == nullptr) {
+    g_override = nullptr;
+    return;
+  }
+  const ViterbiKernel* k = find_supported(name);
+  if (k == nullptr)
+    throw std::invalid_argument("set_viterbi_kernel_override: unknown or unsupported kernel '" +
+                                std::string(name) + "' (valid here: " + supported_names() + ")");
+  g_override = k;
+}
+
+}  // namespace geosphere::coding::simd

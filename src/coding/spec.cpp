@@ -1,0 +1,73 @@
+#include "coding/spec.h"
+
+#include <stdexcept>
+
+namespace geosphere::coding {
+
+const std::vector<CodeInfo>& code_registry() {
+  static const std::vector<CodeInfo> registry = {
+      {"none", 1.0, "-", "uncoded: payload bits map straight to symbols"},
+      {"1/2", 0.5, "11", "the (133,171) K=7 mother code, unpunctured"},
+      {"2/3", 2.0 / 3.0, "1110", "mother code punctured per 802.11a (B2 stolen)"},
+      {"3/4", 0.75, "111001", "mother code punctured per 802.11a (B2, A3 stolen)"},
+  };
+  return registry;
+}
+
+namespace {
+
+std::string valid_forms() {
+  std::string forms;
+  for (const CodeInfo& info : code_registry()) {
+    if (!forms.empty()) forms += ", ";
+    forms += info.name;
+  }
+  return forms;
+}
+
+}  // namespace
+
+CodeSpec CodeSpec::parse(const std::string& text) {
+  CodeSpec spec;
+  if (text == "none") {
+    spec.coded_ = false;
+    return spec;
+  }
+  spec.coded_ = true;
+  if (text == "1/2") {
+    spec.rate_ = CodeRate::kHalf;
+  } else if (text == "2/3") {
+    spec.rate_ = CodeRate::kTwoThirds;
+  } else if (text == "3/4") {
+    spec.rate_ = CodeRate::kThreeQuarters;
+  } else {
+    throw std::invalid_argument("CodeSpec: unknown code rate \"" + text +
+                                "\" (valid forms: " + valid_forms() + ")");
+  }
+  return spec;
+}
+
+const std::string& CodeSpec::text() const {
+  static const std::string none = "none";
+  if (!coded_) return none;
+  static const std::string labels[] = {"1/2", "2/3", "3/4"};
+  switch (rate_) {
+    case CodeRate::kHalf:
+      return labels[0];
+    case CodeRate::kTwoThirds:
+      return labels[1];
+    case CodeRate::kThreeQuarters:
+      return labels[2];
+  }
+  throw std::logic_error("CodeSpec: unknown rate");
+}
+
+CodeRate CodeSpec::rate() const {
+  if (!coded_)
+    throw std::logic_error("CodeSpec: rate() on \"none\" (check coded() first)");
+  return rate_;
+}
+
+double CodeSpec::value() const { return coded_ ? code_rate_value(rate_) : 1.0; }
+
+}  // namespace geosphere::coding

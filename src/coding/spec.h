@@ -1,0 +1,56 @@
+// CodeSpec: the registry-style declarative form of the coding layer,
+// mirroring DetectorSpec / ChannelSpec. A code is named by its rate --
+// "none" (uncoded), "1/2", "2/3" or "3/4" -- strictly parsed, with a
+// canonical text round-trip, so sweeps and serving cells can carry the
+// code as a plain string axis exactly like detectors and channels.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "coding/puncture.h"
+
+namespace geosphere::coding {
+
+/// One row of the code registry: everything the CLI's `list-rates` prints.
+struct CodeInfo {
+  const char* name;     ///< Canonical spelling ("none", "1/2", ...).
+  double value;         ///< Information bits per coded bit (1.0 uncoded).
+  const char* pattern;  ///< Puncture pattern over (A,B) pairs; "-" uncoded.
+  const char* summary;
+};
+
+/// Every valid code form, canonical order (uncoded first, then by rate).
+const std::vector<CodeInfo>& code_registry();
+
+class CodeSpec {
+ public:
+  /// The default code: the rate-1/2 mother code (historical behavior of
+  /// every experiment before the code axis existed).
+  CodeSpec() = default;
+
+  /// Parses "none" | "1/2" | "2/3" | "3/4". Anything else throws
+  /// std::invalid_argument naming the valid forms.
+  static CodeSpec parse(const std::string& text);
+
+  /// Canonical text; parse(text()) round-trips.
+  const std::string& text() const;
+
+  /// False for "none": the chain skips scramble-independent coding stages
+  /// (convolutional encode, puncture, Viterbi) entirely.
+  bool coded() const { return coded_; }
+
+  /// The punctured rate of a coded spec. Throws std::logic_error for
+  /// "none" -- callers must branch on coded() first.
+  CodeRate rate() const;
+
+  /// Information bits per coded bit: code_rate_value() for coded specs,
+  /// exactly 1.0 for "none".
+  double value() const;
+
+ private:
+  bool coded_ = true;
+  CodeRate rate_ = CodeRate::kHalf;
+};
+
+}  // namespace geosphere::coding

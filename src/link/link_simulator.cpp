@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "channel/noise.h"
+#include "link/coded_pipeline.h"
 
 namespace geosphere::link {
 
@@ -19,6 +20,10 @@ LinkStats& LinkStats::operator+=(const LinkStats& o) {
     client_frame_errors[k] += o.client_frame_errors[k];
   bit_errors += o.bit_errors;
   payload_bits += o.payload_bits;
+  crc_frames_ok += o.crc_frames_ok;
+  crc_frames_error += o.crc_frames_error;
+  delivered_payload_bits += o.delivered_payload_bits;
+  ofdm_symbol_slots += o.ofdm_symbol_slots;
   detection += o.detection;
   detection_calls += o.detection_calls;
   return *this;
@@ -43,6 +48,18 @@ std::vector<double> LinkStats::per_client_fer() const {
 double LinkStats::ber() const {
   return payload_bits == 0 ? 0.0
                            : static_cast<double>(bit_errors) / static_cast<double>(payload_bits);
+}
+
+double LinkStats::crc_fer() const {
+  const std::size_t total = crc_frames_ok + crc_frames_error;
+  return total == 0 ? 0.0
+                    : static_cast<double>(crc_frames_error) / static_cast<double>(total);
+}
+
+double LinkStats::goodput_mbps(double symbol_duration_s) const {
+  if (ofdm_symbol_slots == 0) return 0.0;
+  const double airtime_s = static_cast<double>(ofdm_symbol_slots) * symbol_duration_s;
+  return static_cast<double>(delivered_payload_bits) / airtime_s / 1e6;
 }
 
 double LinkStats::avg_ped_per_subcarrier() const {
@@ -180,20 +197,29 @@ void LinkSimulator::simulate_frame(Detector& detector, DecisionMode mode, Rng& r
     }
   }
 
+  // All streams of the frame decode through one pipeline (shared codec
+  // workspace, back-to-back Viterbi), each scored for bit errors and CRC
+  // delivery. Thread-local: simulators are shared across worker threads.
+  static thread_local CodedPipeline pipeline;
+  static thread_local std::vector<StreamDecodeResult> results;
+  if (soft != nullptr)
+    pipeline.decode_frame_soft(codec_, rx_conf, ofdm_symbols, tx, results);
+  else
+    pipeline.decode_frame_hard(codec_, rx, ofdm_symbols, tx, results);
+
   for (std::size_t k = 0; k < nc; ++k) {
-    const BitVector decoded = soft != nullptr
-                                  ? codec_.decode_soft(rx_conf[k], ofdm_symbols)
-                                  : codec_.decode(rx[k], ofdm_symbols);
-    bool frame_error = false;
-    for (std::size_t b = 0; b < decoded.size(); ++b) {
-      if (decoded[b] != tx[k].payload[b]) {
-        ++stats.bit_errors;
-        frame_error = true;
-      }
+    const StreamDecodeResult& r = results[k];
+    stats.bit_errors += r.bit_errors;
+    stats.payload_bits += r.payload_bits;
+    stats.client_frame_errors[k] += r.bit_errors != 0 ? 1 : 0;
+    if (r.crc_ok) {
+      ++stats.crc_frames_ok;
+      stats.delivered_payload_bits += r.payload_bits;
+    } else {
+      ++stats.crc_frames_error;
     }
-    stats.payload_bits += decoded.size();
-    stats.client_frame_errors[k] += frame_error ? 1 : 0;
   }
+  stats.ofdm_symbol_slots += ofdm_symbols;
   ++stats.frames;
 }
 

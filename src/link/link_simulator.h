@@ -46,6 +46,15 @@ struct LinkStats {
   std::vector<std::size_t> client_frame_errors;
   std::size_t bit_errors = 0;
   std::size_t payload_bits = 0;
+  /// CRC32-checked delivery accounting (the coded pipeline scores every
+  /// (client, frame) against an emulated in-band FCS): counts of clean and
+  /// failed deliveries, the payload bits of the clean ones, and the total
+  /// airtime in OFDM symbol slots (all clients transmit concurrently, so
+  /// one frame adds its symbol count once, not per client).
+  std::size_t crc_frames_ok = 0;
+  std::size_t crc_frames_error = 0;
+  std::size_t delivered_payload_bits = 0;
+  std::size_t ofdm_symbol_slots = 0;
   /// Aggregated detector counters. detection.preprocess_calls counts one
   /// per (frame, subcarrier) channel preparation; detection_calls counts
   /// per-received-vector solves -- their ratio is the per-frame
@@ -64,6 +73,11 @@ struct LinkStats {
   double fer() const;                        ///< Mean FER across clients.
   std::vector<double> per_client_fer() const;
   double ber() const;
+  /// FER by the CRC delivery criterion (counts CRC-colliding error
+  /// patterns as delivered, like a real FCS would).
+  double crc_fer() const;
+  /// Measured goodput: CRC-clean payload bits over the simulated airtime.
+  double goodput_mbps(double symbol_duration_s = 4e-6) const;
   /// The paper's complexity metric: average exact partial-Euclidean-
   /// distance computations per subcarrier use (Section 5.3).
   double avg_ped_per_subcarrier() const;

@@ -18,11 +18,11 @@ RateChoice best_rate(const channel::ChannelModel& channel, LinkScenario base,
     const LinkStats stats = runner(sim, spec, frames, seed);
 
     const double mbps =
-        net_throughput_mbps(channel.num_tx(), qam, scenario.frame.code_rate,
+        net_throughput_mbps(channel.num_tx(), qam, scenario.frame.code_rate_value(),
                             stats.per_client_fer(), scenario.frame.data_subcarriers);
     if (best.qam_order == 0 || mbps > best.throughput_mbps) {
       best.qam_order = qam;
-      best.code_rate = scenario.frame.code_rate;
+      best.code_rate = scenario.frame.code_rate_value();
       best.throughput_mbps = mbps;
       best.stats = stats;
     }

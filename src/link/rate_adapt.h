@@ -15,7 +15,8 @@ namespace geosphere::link {
 
 struct RateChoice {
   unsigned qam_order = 0;
-  coding::CodeRate code_rate = coding::CodeRate::kHalf;
+  /// Information bits per coded bit of the scenario's code (1.0 = uncoded).
+  double code_rate = 0.5;
   double throughput_mbps = 0.0;
   LinkStats stats;
 };

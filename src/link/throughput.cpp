@@ -8,20 +8,33 @@ namespace geosphere::link {
 
 double phy_rate_mbps(std::size_t clients, unsigned qam_order, coding::CodeRate rate,
                      std::size_t data_subcarriers, double symbol_duration_s) {
+  return phy_rate_mbps(clients, qam_order, coding::code_rate_value(rate),
+                       data_subcarriers, symbol_duration_s);
+}
+
+double phy_rate_mbps(std::size_t clients, unsigned qam_order, double code_rate,
+                     std::size_t data_subcarriers, double symbol_duration_s) {
   const auto q = static_cast<double>(Constellation::qam(qam_order).bits_per_symbol());
-  const double bits_per_symbol_time =
-      static_cast<double>(clients) * static_cast<double>(data_subcarriers) * q *
-      coding::code_rate_value(rate);
+  const double bits_per_symbol_time = static_cast<double>(clients) *
+                                      static_cast<double>(data_subcarriers) * q *
+                                      code_rate;
   return bits_per_symbol_time / symbol_duration_s / 1e6;
 }
 
 double net_throughput_mbps(std::size_t clients, unsigned qam_order, coding::CodeRate rate,
                            const std::vector<double>& per_client_fer,
                            std::size_t data_subcarriers, double symbol_duration_s) {
+  return net_throughput_mbps(clients, qam_order, coding::code_rate_value(rate),
+                             per_client_fer, data_subcarriers, symbol_duration_s);
+}
+
+double net_throughput_mbps(std::size_t clients, unsigned qam_order, double code_rate,
+                           const std::vector<double>& per_client_fer,
+                           std::size_t data_subcarriers, double symbol_duration_s) {
   if (per_client_fer.size() != clients)
     throw std::invalid_argument("net_throughput_mbps: FER vector size mismatch");
   const double per_client_rate =
-      phy_rate_mbps(1, qam_order, rate, data_subcarriers, symbol_duration_s);
+      phy_rate_mbps(1, qam_order, code_rate, data_subcarriers, symbol_duration_s);
   double total = 0.0;
   for (const double fer : per_client_fer) total += per_client_rate * (1.0 - fer);
   return total;

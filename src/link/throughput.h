@@ -15,9 +15,21 @@ double phy_rate_mbps(std::size_t clients, unsigned qam_order, coding::CodeRate r
                      std::size_t data_subcarriers = 48,
                      double symbol_duration_s = 4e-6);
 
+/// Numeric-rate overload: `code_rate` is information bits per coded bit
+/// (1.0 = uncoded), so the "code:none" sweep axis shares this accounting.
+double phy_rate_mbps(std::size_t clients, unsigned qam_order, double code_rate,
+                     std::size_t data_subcarriers = 48,
+                     double symbol_duration_s = 4e-6);
+
 /// Net throughput: each client delivers its share of the PHY rate scaled
 /// by its frame success probability.
 double net_throughput_mbps(std::size_t clients, unsigned qam_order, coding::CodeRate rate,
+                           const std::vector<double>& per_client_fer,
+                           std::size_t data_subcarriers = 48,
+                           double symbol_duration_s = 4e-6);
+
+/// Numeric-rate overload (see phy_rate_mbps above).
+double net_throughput_mbps(std::size_t clients, unsigned qam_order, double code_rate,
                            const std::vector<double>& per_client_fer,
                            std::size_t data_subcarriers = 48,
                            double symbol_duration_s = 4e-6);

@@ -4,6 +4,14 @@
 // and its inverse. In the uplink multi-user system every client runs an
 // independent chain (one spatial stream each); the AP detects jointly and
 // decodes each client separately.
+//
+// The chain is configurable along two axes the sweep layer exposes:
+//   * code: rate 1/2, 2/3 or 3/4 (punctured), or "none" -- an uncoded mode
+//     that keeps the scrambler and interleaver but skips the encoder,
+//     puncturer and Viterbi entirely (a raw-BER baseline).
+//   * viterbi: the double-precision reference decoder (default, the
+//     arbiter for the repo's goldens) or the quantized int16 SIMD decoder
+//     (coding/quantized_viterbi.h) the batched coded pipeline uses.
 #pragma once
 
 #include <cstddef>
@@ -12,16 +20,27 @@
 #include "coding/convolutional.h"
 #include "coding/interleaver.h"
 #include "coding/puncture.h"
+#include "coding/quantized_viterbi.h"
 #include "coding/scrambler.h"
+#include "coding/spec.h"
 #include "coding/viterbi.h"
 #include "common/types.h"
 #include "constellation/constellation.h"
 
 namespace geosphere::phy {
 
+/// Which Viterbi implementation the receive chain runs. Both decode the
+/// same trellis with the same tie rule; kQuantized trades <= 1/2-LSB
+/// branch-cost rounding for the int16 SIMD kernels.
+enum class ViterbiImpl { kDouble, kQuantized };
+
 struct FrameConfig {
   unsigned qam_order = 16;
+  /// false = uncoded ("code:none"): no encoder/puncturer/Viterbi,
+  /// code_rate is ignored and the effective rate is 1.
+  bool coded = true;
   coding::CodeRate code_rate = coding::CodeRate::kHalf;
+  ViterbiImpl viterbi = ViterbiImpl::kDouble;
   std::size_t payload_bytes = 1000;
   std::size_t data_subcarriers = 48;
 
@@ -29,6 +48,15 @@ struct FrameConfig {
   /// Coded bits per OFDM symbol for this modulation.
   std::size_t coded_bits_per_ofdm_symbol(const Constellation& c) const {
     return data_subcarriers * c.bits_per_symbol();
+  }
+  /// Effective information bits per transmitted coded bit (1 when uncoded).
+  double code_rate_value() const {
+    return coded ? coding::code_rate_value(code_rate) : 1.0;
+  }
+  /// Applies a parsed code spec to the (coded, code_rate) pair.
+  void set_code(const coding::CodeSpec& code) {
+    coded = code.coded();
+    if (coded) code_rate = code.rate();
   }
 };
 
@@ -44,6 +72,19 @@ struct EncodedFrame {
                      std::size_t data_subcarriers) const {
     return symbol_indices[ofdm_symbol * data_subcarriers + subcarrier];
   }
+};
+
+/// Reusable receive-chain scratch: the deinterleaved confidence stream, the
+/// depuncture buffer and the decoder workspaces. Grown on first use, then
+/// steady-state decodes of same-shape frames allocate nothing. One per
+/// thread; shareable across codecs.
+struct CodecWorkspace {
+  std::vector<double> stream;
+  std::vector<double> depunctured;
+  BitVector block;
+  BitVector decoded;
+  coding::ViterbiWorkspace viterbi;
+  coding::QuantizedViterbiWorkspace quantized;
 };
 
 /// Runs one client's transmit chain over `payload` (frame-level scrambler
@@ -64,6 +105,15 @@ class FrameCodec {
   BitVector decode_soft(const std::vector<double>& bit_confidences,
                         std::size_t ofdm_symbols) const;
 
+  /// Allocation-free variants (the hot path for the coded pipeline): all
+  /// scratch lives in `ws`, the payload bits land in `out`. Identical
+  /// results to the vector-returning overloads, which wrap these with a
+  /// thread-local workspace.
+  void decode(const std::vector<unsigned>& symbol_indices, std::size_t ofdm_symbols,
+              CodecWorkspace& ws, BitVector& out) const;
+  void decode_soft(const std::vector<double>& bit_confidences, std::size_t ofdm_symbols,
+                   CodecWorkspace& ws, BitVector& out) const;
+
   const FrameConfig& config() const { return config_; }
   const Constellation& constellation() const { return *constellation_; }
 
@@ -71,10 +121,17 @@ class FrameCodec {
   std::size_t ofdm_symbols_per_frame() const;
 
  private:
+  /// Transmitted (post-puncturing) bits per frame, before padding.
+  std::size_t stream_bits() const;
+  /// Shared back half: ws.stream holds the stream_bits() kept confidences;
+  /// decodes + descrambles into `out`.
+  void finish_decode(CodecWorkspace& ws, BitVector& out) const;
+
   FrameConfig config_;
   const Constellation* constellation_;
   coding::ConvolutionalEncoder encoder_;
   coding::ViterbiDecoder viterbi_;
+  coding::QuantizedViterbi quantized_viterbi_;
   coding::Puncturer puncturer_;
   coding::Scrambler scrambler_;
   coding::BlockInterleaver interleaver_;

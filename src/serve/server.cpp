@@ -148,6 +148,9 @@ ServeResult Server::run(std::uint64_t ttis, std::uint64_t seed) {
         phy::FrameConfig cfg;
         cfg.qam_order = sched.qam;
         cfg.payload_bytes = cs.payload_bytes;
+        cfg.set_code(coding::CodeSpec::parse(cs.code));
+        cfg.viterbi = phy::ViterbiImpl::kQuantized;  // The batched int16 kernels;
+                                                     // bit-identical across tiers.
         codec_it = codecs[c].emplace(sched.qam, phy::FrameCodec(cfg)).first;
       }
       const phy::FrameCodec& codec = codec_it->second;

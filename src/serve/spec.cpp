@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "channel/spec.h"
+#include "coding/spec.h"
 #include "detect/spec.h"
 
 namespace geosphere::serve {
@@ -78,13 +79,15 @@ double parse_real(const std::string& cell, const std::string& key,
 
 const std::string& cell_spec_keys() {
   static const std::string keys =
-      "users=N antennas=N load=P channel=SPEC detector=SPEC snr=DB spread=DB "
-      "window=DB qams=Q|Q|... payload=BYTES";
+      "users=N antennas=N load=P channel=SPEC detector=SPEC code=RATE snr=DB "
+      "spread=DB window=DB qams=Q|Q|... payload=BYTES";
   return keys;
 }
 
-CellSpec CellSpec::parse(const std::string& text) {
-  CellSpec spec;
+CellSpec CellSpec::parse(const std::string& text) { return parse(text, CellSpec{}); }
+
+CellSpec CellSpec::parse(const std::string& text, const CellSpec& defaults) {
+  CellSpec spec = defaults;
   if (text.empty()) fail(text, "empty cell");
   std::set<std::string> seen;
   for (const std::string& pair : split(text, ',')) {
@@ -124,6 +127,12 @@ CellSpec CellSpec::parse(const std::string& text) {
       } catch (const std::invalid_argument& e) {
         fail(text, e.what());
       }
+    } else if (key == "code") {
+      try {
+        spec.code = coding::CodeSpec::parse(value).text();
+      } catch (const std::invalid_argument& e) {
+        fail(text, e.what());
+      }
     } else if (key == "snr") {
       spec.snr_db = parse_real(text, key, value);
     } else if (key == "spread") {
@@ -158,18 +167,23 @@ std::string CellSpec::text() const {
   }
   return "users=" + std::to_string(users) + ",antennas=" + std::to_string(antennas) +
          ",load=" + fmt_real(load) + ",channel=" + channel + ",detector=" + detector +
-         ",snr=" + fmt_real(snr_db) + ",spread=" + fmt_real(snr_spread_db) +
-         ",window=" + fmt_real(window_db) + ",qams=" + qams_text +
-         ",payload=" + std::to_string(payload_bytes);
+         ",code=" + code + ",snr=" + fmt_real(snr_db) + ",spread=" +
+         fmt_real(snr_spread_db) + ",window=" + fmt_real(window_db) +
+         ",qams=" + qams_text + ",payload=" + std::to_string(payload_bytes);
 }
 
 ServeSpec ServeSpec::parse(const std::string& text) {
+  return parse(text, CellSpec{});
+}
+
+ServeSpec ServeSpec::parse(const std::string& text, const CellSpec& defaults) {
   ServeSpec spec;
   if (text.empty())
     throw std::invalid_argument(
         "ServeSpec: empty spec; expected ';'-separated cells of key=value pairs "
         "(valid keys: " + cell_spec_keys() + ")");
-  for (const std::string& cell : split(text, ';')) spec.cells.push_back(CellSpec::parse(cell));
+  for (const std::string& cell : split(text, ';'))
+    spec.cells.push_back(CellSpec::parse(cell, defaults));
   return spec;
 }
 

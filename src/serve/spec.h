@@ -12,6 +12,7 @@
 //   load=P        P(user gets a new frame) per TTI, (0,1]  (default 0.5)
 //   channel=SPEC  ChannelSpec registry form                (default rayleigh)
 //   detector=SPEC DetectorSpec registry form               (default geosphere)
+//   code=RATE     CodeSpec form: none, 1/2, 2/3, 3/4       (default 1/2)
 //   snr=DB        cell target SNR (scheduler's window center, default 20)
 //   spread=DB     user mean SNRs drawn uniform in snr +/- spread (default 5)
 //   window=DB     user-selection SNR window around snr     (default 3)
@@ -42,6 +43,7 @@ struct CellSpec {
   double load = 0.5;
   std::string channel = "rayleigh";    ///< Canonical ChannelSpec text.
   std::string detector = "geosphere";  ///< Canonical DetectorSpec text.
+  std::string code = "1/2";            ///< Canonical CodeSpec text.
   double snr_db = 20.0;
   double snr_spread_db = 5.0;
   double window_db = 3.0;
@@ -54,6 +56,11 @@ struct CellSpec {
   /// count; the scheduler varies it per TTI) all throw
   /// std::invalid_argument naming the valid keys.
   static CellSpec parse(const std::string& text);
+
+  /// Like parse(text), but unspecified keys resolve to `defaults` instead
+  /// of the built-in defaults -- the CLI's --code/--detector flags provide
+  /// cell defaults this way without overriding explicit per-cell keys.
+  static CellSpec parse(const std::string& text, const CellSpec& defaults);
 
   /// Canonical text: every key spelled out with its resolved value, fixed
   /// key order -- parse(text()) reproduces the spec, and equivalent
@@ -68,6 +75,9 @@ struct ServeSpec {
   /// Parses ';'-separated cells. At least one cell is required; empty cell
   /// entries are rejected.
   static ServeSpec parse(const std::string& text);
+
+  /// Defaults-aware variant (see CellSpec::parse overload).
+  static ServeSpec parse(const std::string& text, const CellSpec& defaults);
 
   /// ';'-joined canonical cell texts.
   std::string text() const;

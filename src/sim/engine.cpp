@@ -1,7 +1,9 @@
 #include "sim/engine.h"
 
 #include <atomic>
+#include <stdexcept>
 
+#include "coding/spec.h"
 #include "link/throughput.h"
 
 namespace geosphere::sim {
@@ -104,11 +106,11 @@ link::RateChoice Engine::best_rate(const channel::ChannelModel& channel,
 
     const link::LinkScenario& scenario = sims[qi].scenario();
     const double mbps = link::net_throughput_mbps(
-        channel.num_tx(), candidate_qams[qi], scenario.frame.code_rate,
+        channel.num_tx(), candidate_qams[qi], scenario.frame.code_rate_value(),
         stats.per_client_fer(), scenario.frame.data_subcarriers);
     if (best.qam_order == 0 || mbps > best.throughput_mbps) {
       best.qam_order = candidate_qams[qi];
-      best.code_rate = scenario.frame.code_rate;
+      best.code_rate = scenario.frame.code_rate_value();
       best.throughput_mbps = mbps;
       best.stats = stats;
     }
@@ -162,88 +164,112 @@ std::vector<SweepCell> Engine::run_sweep_impl(const channel::ChannelModel& chann
     specs.push_back(std::move(parsed));
   }
 
+  // Parse the code axis up front too (strict: a typo fails the sweep
+  // before any frame is simulated).
+  std::vector<coding::CodeSpec> code_specs;
+  code_specs.reserve(spec.codes.size());
+  for (const std::string& code : spec.codes)
+    code_specs.push_back(coding::CodeSpec::parse(code));
+  if (code_specs.empty())
+    throw std::invalid_argument("SweepSpec: codes must not be empty");
+
   const std::size_t ns = spec.snr_grid_db.size();
   const std::size_t nd = specs.size();
+  const std::size_t nc = code_specs.size();
   const std::size_t nq = spec.candidate_qams.size();
   const std::size_t frames = spec.frames;
 
   link::LinkScenario base;
   base.frame.payload_bytes = spec.payload_bytes;
-  base.frame.code_rate = spec.code_rate;
+  base.frame.viterbi = spec.viterbi;
   base.snr_jitter_db = spec.snr_jitter_db;
 
-  // One LinkSimulator per (SNR point, candidate QAM); detectors share it.
+  // One LinkSimulator per (SNR point, code, candidate QAM); detectors
+  // share it.
   std::vector<link::LinkSimulator> sims;
-  sims.reserve(ns * nq);
+  sims.reserve(ns * nc * nq);
   for (std::size_t si = 0; si < ns; ++si) {
-    for (std::size_t qi = 0; qi < nq; ++qi) {
-      link::LinkScenario scenario = base;
-      scenario.snr_db = spec.snr_grid_db[si];
-      scenario.frame.qam_order = spec.candidate_qams[qi];
-      sims.emplace_back(channel, scenario);
+    for (std::size_t ci = 0; ci < nc; ++ci) {
+      for (std::size_t qi = 0; qi < nq; ++qi) {
+        link::LinkScenario scenario = base;
+        scenario.snr_db = spec.snr_grid_db[si];
+        scenario.frame.set_code(code_specs[ci]);
+        scenario.frame.qam_order = spec.candidate_qams[qi];
+        sims.emplace_back(channel, scenario);
+      }
     }
   }
 
-  // One derived seed per SNR point, shared across detectors so their
-  // comparison is paired on identical channel/noise draws.
+  // One derived seed per SNR point, shared across detectors and codes so
+  // their comparison is paired on identical channel/noise draws.
   std::vector<std::uint64_t> point_seeds(ns);
   for (std::size_t si = 0; si < ns; ++si)
     point_seeds[si] = Rng::derive_seed(spec.seed, si);
 
-  // The whole sweep is one flat work pool over (SNR, detector, candidate,
-  // frame): cells and rate-adaptation candidates parallelize, not just
-  // frames within a cell. partial[worker][(si * nd + di) * nq + qi]
-  // accumulates that worker's frames for one (cell, candidate).
+  // The whole sweep is one flat work pool over (SNR, detector, code,
+  // candidate, frame): cells and rate-adaptation candidates parallelize,
+  // not just frames within a cell.
+  // partial[worker][((si * nd + di) * nc + ci) * nq + qi] accumulates that
+  // worker's frames for one (cell, candidate).
   std::vector<std::vector<link::LinkStats>> partial(
-      pool_.size(), std::vector<link::LinkStats>(ns * nd * nq));
+      pool_.size(), std::vector<link::LinkStats>(ns * nd * nc * nq));
   std::atomic<std::size_t> next{0};
-  const std::size_t total = ns * nd * nq * frames;
+  const std::size_t total = ns * nd * nc * nq * frames;
   pool_.run_on_workers([&](std::size_t worker) {
     for (std::size_t g; (g = next.fetch_add(1, std::memory_order_relaxed)) < total;) {
       const std::size_t f = g % frames;
       std::size_t rest = g / frames;
       const std::size_t qi = rest % nq;
       rest /= nq;
+      const std::size_t ci = rest % nc;
+      rest /= nc;
       const std::size_t di = rest % nd;
       const std::size_t si = rest / nd;
 
       Detector& detector = worker_detector(worker, specs[di], spec.candidate_qams[qi]);
       Rng rng = Rng::for_frame(point_seeds[si], f);
-      sims[si * nq + qi].simulate_frame(detector, specs[di].decision(), rng,
-                                        partial[worker][(si * nd + di) * nq + qi]);
+      sims[(si * nc + ci) * nq + qi].simulate_frame(
+          detector, specs[di].decision(), rng,
+          partial[worker][((si * nd + di) * nc + ci) * nq + qi]);
     }
   });
 
-  // Assemble cells SNR-major then detector, applying the same selection
-  // rule as best_rate per cell (candidate order, strictly greater wins).
+  // Assemble cells SNR-major, then detector, then code, applying the same
+  // selection rule as best_rate per cell (candidate order, strictly
+  // greater wins).
   std::vector<SweepCell> out;
-  out.reserve(ns * nd);
+  out.reserve(ns * nd * nc);
   for (std::size_t si = 0; si < ns; ++si) {
     for (std::size_t di = 0; di < nd; ++di) {
-      SweepCell cell;
-      cell.detector = spec.detectors[di];
-      cell.channel = channel_label;
-      cell.decision = specs[di].decision();
-      cell.snr_db = spec.snr_grid_db[si];
-      double best_mbps = 0.0;
-      for (std::size_t qi = 0; qi < nq; ++qi) {
-        const link::LinkSimulator& sim = sims[si * nq + qi];
-        link::LinkStats stats;
-        sim.init_stats(stats);
-        for (const auto& p : partial) stats += p[(si * nd + di) * nq + qi];
+      for (std::size_t ci = 0; ci < nc; ++ci) {
+        SweepCell cell;
+        cell.detector = spec.detectors[di];
+        cell.channel = channel_label;
+        cell.decision = specs[di].decision();
+        cell.snr_db = spec.snr_grid_db[si];
+        cell.code = code_specs[ci].text();
+        double best_mbps = 0.0;
+        for (std::size_t qi = 0; qi < nq; ++qi) {
+          const link::LinkSimulator& sim = sims[(si * nc + ci) * nq + qi];
+          link::LinkStats stats;
+          sim.init_stats(stats);
+          for (const auto& p : partial)
+            stats += p[((si * nd + di) * nc + ci) * nq + qi];
 
-        const double mbps = link::net_throughput_mbps(
-            channel.num_tx(), spec.candidate_qams[qi], sim.scenario().frame.code_rate,
-            stats.per_client_fer(), sim.scenario().frame.data_subcarriers);
-        if (cell.best_qam == 0 || mbps > best_mbps) {
-          cell.best_qam = spec.candidate_qams[qi];
-          cell.code_rate = sim.scenario().frame.code_rate;
-          cell.throughput_mbps = mbps;
-          cell.stats = stats;
-          best_mbps = mbps;
+          const double mbps = link::net_throughput_mbps(
+              channel.num_tx(), spec.candidate_qams[qi],
+              sim.scenario().frame.code_rate_value(), stats.per_client_fer(),
+              sim.scenario().frame.data_subcarriers);
+          if (cell.best_qam == 0 || mbps > best_mbps) {
+            cell.best_qam = spec.candidate_qams[qi];
+            cell.code_rate = sim.scenario().frame.code_rate_value();
+            cell.throughput_mbps = mbps;
+            cell.stats = stats;
+            best_mbps = mbps;
+          }
         }
+        out.push_back(std::move(cell));
       }
-      out.push_back(std::move(cell));
     }
   }
   return out;

@@ -28,15 +28,21 @@
 namespace geosphere::sim {
 
 /// A declarative Monte-Carlo sweep: detectors (registry names, see
-/// DetectorSpec::parse) x SNR grid, with ideal rate adaptation over
-/// `candidate_qams` at each point. One master seed covers the whole sweep;
-/// each SNR point gets a derived seed, shared by every detector at that
-/// point so detector comparisons are paired on identical channel/noise
-/// draws (the paper's methodology, Section 5.2). The per-point seeds
-/// depend only on (seed, SNR index) -- never on the channel -- so sweeps
-/// that differ only in `channel` are paired too.
+/// DetectorSpec::parse) x code rates x SNR grid, with ideal rate
+/// adaptation over `candidate_qams` at each point. One master seed covers
+/// the whole sweep; each SNR point gets a derived seed, shared by every
+/// detector AND every code at that point so comparisons are paired on
+/// identical channel/noise draws (the paper's methodology, Section 5.2).
+/// The per-point seeds depend only on (seed, SNR index) -- never on the
+/// channel -- so sweeps that differ only in `channel` are paired too.
 struct SweepSpec {
   std::vector<std::string> detectors;
+  /// Code-rate axis (CodeSpec::parse forms: "none", "1/2", "2/3", "3/4").
+  /// Every (detector, code) pair becomes a sweep cell at every SNR point.
+  std::vector<std::string> codes = {"1/2"};
+  /// Which Viterbi implementation the coded cells decode with (the double
+  /// reference by default; kQuantized routes through the SIMD kernels).
+  phy::ViterbiImpl viterbi = phy::ViterbiImpl::kDouble;
   /// The channel the whole sweep runs over (ChannelSpec::parse form, e.g.
   /// "indoor" or "kronecker:0.7") and its dimensions. With these a
   /// SweepSpec is a complete, serializable scenario description; the
@@ -49,7 +55,6 @@ struct SweepSpec {
   std::size_t frames = 120;
   std::size_t payload_bytes = 500;
   double snr_jitter_db = 5.0;  ///< The paper's +/-5 dB SNR selection window.
-  coding::CodeRate code_rate = coding::CodeRate::kHalf;
   std::uint64_t seed = 1;
   /// Decision mode override for every detector in the sweep. Unset: each
   /// detector runs in its native mode ("soft-geosphere" runs soft,
@@ -58,7 +63,7 @@ struct SweepSpec {
   std::optional<DecisionMode> decision;
 };
 
-/// One (detector, SNR point) cell of a sweep.
+/// One (detector, code, SNR point) cell of a sweep.
 struct SweepCell {
   std::string detector;
   /// Canonical ChannelSpec text of the sweep's channel; "custom" when the
@@ -67,8 +72,14 @@ struct SweepCell {
   DecisionMode decision = DecisionMode::kHard;
   double snr_db = 0.0;
   unsigned best_qam = 0;
-  coding::CodeRate code_rate = coding::CodeRate::kHalf;
+  /// Canonical CodeSpec text of the cell's code rate.
+  std::string code = "1/2";
+  /// Numeric rate (information bits per coded bit; 1.0 for "none").
+  double code_rate = 0.5;
   double throughput_mbps = 0.0;
+  /// stats carries the coded counters too: stats.ber() is the coded BER,
+  /// stats.crc_fer() the CRC-checked FER, stats.goodput_mbps() the
+  /// measured goodput of the winning QAM.
   link::LinkStats stats;
 };
 
@@ -125,12 +136,13 @@ class Engine {
                           const DetectorSpec& spec, const link::SnrSearchConfig& config,
                           std::uint64_t seed);
 
-  /// Executes a declarative sweep. Cells are ordered SNR-major then
-  /// detector (the spec's detector order), `snr_grid_db.size() *
-  /// detectors.size()` in total. The whole grid -- every (detector, SNR)
-  /// cell, every rate-adaptation candidate, every frame -- is one flat
-  /// work pool, so large sweeps use all cores even when a single cell
-  /// would not; results remain bit-identical for any thread count.
+  /// Executes a declarative sweep. Cells are ordered SNR-major, then
+  /// detector, then code (the spec's orders), `snr_grid_db.size() *
+  /// detectors.size() * codes.size()` in total. The whole grid -- every
+  /// (detector, code, SNR) cell, every rate-adaptation candidate, every
+  /// frame -- is one flat work pool, so large sweeps use all cores even
+  /// when a single cell would not; results remain bit-identical for any
+  /// thread count.
   std::vector<SweepCell> run_sweep(const channel::ChannelModel& channel,
                                    const SweepSpec& spec);
 

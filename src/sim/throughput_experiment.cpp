@@ -5,8 +5,12 @@ namespace geosphere::sim {
 ThroughputPoint measure_throughput(Engine& engine, const channel::ChannelModel& channel,
                                    const std::string& label, const DetectorSpec& spec,
                                    double snr_db, const ThroughputConfig& config) {
+  const coding::CodeSpec code = coding::CodeSpec::parse(config.code);
+
   link::LinkScenario scenario;
   scenario.frame.payload_bytes = config.payload_bytes;
+  scenario.frame.set_code(code);
+  scenario.frame.viterbi = config.viterbi;
   scenario.snr_db = snr_db;
   scenario.snr_jitter_db = config.snr_jitter_db;
 
@@ -19,7 +23,9 @@ ThroughputPoint measure_throughput(Engine& engine, const channel::ChannelModel& 
   point.antennas = channel.num_rx();
   point.snr_db = snr_db;
   point.best_qam = choice.qam_order;
+  point.code = code.text();
   point.throughput_mbps = choice.throughput_mbps;
+  point.goodput_mbps = choice.stats.goodput_mbps();
   point.fer = choice.stats.fer();
   return point;
 }

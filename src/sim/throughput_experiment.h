@@ -20,6 +20,11 @@ struct ThroughputConfig {
   std::size_t payload_bytes = 500;
   double snr_jitter_db = 5.0;  ///< The paper's +/-5 dB SNR selection window.
   std::vector<unsigned> candidate_qams = {4, 16, 64};
+  /// Code rate (CodeSpec::parse form: "none", "1/2", "2/3", "3/4").
+  std::string code = "1/2";
+  /// Viterbi implementation for coded runs (double reference or the
+  /// quantized SIMD kernels).
+  phy::ViterbiImpl viterbi = phy::ViterbiImpl::kDouble;
   std::uint64_t seed = 1;
 };
 
@@ -29,7 +34,9 @@ struct ThroughputPoint {
   std::size_t antennas = 0;
   double snr_db = 0.0;
   unsigned best_qam = 0;
+  std::string code = "1/2";
   double throughput_mbps = 0.0;
+  double goodput_mbps = 0.0;  ///< Measured: CRC-clean payload bits / airtime.
   double fer = 0.0;
 };
 

@@ -1,0 +1,70 @@
+// Tests for the code-rate spec: strict parsing, canonical round-trip, the
+// registry the CLI's list-rates command prints.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "coding/spec.h"
+
+namespace geosphere::coding {
+namespace {
+
+TEST(CodeSpec, ParsesEveryRegisteredRate) {
+  for (const auto& info : code_registry()) {
+    const CodeSpec spec = CodeSpec::parse(info.name);
+    EXPECT_EQ(spec.text(), info.name);
+    EXPECT_DOUBLE_EQ(spec.value(), info.value);
+  }
+}
+
+TEST(CodeSpec, CanonicalTextRoundTrips) {
+  for (const char* name : {"none", "1/2", "2/3", "3/4"}) {
+    const CodeSpec spec = CodeSpec::parse(name);
+    EXPECT_EQ(CodeSpec::parse(spec.text()).text(), spec.text());
+  }
+}
+
+TEST(CodeSpec, CodedFlagAndRates) {
+  EXPECT_FALSE(CodeSpec::parse("none").coded());
+  EXPECT_TRUE(CodeSpec::parse("1/2").coded());
+  EXPECT_EQ(CodeSpec::parse("1/2").rate(), CodeRate::kHalf);
+  EXPECT_EQ(CodeSpec::parse("2/3").rate(), CodeRate::kTwoThirds);
+  EXPECT_EQ(CodeSpec::parse("3/4").rate(), CodeRate::kThreeQuarters);
+  EXPECT_DOUBLE_EQ(CodeSpec::parse("none").value(), 1.0);
+  EXPECT_DOUBLE_EQ(CodeSpec::parse("2/3").value(), 2.0 / 3.0);
+  EXPECT_THROW(CodeSpec::parse("none").rate(), std::logic_error);
+}
+
+TEST(CodeSpec, DefaultIsHalfRate) {
+  const CodeSpec spec;
+  EXPECT_TRUE(spec.coded());
+  EXPECT_EQ(spec.text(), "1/2");
+}
+
+TEST(CodeSpec, RejectsUnknownFormsNamingValidOnes) {
+  for (const char* bad : {"", "0.5", "1/3", "half", "1/2 ", " 1/2", "NONE", "4/5"}) {
+    try {
+      CodeSpec::parse(bad);
+      FAIL() << "expected rejection of '" << bad << "'";
+    } catch (const std::invalid_argument& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("none"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("1/2"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("3/4"), std::string::npos) << msg;
+    }
+  }
+}
+
+TEST(CodeSpec, RegistryHasPatternsAndSummaries) {
+  ASSERT_EQ(code_registry().size(), 4u);
+  for (const auto& info : code_registry()) {
+    EXPECT_FALSE(std::string(info.pattern).empty());
+    EXPECT_FALSE(std::string(info.summary).empty());
+    EXPECT_GT(info.value, 0.0);
+    EXPECT_LE(info.value, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace geosphere::coding

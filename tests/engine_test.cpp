@@ -14,6 +14,7 @@
 #include "channel/spec.h"
 #include "channel/testbed_ensemble.h"
 #include "channel/trace.h"
+#include "coding/simd/dispatch.h"
 #include "detect/spec.h"
 #include "link/link_simulator.h"
 #include "sim/conditioning_experiment.h"
@@ -37,6 +38,10 @@ void expect_identical(const link::LinkStats& a, const link::LinkStats& b) {
   EXPECT_EQ(a.client_frame_errors, b.client_frame_errors);
   EXPECT_EQ(a.bit_errors, b.bit_errors);
   EXPECT_EQ(a.payload_bits, b.payload_bits);
+  EXPECT_EQ(a.crc_frames_ok, b.crc_frames_ok);
+  EXPECT_EQ(a.crc_frames_error, b.crc_frames_error);
+  EXPECT_EQ(a.delivered_payload_bits, b.delivered_payload_bits);
+  EXPECT_EQ(a.ofdm_symbol_slots, b.ofdm_symbol_slots);
   EXPECT_EQ(a.detection_calls, b.detection_calls);
   EXPECT_EQ(a.detection.ped_computations, b.detection.ped_computations);
   EXPECT_EQ(a.detection.visited_nodes, b.detection.visited_nodes);
@@ -278,6 +283,63 @@ TEST(Engine, RunSweepCellParallelDeterministicAcrossThreadCounts) {
     EXPECT_EQ(a[i].best_qam, b[i].best_qam);
     EXPECT_DOUBLE_EQ(a[i].throughput_mbps, b[i].throughput_mbps);
     expect_identical(a[i].stats, b[i].stats);
+  }
+}
+
+TEST(Engine, CodedSweepBitIdenticalAcrossThreadCountsAndKernelTiers) {
+  // The coded pipeline's determinism contract: with the code axis and the
+  // quantized decoder on the hot path, every counter (coded BER / CRC-FER /
+  // goodput inputs included) is bit-identical for any thread count and for
+  // every compiled-and-supported Viterbi kernel tier.
+  SweepSpec spec;
+  spec.channel = "kronecker:0.6";
+  spec.clients = 2;
+  spec.antennas = 4;
+  spec.detectors = {"geosphere"};
+  spec.codes = {"1/2", "3/4", "none"};
+  spec.viterbi = phy::ViterbiImpl::kQuantized;
+  spec.snr_grid_db = {14.0, 22.0};
+  spec.candidate_qams = {16};
+  spec.frames = 6;
+  spec.payload_bytes = 100;
+  spec.seed = 19;
+
+  Engine one(1);
+  Engine four(4);
+  const auto a = one.run_sweep(spec);
+  const auto b = four.run_sweep(spec);
+  ASSERT_EQ(a.size(), 6u);  // 2 SNRs x 1 detector x 3 codes.
+  ASSERT_EQ(b.size(), 6u);
+  bool any_crc_error = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].code, spec.codes[i % 3]);
+    EXPECT_EQ(a[i].code, b[i].code);
+    EXPECT_DOUBLE_EQ(a[i].code_rate, b[i].code_rate);
+    EXPECT_EQ(a[i].best_qam, b[i].best_qam);
+    EXPECT_DOUBLE_EQ(a[i].throughput_mbps, b[i].throughput_mbps);
+    expect_identical(a[i].stats, b[i].stats);
+    EXPECT_EQ(a[i].stats.crc_frames_ok + a[i].stats.crc_frames_error,
+              a[i].stats.frames * spec.clients);
+    EXPECT_GT(a[i].stats.ofdm_symbol_slots, 0u);
+    any_crc_error |= a[i].stats.crc_frames_error > 0;
+  }
+  // 14 dB at rate 3/4 / uncoded must produce real CRC failures, otherwise
+  // the goodput axis isn't exercised.
+  EXPECT_TRUE(any_crc_error);
+
+  // Kernel tiers: pin each supported tier and re-run; the quantized
+  // decoder's cross-tier bit-identity must carry through the full sweep.
+  for (const auto& kernel : coding::simd::supported_viterbi_kernels()) {
+    coding::simd::set_viterbi_kernel_override(kernel->name);
+    Engine tier(3);
+    const auto c = tier.run_sweep(spec);
+    coding::simd::set_viterbi_kernel_override(nullptr);
+    ASSERT_EQ(c.size(), a.size()) << kernel->name;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].best_qam, c[i].best_qam) << kernel->name;
+      EXPECT_DOUBLE_EQ(a[i].throughput_mbps, c[i].throughput_mbps) << kernel->name;
+      expect_identical(a[i].stats, c[i].stats);
+    }
   }
 }
 

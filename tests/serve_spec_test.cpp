@@ -36,9 +36,10 @@ TEST(CellSpec, DefaultsAndCanonicalText) {
   EXPECT_EQ(spec.channel, "rayleigh");
   EXPECT_EQ(spec.detector, "geosphere");
   EXPECT_EQ(spec.qams, (std::vector<unsigned>{4, 16, 64}));
+  EXPECT_EQ(spec.code, "1/2");
   EXPECT_EQ(spec.text(),
             "users=8,antennas=4,load=0.5,channel=rayleigh,detector=geosphere,"
-            "snr=20.0,spread=5.0,window=3.0,qams=4|16|64,payload=500");
+            "code=1/2,snr=20.0,spread=5.0,window=3.0,qams=4|16|64,payload=500");
 }
 
 TEST(CellSpec, RoundTripsAndCanonicalizesSpellings) {
@@ -51,6 +52,34 @@ TEST(CellSpec, RoundTripsAndCanonicalizesSpellings) {
   EXPECT_NE(a.text().find("load=0.5,"), std::string::npos);
   EXPECT_NE(a.text().find("snr=22.0,"), std::string::npos);
   EXPECT_NE(a.text().find("detector=kbest:8"), std::string::npos);
+}
+
+TEST(CellSpec, CodeKeyCanonicalizesAndDefaultsApply) {
+  EXPECT_EQ(CellSpec::parse("code=3/4").code, "3/4");
+  EXPECT_EQ(CellSpec::parse("code=none").code, "none");
+
+  // Defaults-aware parse: unspecified keys take the caller's defaults
+  // (CLI --code/--detector), explicit per-cell keys still win.
+  CellSpec defaults;
+  defaults.code = "2/3";
+  defaults.detector = "mmse";
+  EXPECT_EQ(CellSpec::parse("users=8", defaults).code, "2/3");
+  EXPECT_EQ(CellSpec::parse("users=8", defaults).detector, "mmse");
+  EXPECT_EQ(CellSpec::parse("code=1/2", defaults).code, "1/2");
+  const ServeSpec multi = ServeSpec::parse("users=4;users=2,code=3/4", defaults);
+  EXPECT_EQ(multi.cells[0].code, "2/3");
+  EXPECT_EQ(multi.cells[1].code, "3/4");
+}
+
+TEST(ServeSpec, BadCodeSurfacesRegistryForms) {
+  expect_reject("code=1/3", "1/3");
+  try {
+    (void)ServeSpec::parse("code=1/3");
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("none"), std::string::npos) << what;
+    EXPECT_NE(what.find("3/4"), std::string::npos) << what;
+  }
 }
 
 TEST(ServeSpec, ParsesMultipleCellsAndRoundTrips) {

@@ -5,18 +5,20 @@
 //
 //   geosphere_cli list-detectors
 //   geosphere_cli list-channels
+//   geosphere_cli list-rates
 //   geosphere_cli conditioning [--links N] [--subcarriers N]
 //   geosphere_cli throughput --clients N --antennas N --snr DB
 //                 [--detector zf|geosphere|soft-geosphere|kbest:K|...]
 //                 [--channel indoor|rayleigh|kronecker:RHO|trace:FILE|...]
+//                 [--code none|1/2|2/3|3/4] [--viterbi double|quantized]
 //   geosphere_cli complexity --clients N --antennas N --qam M --snr DB
 //                 [--channel NAME]
 //   geosphere_cli sweep --clients N --antennas N
 //                 [--detectors zf,geosphere,soft-geosphere] [--snrs 15,20,25]
 //                 [--qams 4,16,64] [--decision auto|hard|soft]
-//                 [--channel NAME]
+//                 [--channel NAME] [--code 1/2,3/4,...] [--viterbi double|quantized]
 //   geosphere_cli serve --spec "users=32,load=0.6;users=8,detector=mmse"
-//                 [--ttis N] [--json PATH]
+//                 [--ttis N] [--json PATH] [--code RATE]
 //   geosphere_cli trace-record --out FILE --links N --clients N --antennas N
 //                 [--channel NAME]
 //   geosphere_cli trace-info FILE
@@ -37,6 +39,7 @@
 
 #include "channel/spec.h"
 #include "channel/trace.h"
+#include "coding/spec.h"
 #include "detect/spec.h"
 #include "serve/server.h"
 #include "serve/spec.h"
@@ -160,6 +163,14 @@ channel::ChannelSpec channel_spec(const Args& args, const std::string& fallback)
   return channel::ChannelSpec::parse(args.get("channel", fallback));
 }
 
+/// The --viterbi flag: which decoder implementation coded runs use.
+phy::ViterbiImpl viterbi_impl(const Args& args) {
+  const std::string v = args.get("viterbi", "double");
+  if (v == "double") return phy::ViterbiImpl::kDouble;
+  if (v == "quantized") return phy::ViterbiImpl::kQuantized;
+  throw std::runtime_error("--viterbi must be double or quantized, got \"" + v + "\"");
+}
+
 int cmd_conditioning(const Args& args) {
   sim::ConditioningConfig config;
   config.links = args.get_size("links", 300);
@@ -187,6 +198,9 @@ int cmd_throughput(const Args& args) {
   sim::ThroughputConfig config;
   config.frames = args.get_size("frames", 60);
   config.seed = args.seed();
+  // Fails here with the registry's valid forms if the rate is malformed.
+  config.code = coding::CodeSpec::parse(args.get("code", "1/2")).text();
+  config.viterbi = viterbi_impl(args);
   const double snr = args.get_double("snr", 20.0);
   const std::string name = args.get("detector", "geosphere");
   const DetectorSpec spec = DetectorSpec::parse(name);
@@ -194,11 +208,12 @@ int cmd_throughput(const Args& args) {
   const auto point =
       sim::measure_throughput(args.engine(), model, spec.text(), spec, snr, config);
   std::printf(
-      "%zu clients x %zu antennas @ %.1f dB, channel=%s, detector=%s (%s), threads=%zu\n",
+      "%zu clients x %zu antennas @ %.1f dB, channel=%s, detector=%s (%s), code=%s, "
+      "threads=%zu\n",
       model.num_tx(), model.num_rx(), snr, chspec.text().c_str(), spec.text().c_str(),
-      to_string(spec.decision()), args.engine().threads());
-  std::printf("best QAM: %u\nnet throughput: %.2f Mbps\nFER: %.3f\n", point.best_qam,
-              point.throughput_mbps, point.fer);
+      to_string(spec.decision()), point.code.c_str(), args.engine().threads());
+  std::printf("best QAM: %u\nnet throughput: %.2f Mbps\ngoodput: %.2f Mbps\nFER: %.3f\n",
+              point.best_qam, point.throughput_mbps, point.goodput_mbps, point.fer);
   return 0;
 }
 
@@ -259,6 +274,12 @@ int cmd_sweep(const Args& args) {
   }
   if (spec.detectors.empty() || spec.snr_grid_db.empty() || spec.candidate_qams.empty())
     throw std::runtime_error("sweep needs non-empty --detectors, --snrs and --qams");
+  // --code is a sweep axis like --detectors: a comma-separated list of
+  // CodeSpec forms, each validated eagerly against the code registry.
+  spec.codes = split_list(args.get("code", "1/2"));
+  if (spec.codes.empty()) throw std::runtime_error("--code must name at least one rate");
+  for (const auto& c : spec.codes) coding::CodeSpec::parse(c);
+  spec.viterbi = viterbi_impl(args);
   spec.frames = args.get_size("frames", 60);
   spec.payload_bytes = args.get_size("payload", 500);
   spec.snr_jitter_db = args.get_double("jitter", 5.0);
@@ -273,13 +294,16 @@ int cmd_sweep(const Args& args) {
       "%zu clients x %zu antennas, channel %s, %zu frames/point, seed %llu, threads %zu\n\n",
       model.num_tx(), model.num_rx(), spec.channel.c_str(), spec.frames,
       static_cast<unsigned long long>(spec.seed), args.engine().threads());
-  sim::TablePrinter table({"SNR (dB)", "channel", "detector", "decision", "best QAM",
-                           "throughput (Mbps)", "FER", "PED/sc"});
+  sim::TablePrinter table({"SNR (dB)", "channel", "detector", "code", "decision",
+                           "best QAM", "throughput (Mbps)", "goodput (Mbps)", "FER",
+                           "BER", "PED/sc"});
   for (const auto& cell : cells)
     table.add_row({sim::TablePrinter::fmt(cell.snr_db, 0), cell.channel, cell.detector,
-                   to_string(cell.decision), std::to_string(cell.best_qam),
+                   cell.code, to_string(cell.decision), std::to_string(cell.best_qam),
                    sim::TablePrinter::fmt(cell.throughput_mbps),
+                   sim::TablePrinter::fmt(cell.stats.goodput_mbps()),
                    sim::TablePrinter::fmt(cell.stats.fer()),
+                   sim::TablePrinter::fmt(cell.stats.ber(), 4),
                    sim::TablePrinter::fmt(cell.stats.avg_ped_per_subcarrier(), 1)});
   table.print(std::cout);
   return 0;
@@ -338,7 +362,11 @@ int cmd_serve(const Args& args) {
     throw std::runtime_error(
         "serve needs --spec: ';'-separated cells of key=value pairs (valid keys: " +
         serve::cell_spec_keys() + ")");
-  const serve::ServeSpec spec = serve::ServeSpec::parse(spec_text);
+  // --code supplies the default rate for cells that don't spell their own
+  // code= key (explicit per-cell keys still win).
+  serve::CellSpec defaults;
+  defaults.code = coding::CodeSpec::parse(args.get("code", "1/2")).text();
+  const serve::ServeSpec spec = serve::ServeSpec::parse(spec_text, defaults);
   const std::size_t ttis = args.get_size("ttis", 200);
   const long threads = args.get_int("threads", 0);
   if (threads < 0 || threads > 1024)
@@ -441,6 +469,15 @@ int cmd_list_channels() {
   return 0;
 }
 
+int cmd_list_rates() {
+  sim::TablePrinter table({"name", "rate", "puncture pattern", "description"});
+  for (const auto& info : coding::code_registry())
+    table.add_row({info.name, sim::TablePrinter::fmt(info.value, 2), info.pattern,
+                   info.summary});
+  table.print(std::cout);
+  return 0;
+}
+
 int cmd_list_detectors() {
   sim::TablePrinter table({"name", "form", "decision", "soft-capable", "description"});
   for (const auto& info : detector_registry()) {
@@ -477,18 +514,25 @@ void usage() {
     if (!channels.empty()) channels += ' ';
     channels += channel::channel_canonical_form(info);
   }
+  std::string rates;
+  for (const auto& info : coding::code_registry()) {
+    if (!rates.empty()) rates += ' ';
+    rates += info.name;
+  }
   std::puts(
       ("usage: geosphere_cli <command> [flags]\n"
        "  list-detectors (the detector registry: names, parameters, decision modes)\n"
        "  list-channels  (the channel registry: names, parameters, dimensions)\n"
+       "  list-rates     (the code registry: rates, puncture patterns)\n"
        "  conditioning   [--links N] [--subcarriers N]\n"
        "  throughput     --clients N --antennas N --snr DB [--detector NAME]\n"
-       "                 [--channel NAME]\n"
+       "                 [--channel NAME] [--code RATE] [--viterbi double|quantized]\n"
        "  complexity     --clients N --antennas N --qam M --snr DB [--channel NAME]\n"
        "  sweep          --clients N --antennas N [--detectors A,B] [--snrs 15,20,25]\n"
        "                 [--qams 4,16,64] [--decision auto|hard|soft] [--payload BYTES]\n"
-       "                 [--jitter DB] [--channel NAME]\n"
-       "  serve          --spec CELLS [--ttis N] [--json PATH]\n"
+       "                 [--jitter DB] [--channel NAME] [--code R1,R2,...]\n"
+       "                 [--viterbi double|quantized]\n"
+       "  serve          --spec CELLS [--ttis N] [--json PATH] [--code RATE]\n"
        "                 (CELLS: ';'-separated cells of key=value pairs;\n"
        "                  keys: " +
        serve::cell_spec_keys() +
@@ -501,7 +545,7 @@ void usage() {
        detectors +
        " kbest:K (list-detectors shows optional :PARAM forms and defaults)\n"
        "channels:  " +
-       channels)
+       channels + "\nrates:     " + rates)
           .c_str());
 }
 
@@ -514,6 +558,8 @@ int main(int argc, char** argv) {
       return cmd_list_detectors();
     if (args.command == "list-channels" || args.command == "--list-channels")
       return cmd_list_channels();
+    if (args.command == "list-rates" || args.command == "--list-rates")
+      return cmd_list_rates();
     if (args.command == "conditioning") return cmd_conditioning(args);
     if (args.command == "throughput") return cmd_throughput(args);
     if (args.command == "complexity") return cmd_complexity(args);
