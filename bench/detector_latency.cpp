@@ -6,11 +6,15 @@
 // per-received-vector cost -- so the table directly shows how much an
 // OFDM frame saves by preparing each subcarrier once and solving it
 // `ofdm_symbols` times ("frame speedup @4 sym" = one-shot cost of 4
-// solves divided by prepare-once + 4 solves). The batched columns
-// (ns/slv_b4, b16, b48 = per-vector cost of solve_batch at batch sizes
-// 4/16/48; batchx@48 = ns/solve divided by the 48-column per-vector cost)
-// measure the phase-3 amortization: one mat-mat product / warm workspace
-// sweep per subcarrier instead of per-vector dispatch.
+// solves divided by prepare-once + 4 solves). The batched-prepare columns
+// (ns/prep_b16 = per-channel cost of prepare_batch over 16 channels plus
+// its 16 selects; prepx@16 = ns/prepare over that) measure the packed
+// SIMD factorization layer under src/detect/prepare/: the 16 channels ride
+// as lanes through one Householder QR / Gram inversion. The batched-solve
+// columns (ns/slv_b4, b16, b48 = per-vector cost of solve_batch at batch
+// sizes 4/16/48; batchx@48 = ns/solve divided by the 48-column per-vector
+// cost) measure the phase-3 amortization: one mat-mat product / warm
+// workspace sweep per subcarrier instead of per-vector dispatch.
 //
 // Soft-capable detectors additionally report the per-vector LLR cost
 // (ns/soft = solve_soft, ns/soft_b48 = per-vector cost of
@@ -24,7 +28,8 @@
 // BENCH_detector_latency.json (--json=PATH to relocate) with a "host"
 // block (compiler, flags, GEOSPHERE_NATIVE, detected SIMD tier -- so
 // committed baselines from different machines are comparable) and one
-// record per (detector, QAM): {detector, qam, dims, ns_prepare, ns_solve,
+// record per (detector, QAM): {detector, qam, dims, ns_prepare,
+// ns_prepare_b16, prepare_speedup16, prepare_speedup16_noise, ns_solve,
 // ns_solve_b4, ns_solve_b16, ns_solve_b48, batch_speedup48,
 // batch_speedup48_noise, ns_oneshot, ped_per_solve, ns_solve_soft,
 // ns_solve_soft_b48, searches_per_soft} -- the perf trajectory; CI runs
@@ -180,6 +185,9 @@ struct Measurement {
   unsigned qam = 0;
   std::string dims;
   double ns_prepare = 0.0;
+  /// Per-channel cost of the batched-prepare path at batch 16: one
+  /// prepare_batch over kDraws channels plus all kDraws selects, / kDraws.
+  double ns_prepare_b16 = 0.0;
   double ns_solve = 0.0;
   /// Per-vector cost of solve_batch at each kBatchSizes entry.
   double ns_solve_batch[std::size(kBatchSizes)] = {};
@@ -196,6 +204,8 @@ struct Measurement {
   double noise_solve = 0.0;
   double noise_batch48 = 0.0;
   double noise_oneshot = 0.0;
+  double noise_prepare = 0.0;
+  double noise_prepare_b16 = 0.0;
 
   /// Per-vector solve throughput gain of the largest batch.
   double batch_speedup() const {
@@ -206,6 +216,13 @@ struct Measurement {
   /// Combined relative noise of the batch-speedup ratio (first-order sum
   /// of the numerator's and denominator's relative spreads).
   double batch_speedup_noise() const { return noise_solve + noise_batch48; }
+
+  /// Per-channel preparation throughput gain of the batched path at 16.
+  double prepare_speedup() const {
+    return ns_prepare_b16 > 0.0 ? ns_prepare / ns_prepare_b16 : 0.0;
+  }
+
+  double prepare_speedup_noise() const { return noise_prepare + noise_prepare_b16; }
 };
 
 /// Keeps results observable so the optimizer cannot delete the timed work.
@@ -223,14 +240,30 @@ Measurement measure(const DetectorSpec& spec, unsigned order, const Workload& w,
   m.qam = order;
   m.dims = std::to_string(w.h.front().rows()) + "x" + std::to_string(w.h.front().cols());
 
-  // Phase 1 cost: rotate through the channel set, factorizing each.
+  // Phase 1 cost, per-channel vs batched, as one interleaved group: the
+  // scalar metric rotates through the channel set factorizing each; the
+  // batched metric factorizes all kDraws channels in one prepare_batch and
+  // activates every slot (selects included -- that is the full cost a
+  // frame pays), so prepx@16 = ns_prepare / ns_prepare_b16 is robust
+  // against host clock drift.
   {
     const auto det = spec.create(c);
+    const auto batch_det = spec.create(c);
     std::size_t i = 0;
-    m.ns_prepare = ns_per_op(budget_ms, [&] {
-                     det->prepare(w.h[i], w.n0);
-                     i = (i + 1) % kDraws;
-                   }).ns;
+    std::vector<Timed> group;
+    group.push_back({[&] {
+      det->prepare(w.h[i], w.n0);
+      i = (i + 1) % kDraws;
+    }});
+    group.push_back({[&] {
+      batch_det->prepare_batch(w.h.data(), kDraws, w.n0);
+      for (std::size_t s = 0; s < kDraws; ++s) batch_det->select_prepared(s);
+    }});
+    time_group(budget_ms, group);
+    m.ns_prepare = group[0].ns;
+    m.noise_prepare = group[0].rel_noise;
+    m.ns_prepare_b16 = group[1].ns / static_cast<double>(kDraws);
+    m.noise_prepare_b16 = group[1].rel_noise;
   }
 
   // Phase 2 cost: one instance per channel, prepared outside the timed
@@ -448,17 +481,21 @@ void write_json(const std::string& path, const std::string& channel,
     const Measurement& m = results[i];
     std::fprintf(f,
                  "    {\"detector\": \"%s\", \"qam\": %u, \"dims\": \"%s\", "
-                 "\"ns_prepare\": %.1f, \"ns_solve\": %.1f, "
+                 "\"ns_prepare\": %.1f, \"ns_prepare_b16\": %.1f, "
+                 "\"prepare_speedup16\": %.3f, \"prepare_speedup16_noise\": %.3f, "
+                 "\"ns_solve\": %.1f, "
                  "\"ns_solve_b4\": %.1f, \"ns_solve_b16\": %.1f, \"ns_solve_b48\": %.1f, "
                  "\"batch_speedup48\": %.3f, \"batch_speedup48_noise\": %.3f, "
                  "\"ns_oneshot\": %.1f, \"ped_per_solve\": %.2f, "
                  "\"ns_solve_soft\": %.1f, \"ns_solve_soft_b48\": %.1f, "
                  "\"searches_per_soft\": %.2f}%s\n",
                  json_escape(m.detector).c_str(), m.qam, json_escape(m.dims).c_str(),
-                 m.ns_prepare, m.ns_solve, m.ns_solve_batch[0], m.ns_solve_batch[1],
-                 m.ns_solve_batch[2], m.batch_speedup(), m.batch_speedup_noise(),
-                 m.ns_oneshot, m.ped_per_solve, m.ns_solve_soft, m.ns_solve_soft_b48,
-                 m.searches_per_soft, i + 1 < results.size() ? "," : "");
+                 m.ns_prepare, m.ns_prepare_b16, m.prepare_speedup(),
+                 m.prepare_speedup_noise(), m.ns_solve, m.ns_solve_batch[0],
+                 m.ns_solve_batch[1], m.ns_solve_batch[2], m.batch_speedup(),
+                 m.batch_speedup_noise(), m.ns_oneshot, m.ped_per_solve, m.ns_solve_soft,
+                 m.ns_solve_soft_b48, m.searches_per_soft,
+                 i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -521,10 +558,11 @@ int main(int argc, char** argv) {
   std::printf("kernel tier: %s (width %zu, tree lanes %zu), %s build\n\n", kern.name,
               kern.width, geosphere::sphere::simd::tree_lane_count(kern.width),
               native_build() ? "native" : "portable");
-  std::printf("%-18s %5s %11s %10s %10s %10s %10s %10s %11s %10s %13s %10s %11s %10s\n",
-              "detector", "QAM", "ns/prepare", "ns/solve", "ns/slv_b4", "ns/slv_b16",
-              "ns/slv_b48", "batchx@48", "ns/oneshot", "PED/solve", "speedup@4sym",
-              "ns/soft", "ns/soft_b48", "srch/soft");
+  std::printf("%-18s %5s %11s %11s %9s %10s %10s %10s %10s %10s %11s %10s %13s %10s %11s"
+              " %10s\n",
+              "detector", "QAM", "ns/prepare", "ns/prep_b16", "prepx@16", "ns/solve",
+              "ns/slv_b4", "ns/slv_b16", "ns/slv_b48", "batchx@48", "ns/oneshot",
+              "PED/solve", "speedup@4sym", "ns/soft", "ns/soft_b48", "srch/soft");
 
   // Tokenize the allowlist once; exact spec matches only.
   std::vector<std::string> wanted_specs;
@@ -558,10 +596,11 @@ int main(int argc, char** argv) {
       } else {
         for (auto& col : soft_cols) std::snprintf(col, sizeof col, "-");
       }
-      std::printf("%-18s %5u %11.0f %10.0f %10.0f %10.0f %10.0f %10s %11.0f %10.1f %13s"
-                  " %10s %11s %10s\n",
-                  m.detector.c_str(), m.qam, m.ns_prepare, m.ns_solve, m.ns_solve_batch[0],
-                  m.ns_solve_batch[1], m.ns_solve_batch[2],
+      std::printf("%-18s %5u %11.0f %11.0f %9s %10.0f %10.0f %10.0f %10.0f %10s %11.0f"
+                  " %10.1f %13s %10s %11s %10s\n",
+                  m.detector.c_str(), m.qam, m.ns_prepare, m.ns_prepare_b16,
+                  format_ratio(m.prepare_speedup(), m.prepare_speedup_noise()).c_str(),
+                  m.ns_solve, m.ns_solve_batch[0], m.ns_solve_batch[1], m.ns_solve_batch[2],
                   format_ratio(m.batch_speedup(), m.batch_speedup_noise()).c_str(),
                   m.ns_oneshot, m.ped_per_solve,
                   format_ratio(frame_speedup(m, 4.0), m.noise_oneshot + m.noise_solve).c_str(),

@@ -1,12 +1,24 @@
 // Common interface for MIMO detectors, plus the complexity counters the
 // paper's evaluation is built around (Section 5.3).
 //
-// Detection is a three-phase contract:
+// Detection is a four-phase contract:
 //
 //   prepare(h, noise_var)  -- factorize / order / invert the channel once
 //                             and store the result in the detector's owned
 //                             workspace (column ordering, Householder QR,
 //                             linear filter construction, ...).
+//   prepare_batch(hs, count, noise_var)
+//                          -- factorize `count` equally shaped channels at
+//                             once (a frame's subcarriers), then
+//                             select_prepared(i) activates channel i for
+//                             solving. The base class falls back to a lazy
+//                             per-select prepare(); detectors override the
+//                             pair where the factorization math is lane-
+//                             parallel across matrices (the packed SIMD
+//                             kernels under src/detect/prepare/simd/).
+//                             Overrides are bit-identical to the fallback:
+//                             same factorizations, same decisions, same
+//                             counters, same exceptions at select time.
 //   solve(y, out)          -- per-received-vector work only, against the
 //                             most recently prepared channel.
 //   solve_batch(Y, out)    -- all received vectors of one channel use at
@@ -74,6 +86,12 @@ struct DetectionStats {
   /// detection_calls / preprocess_calls is the amortization factor
   /// (= OFDM symbols per frame).
   std::uint64_t preprocess_calls = 0;
+  /// Batched preparations (prepare_batch() invocations). A batch of N
+  /// channels counts as ONE prepare_batch_call but N preprocess_calls (the
+  /// caller stamps one per select_prepared()), mirroring the batch_calls
+  /// rule below: preprocess_calls stays the logical factorization count,
+  /// prepare_batch_calls only records how it was dispatched.
+  std::uint64_t prepare_batch_calls = 0;
   /// Batched solves (solve_batch()/solve_soft_batch() invocations). A batch
   /// of N vectors counts as ONE batch_call but N detections: all per-vector
   /// counters (ped_computations, slicer_ops, ...) are the exact sums of the
@@ -98,6 +116,7 @@ struct DetectionStats {
     slicer_ops += o.slicer_ops;
     queue_ops += o.queue_ops;
     preprocess_calls += o.preprocess_calls;
+    prepare_batch_calls += o.prepare_batch_calls;
     batch_calls += o.batch_calls;
     tree_searches += o.tree_searches;
     counter_updates += o.counter_updates;
@@ -164,9 +183,50 @@ class Detector {
   /// state leaks between channels, including dimension changes).
   void prepare(const linalg::CMatrix& h, double noise_var) {
     prepared_ = false;  // A throwing do_prepare leaves no usable channel.
+    invalidate_batch();
     do_prepare(h, noise_var);
     prepared_ = true;
   }
+
+  /// Phase 1 (batched): factorize `count` equally shaped channels
+  /// hs[0..count) at once, all with noise variance `noise_var`. Nothing is
+  /// active for solving until select_prepared(i) picks a slot; per-channel
+  /// failures (rank deficiency, singular filters, ...) surface at that
+  /// select with the exact exception prepare(hs[i], noise_var) would have
+  /// thrown. The base class records the arguments and prepares lazily per
+  /// select, so `hs` must stay alive until the last select of the batch
+  /// (both call sites keep the frame's subcarrier matrices alive anyway) --
+  /// overrides must match that fallback bit-for-bit: same factorization
+  /// bits, same decisions and counters downstream, same exception types and
+  /// messages, same timing (at select, not at prepare_batch).
+  void prepare_batch(const linalg::CMatrix* hs, std::size_t count, double noise_var) {
+    prepared_ = false;
+    batch_size_ = 0;
+    do_prepare_batch(hs, count, noise_var);
+    batch_size_ = count;
+  }
+
+  /// Convenience form over a vector of channels (a frame's subcarriers).
+  void prepare_batch(const std::vector<linalg::CMatrix>& hs, double noise_var) {
+    prepare_batch(hs.data(), hs.size(), noise_var);
+  }
+
+  /// Activates channel `i` of the last prepare_batch() for solving, exactly
+  /// as if prepare(hs[i], noise_var) had just run. Throws std::logic_error
+  /// outside the batch (including after a plain prepare(), which
+  /// invalidates the batch); rethrows hs[i]'s own preparation failure if it
+  /// has one, leaving the other slots selectable.
+  void select_prepared(std::size_t i) {
+    if (i >= batch_size_)
+      throw std::logic_error("Detector: select_prepared() outside the prepared batch (" +
+                             name() + ")");
+    prepared_ = false;  // A throwing slot leaves no usable channel.
+    do_select_prepared(i);
+    prepared_ = true;
+  }
+
+  /// Channels of the currently valid batch (0 when none is valid).
+  std::size_t prepared_batch_size() const { return batch_size_; }
 
   /// Phase 2: detect the transmitted symbol vector from received vector
   /// `y` (length n_a) against the prepared channel, writing into `out`
@@ -240,6 +300,41 @@ class Detector {
   /// prepared state.
   virtual void do_prepare(const linalg::CMatrix& h, double noise_var) = 0;
 
+  /// Batched preparation. The default records the arguments and defers all
+  /// work to do_select_prepared() -- correct for every detector; override
+  /// (together with do_select_prepared) where the factorization packs
+  /// across matrices. Overrides must be bit-identical to the fallback,
+  /// including deferring per-channel failures to select time.
+  virtual void do_prepare_batch(const linalg::CMatrix* hs, std::size_t count,
+                                double noise_var) {
+    (void)count;
+    fallback_hs_ = hs;
+    fallback_noise_var_ = noise_var;
+  }
+
+  /// Activates batch slot `i`. The default lazily prepares hs[i]; overrides
+  /// install the slot computed by their do_prepare_batch (and rethrow its
+  /// recorded failure, if any).
+  virtual void do_select_prepared(std::size_t i) {
+    do_prepare(fallback_hs_[i], fallback_noise_var_);
+  }
+
+  /// Drops any valid batch (plain prepare() calls this; overriders that
+  /// share state between the batched and scalar paths may need it too).
+  void invalidate_batch() { batch_size_ = 0; }
+
+  /// prepare()'s flag-and-batch discipline around an externally supplied
+  /// installer -- for entry points that install a factorization computed
+  /// elsewhere (e.g. SphereDecoder::prepare_adopted receiving hybrid's
+  /// shared QR) and must behave exactly like prepare().
+  template <typename F>
+  void run_as_prepare(F&& install) {
+    prepared_ = false;
+    invalidate_batch();
+    install();
+    prepared_ = true;
+  }
+
   /// Per-vector detection against the prepared workspace. Implementations
   /// fill out.indices and call finish_result().
   virtual void do_solve(const CVector& y, DetectionResult& out) = 0;
@@ -284,6 +379,11 @@ class Detector {
  private:
   const Constellation* constellation_;
   bool prepared_ = false;
+  std::size_t batch_size_ = 0;
+  // Arguments of the last prepare_batch(), for the lazy select fallback
+  // only (overriding detectors keep their own slot state).
+  const linalg::CMatrix* fallback_hs_ = nullptr;
+  double fallback_noise_var_ = 0.0;
   // Scratch for the do_solve_batch() loop fallback only.
   CVector loop_y_;
   DetectionResult loop_result_;

@@ -4,7 +4,10 @@
 // Deterministic complexity, asymptotically near-ML at high SNR only.
 #pragma once
 
+#include <vector>
+
 #include "detect/detector.h"
+#include "detect/prepare/batch_qr.h"
 #include "detect/sphere/enumerators.h"
 #include "detect/sphere/tree_problem.h"
 
@@ -22,6 +25,12 @@ class FsdDetector final : public Detector {
   /// One mat-mat Q^H Y rotation, then the shared expand-and-plunge pass per
   /// column against warm path workspaces.
   void do_solve_batch(const linalg::CMatrix& y_batch, BatchResult& out) override;
+  /// Packed Householder QR across the batch (prepare/batch_qr.h); select
+  /// installs slot i into problem_, rethrowing TreeProblem::factorize's
+  /// exact shape/rank exceptions for failed batches/slots.
+  void do_prepare_batch(const linalg::CMatrix* hs, std::size_t count,
+                        double noise_var) override;
+  void do_select_prepared(std::size_t i) override;
 
  private:
   /// Expand-and-plunge pass over the loaded problem_; returns the winning
@@ -30,6 +39,11 @@ class FsdDetector final : public Detector {
 
   sphere::GeoEnumerator enumerator_;
   sphere::TreeProblem problem_;  ///< Factorized by prepare().
+
+  // Batched-prepare state (prepare_batch override; see prepare/batch_qr.h).
+  prepare::BatchQr batch_qr_;
+  std::vector<prepare::QrSlot> slot_qr_;
+  bool batch_shape_bad_ = false;  ///< Deferred shape invalid_argument.
 
   // Reused per-solve workspaces (grown once, then allocation-free). The
   // expanded paths are structure-of-arrays -- pd[i] plus a flat nc-entry

@@ -1,8 +1,7 @@
 #include "detect/hybrid.h"
 
-#include "detect/sphere/sphere_decoder.h"
-#include "detect/zero_forcing.h"
 #include "linalg/cond.h"
+#include "linalg/qr.h"
 
 namespace geosphere {
 
@@ -10,18 +9,62 @@ HybridDetector::HybridDetector(const Constellation& c, double threshold_kappa_sq
     : Detector(c),
       threshold_db_(threshold_kappa_sq_db),
       zf_(std::make_unique<ZeroForcingDetector>(c)),
-      geosphere_(sphere::make_geosphere(c)) {}
+      geosphere_(sphere::make_geosphere_typed(c)) {}
 
 void HybridDetector::do_prepare(const linalg::CMatrix& h, double noise_var) {
   ++calls_;
-  const double kappa_sq_db = linalg::condition_number_sq_db(h);
+  const std::size_t nc = h.cols();
+  if (nc == 0 || h.rows() < nc) {
+    // Degenerate shapes cannot be QR-routed; both inner detectors reject
+    // them, so forward to ZF for its exact exception.
+    active_ = zf_.get();
+    active_->prepare(h, noise_var);
+    return;
+  }
+
+  // One QR serves both phases: R's diagonal prices the conditioning
+  // (qr_diag_condition_sq_db) and, when the channel routes to the sphere
+  // decoder, the factorization is adopted instead of recomputed.
+  auto [q, r] = linalg::householder_qr(h);
+  const double kappa_sq_db = linalg::qr_diag_condition_sq_db(r);
   if (kappa_sq_db > threshold_db_) {
     ++sphere_calls_;
     active_ = geosphere_.get();
+    geosphere_->prepare_adopted(h, q.hermitian(), r);
   } else {
     active_ = zf_.get();
+    active_->prepare(h, noise_var);
   }
-  active_->prepare(h, noise_var);
+}
+
+void HybridDetector::do_prepare_batch(const linalg::CMatrix* hs, std::size_t count,
+                                      double noise_var) {
+  if (count == 0) return;
+  batch_hs_ = hs;
+  batch_noise_var_ = noise_var;
+  const std::size_t nc = hs[0].cols();
+  batch_shape_bad_ = nc == 0 || hs[0].rows() < nc;
+  if (batch_shape_bad_) return;
+  batch_qr_.run(hs, count, slot_qr_);
+}
+
+void HybridDetector::do_select_prepared(std::size_t i) {
+  ++calls_;  // One routing decision per select, exactly as in do_prepare.
+  if (batch_shape_bad_) {
+    active_ = zf_.get();
+    active_->prepare(batch_hs_[i], batch_noise_var_);
+    return;
+  }
+  const prepare::QrSlot& slot = slot_qr_[i];
+  const double kappa_sq_db = linalg::qr_diag_condition_sq_db(slot.r);
+  if (kappa_sq_db > threshold_db_) {
+    ++sphere_calls_;
+    active_ = geosphere_.get();
+    geosphere_->prepare_adopted(batch_hs_[i], slot.qh, slot.r);
+  } else {
+    active_ = zf_.get();
+    active_->prepare(batch_hs_[i], batch_noise_var_);
+  }
 }
 
 void HybridDetector::do_solve(const CVector& y, DetectionResult& out) {

@@ -21,6 +21,24 @@ void KBestDetector::do_prepare(const linalg::CMatrix& h, double /*noise_var*/) {
   problem_.factorize(h, constellation());
 }
 
+void KBestDetector::do_prepare_batch(const linalg::CMatrix* hs, std::size_t count,
+                                     double /*noise_var*/) {
+  if (count == 0) return;
+  const std::size_t nc = hs[0].cols();
+  batch_shape_bad_ = nc == 0 || hs[0].rows() < nc;
+  if (batch_shape_bad_) return;  // factorize's invalid_argument, at select.
+  batch_qr_.run(hs, count, slot_qr_);
+}
+
+void KBestDetector::do_select_prepared(std::size_t i) {
+  if (batch_shape_bad_)
+    throw std::invalid_argument("TreeProblem: requires 1 <= n_c <= n_a");
+  const prepare::QrSlot& slot = slot_qr_[i];
+  if (!slot.rank_ok)
+    throw std::domain_error("TreeProblem: channel matrix is (numerically) rank deficient");
+  problem_.install_factorized(slot.qh, slot.r, constellation());
+}
+
 void KBestDetector::do_solve(const CVector& y, DetectionResult& out) {
   problem_.load(y);
   DetectionStats stats;

@@ -5,10 +5,12 @@
 // paper points out for dense constellations.
 #pragma once
 
+#include <cstdint>
 #include <utility>
 #include <vector>
 
 #include "detect/detector.h"
+#include "detect/prepare/batch_qr.h"
 #include "detect/sphere/enumerators.h"
 #include "detect/sphere/tree_problem.h"
 
@@ -27,6 +29,12 @@ class KBestDetector final : public Detector {
   /// One mat-mat Q^H Y rotation, then the shared breadth-first pass per
   /// column against warm candidate workspaces.
   void do_solve_batch(const linalg::CMatrix& y_batch, BatchResult& out) override;
+  /// Packed Householder QR across the batch (prepare/batch_qr.h); select
+  /// installs slot i into problem_, rethrowing TreeProblem::factorize's
+  /// exact shape/rank exceptions for failed batches/slots.
+  void do_prepare_batch(const linalg::CMatrix* hs, std::size_t count,
+                        double noise_var) override;
+  void do_select_prepared(std::size_t i) override;
 
  private:
   /// Breadth-first K-best pass over the loaded problem_; the winner ends in
@@ -36,6 +44,11 @@ class KBestDetector final : public Detector {
   unsigned k_;
   sphere::GeoEnumerator enumerator_;
   sphere::TreeProblem problem_;  ///< Factorized by prepare().
+
+  // Batched-prepare state (prepare_batch override; see prepare/batch_qr.h).
+  prepare::BatchQr batch_qr_;
+  std::vector<prepare::QrSlot> slot_qr_;
+  bool batch_shape_bad_ = false;  ///< Deferred shape invalid_argument.
 
   // Reused per-solve workspaces (grown once, then allocation-free).
   // Candidates are structure-of-arrays: pd[i] plus a flat nc-entry path row

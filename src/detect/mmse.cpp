@@ -12,6 +12,18 @@ void MmseDetector::do_prepare(const linalg::CMatrix& h, double noise_var) {
   gram_inv_ = linalg::inverse(gram);
 }
 
+void MmseDetector::do_prepare_batch(const linalg::CMatrix* hs, std::size_t count,
+                                    double noise_var) {
+  batch_linear_.gram_inverse(hs, count, /*add_noise=*/true, noise_var, slots_);
+}
+
+void MmseDetector::do_select_prepared(std::size_t i) {
+  const prepare::GramInvSlot& slot = slots_[i];
+  if (slot.singular) throw std::domain_error("inverse/solve: singular matrix");
+  hh_ = slot.hh;
+  gram_inv_ = slot.inv;
+}
+
 void MmseDetector::do_solve(const CVector& y, DetectionResult& out) {
   multiply_into(hh_, y, matched_);
   multiply_into(gram_inv_, matched_, equalized_);

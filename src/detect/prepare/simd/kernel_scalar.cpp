@@ -1,0 +1,110 @@
+// Portable scalar reference tier (width 1): the bit-defining
+// implementation every SIMD tier must match exactly. Each op is a per-lane
+// loop of the exact IEEE sequences documented in kernel.h; this TU is
+// compiled with -ffp-contract=off so no FMA contraction can change a bit
+// under GEOSPHERE_NATIVE.
+#include "detect/prepare/simd/kernel.h"
+
+namespace geosphere::prepare::simd {
+
+namespace {
+
+void reflector_apply_scalar(const double* v_re, const double* v_im,
+                            const double* v_norm_sq, double* m_re, double* m_im,
+                            std::size_t len, std::size_t lanes) {
+  for (std::size_t l = 0; l < lanes; ++l) {
+    const double vns = v_norm_sq[l];
+    if (!(vns > 0.0)) continue;
+    double proj_re = 0.0;
+    double proj_im = 0.0;
+    for (std::size_t t = 0; t < len; ++t) {
+      const std::size_t idx = t * lanes + l;
+      const double cvr = v_re[idx];
+      const double cvi = -v_im[idx];  // conj(v[t])
+      const double mr = m_re[idx];
+      const double mi = m_im[idx];
+      proj_re += cvr * mr - cvi * mi;
+      proj_im += cvr * mi + cvi * mr;
+    }
+    const double s = 2.0 / vns;
+    const double sc_re = proj_re * s;
+    const double sc_im = proj_im * s;
+    for (std::size_t t = 0; t < len; ++t) {
+      const std::size_t idx = t * lanes + l;
+      const double vr = v_re[idx];
+      const double vi = v_im[idx];
+      m_re[idx] -= sc_re * vr - sc_im * vi;
+      m_im[idx] -= sc_re * vi + sc_im * vr;
+    }
+  }
+}
+
+void phase_scale_scalar(const double* p_re, const double* p_im, const double* mag,
+                        double* m_re, double* m_im, std::size_t len,
+                        std::size_t stride, std::size_t lanes) {
+  for (std::size_t l = 0; l < lanes; ++l) {
+    if (!(mag[l] > 0.0)) continue;
+    const double pr = p_re[l];
+    const double pi = p_im[l];
+    for (std::size_t t = 0; t < len; ++t) {
+      const std::size_t idx = t * stride * lanes + l;
+      const double mr = m_re[idx];
+      const double mi = m_im[idx];
+      m_re[idx] = mr * pr - mi * pi;
+      m_im[idx] = mr * pi + mi * pr;
+    }
+  }
+}
+
+void matmul_scalar(const double* a_re, const double* a_im, const double* b_re,
+                   const double* b_im, double* out_re, double* out_im,
+                   std::size_t m, std::size_t k, std::size_t n, std::size_t lanes) {
+  for (std::size_t idx = 0; idx < m * n * lanes; ++idx) {
+    out_re[idx] = 0.0;
+    out_im[idx] = 0.0;
+  }
+  for (std::size_t l = 0; l < lanes; ++l) {
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const double ar = a_re[(i * k + kk) * lanes + l];
+        const double ai = a_im[(i * k + kk) * lanes + l];
+        for (std::size_t j = 0; j < n; ++j) {
+          const std::size_t bi = (kk * n + j) * lanes + l;
+          const std::size_t oi = (i * n + j) * lanes + l;
+          const double br = b_re[bi];
+          const double bim = b_im[bi];
+          out_re[oi] += ar * br - ai * bim;
+          out_im[oi] += ar * bim + ai * br;
+        }
+      }
+    }
+  }
+}
+
+void row_update_scalar(const double* f_re, const double* f_im,
+                       const double* src_re, const double* src_im,
+                       double* dst_re, double* dst_im, std::size_t len,
+                       std::size_t lanes) {
+  for (std::size_t l = 0; l < lanes; ++l) {
+    const double fr = f_re[l];
+    const double fi = f_im[l];
+    if (fr == 0.0 && fi == 0.0) continue;
+    for (std::size_t t = 0; t < len; ++t) {
+      const std::size_t idx = t * lanes + l;
+      const double sr = src_re[idx];
+      const double si = src_im[idx];
+      dst_re[idx] -= fr * sr - fi * si;
+      dst_im[idx] -= fr * si + fi * sr;
+    }
+  }
+}
+
+}  // namespace
+
+const Kernel& scalar_kernel() {
+  static constexpr Kernel k{"scalar", 1, reflector_apply_scalar, phase_scale_scalar,
+                            matmul_scalar, row_update_scalar};
+  return k;
+}
+
+}  // namespace geosphere::prepare::simd

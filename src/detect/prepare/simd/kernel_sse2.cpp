@@ -1,0 +1,239 @@
+// SSE2 kernel tier: two matrix lanes per 128-bit register. SSE2 is part of
+// the x86-64 baseline, so this TU needs no special compiler flags -- it is
+// simply absent from non-x86 builds. Each op performs the exact per-element
+// sequence documented in kernel.h (separate mulpd/addpd/subpd/divpd, never
+// FMA), so results are bit-identical to the scalar reference.
+//
+// The per-lane masks (skipped reflectors, zero elimination factors) are
+// uniform across a call, so a mixed-activity lane pair simply drops to the
+// per-lane scalar formulas instead of blending -- divergence only occurs on
+// exceptional channels (zero columns, singular Grams), never on the hot
+// path. This TU is compiled with -ffp-contract=off.
+#include "detect/prepare/simd/kernel.h"
+
+#if defined(__SSE2__) || defined(_M_X64) || (defined(_M_IX86_FP) && _M_IX86_FP >= 2)
+#define GEOSPHERE_PREPARE_SSE2_ENABLED 1
+#include <emmintrin.h>
+#endif
+
+namespace geosphere::prepare::simd {
+namespace detail {
+
+#ifdef GEOSPHERE_PREPARE_SSE2_ENABLED
+
+namespace {
+
+// Scalar single-lane fallbacks, shared by the mixed-mask paths and the odd
+// lane tails; exactly the formulas of the scalar reference tier.
+void reflector_apply_lane(const double* v_re, const double* v_im, double vns,
+                          double* m_re, double* m_im, std::size_t len,
+                          std::size_t lanes, std::size_t l) {
+  if (!(vns > 0.0)) return;
+  double proj_re = 0.0;
+  double proj_im = 0.0;
+  for (std::size_t t = 0; t < len; ++t) {
+    const std::size_t idx = t * lanes + l;
+    const double cvr = v_re[idx];
+    const double cvi = -v_im[idx];
+    const double mr = m_re[idx];
+    const double mi = m_im[idx];
+    proj_re += cvr * mr - cvi * mi;
+    proj_im += cvr * mi + cvi * mr;
+  }
+  const double s = 2.0 / vns;
+  const double sc_re = proj_re * s;
+  const double sc_im = proj_im * s;
+  for (std::size_t t = 0; t < len; ++t) {
+    const std::size_t idx = t * lanes + l;
+    const double vr = v_re[idx];
+    const double vi = v_im[idx];
+    m_re[idx] -= sc_re * vr - sc_im * vi;
+    m_im[idx] -= sc_re * vi + sc_im * vr;
+  }
+}
+
+void phase_scale_lane(double pr, double pi, double* m_re, double* m_im,
+                      std::size_t len, std::size_t stride, std::size_t lanes,
+                      std::size_t l) {
+  for (std::size_t t = 0; t < len; ++t) {
+    const std::size_t idx = t * stride * lanes + l;
+    const double mr = m_re[idx];
+    const double mi = m_im[idx];
+    m_re[idx] = mr * pr - mi * pi;
+    m_im[idx] = mr * pi + mi * pr;
+  }
+}
+
+void row_update_lane(double fr, double fi, const double* src_re, const double* src_im,
+                     double* dst_re, double* dst_im, std::size_t len,
+                     std::size_t lanes, std::size_t l) {
+  for (std::size_t t = 0; t < len; ++t) {
+    const std::size_t idx = t * lanes + l;
+    const double sr = src_re[idx];
+    const double si = src_im[idx];
+    dst_re[idx] -= fr * sr - fi * si;
+    dst_im[idx] -= fr * si + fi * sr;
+  }
+}
+
+void reflector_apply_sse2(const double* v_re, const double* v_im,
+                          const double* v_norm_sq, double* m_re, double* m_im,
+                          std::size_t len, std::size_t lanes) {
+  const __m128d signflip = _mm_set1_pd(-0.0);
+  std::size_t l = 0;
+  for (; l + 2 <= lanes; l += 2) {
+    const bool a0 = v_norm_sq[l] > 0.0;
+    const bool a1 = v_norm_sq[l + 1] > 0.0;
+    if (!(a0 && a1)) {
+      if (a0) reflector_apply_lane(v_re, v_im, v_norm_sq[l], m_re, m_im, len, lanes, l);
+      if (a1)
+        reflector_apply_lane(v_re, v_im, v_norm_sq[l + 1], m_re, m_im, len, lanes, l + 1);
+      continue;
+    }
+    __m128d proj_re = _mm_setzero_pd();
+    __m128d proj_im = _mm_setzero_pd();
+    for (std::size_t t = 0; t < len; ++t) {
+      const std::size_t idx = t * lanes + l;
+      const __m128d cvr = _mm_loadu_pd(v_re + idx);
+      const __m128d cvi = _mm_xor_pd(_mm_loadu_pd(v_im + idx), signflip);
+      const __m128d mr = _mm_loadu_pd(m_re + idx);
+      const __m128d mi = _mm_loadu_pd(m_im + idx);
+      proj_re = _mm_add_pd(proj_re, _mm_sub_pd(_mm_mul_pd(cvr, mr), _mm_mul_pd(cvi, mi)));
+      proj_im = _mm_add_pd(proj_im, _mm_add_pd(_mm_mul_pd(cvr, mi), _mm_mul_pd(cvi, mr)));
+    }
+    const __m128d s = _mm_div_pd(_mm_set1_pd(2.0), _mm_loadu_pd(v_norm_sq + l));
+    const __m128d sc_re = _mm_mul_pd(proj_re, s);
+    const __m128d sc_im = _mm_mul_pd(proj_im, s);
+    for (std::size_t t = 0; t < len; ++t) {
+      const std::size_t idx = t * lanes + l;
+      const __m128d vr = _mm_loadu_pd(v_re + idx);
+      const __m128d vi = _mm_loadu_pd(v_im + idx);
+      const __m128d t_re = _mm_sub_pd(_mm_mul_pd(sc_re, vr), _mm_mul_pd(sc_im, vi));
+      const __m128d t_im = _mm_add_pd(_mm_mul_pd(sc_re, vi), _mm_mul_pd(sc_im, vr));
+      _mm_storeu_pd(m_re + idx, _mm_sub_pd(_mm_loadu_pd(m_re + idx), t_re));
+      _mm_storeu_pd(m_im + idx, _mm_sub_pd(_mm_loadu_pd(m_im + idx), t_im));
+    }
+  }
+  for (; l < lanes; ++l)
+    reflector_apply_lane(v_re, v_im, v_norm_sq[l], m_re, m_im, len, lanes, l);
+}
+
+void phase_scale_sse2(const double* p_re, const double* p_im, const double* mag,
+                      double* m_re, double* m_im, std::size_t len,
+                      std::size_t stride, std::size_t lanes) {
+  std::size_t l = 0;
+  for (; l + 2 <= lanes; l += 2) {
+    const bool a0 = mag[l] > 0.0;
+    const bool a1 = mag[l + 1] > 0.0;
+    if (!(a0 && a1)) {
+      if (a0) phase_scale_lane(p_re[l], p_im[l], m_re, m_im, len, stride, lanes, l);
+      if (a1)
+        phase_scale_lane(p_re[l + 1], p_im[l + 1], m_re, m_im, len, stride, lanes, l + 1);
+      continue;
+    }
+    const __m128d pr = _mm_loadu_pd(p_re + l);
+    const __m128d pi = _mm_loadu_pd(p_im + l);
+    for (std::size_t t = 0; t < len; ++t) {
+      const std::size_t idx = t * stride * lanes + l;
+      const __m128d mr = _mm_loadu_pd(m_re + idx);
+      const __m128d mi = _mm_loadu_pd(m_im + idx);
+      _mm_storeu_pd(m_re + idx, _mm_sub_pd(_mm_mul_pd(mr, pr), _mm_mul_pd(mi, pi)));
+      _mm_storeu_pd(m_im + idx, _mm_add_pd(_mm_mul_pd(mr, pi), _mm_mul_pd(mi, pr)));
+    }
+  }
+  for (; l < lanes; ++l)
+    if (mag[l] > 0.0) phase_scale_lane(p_re[l], p_im[l], m_re, m_im, len, stride, lanes, l);
+}
+
+void matmul_sse2(const double* a_re, const double* a_im, const double* b_re,
+                 const double* b_im, double* out_re, double* out_im,
+                 std::size_t m, std::size_t k, std::size_t n, std::size_t lanes) {
+  for (std::size_t idx = 0; idx < m * n * lanes; ++idx) {
+    out_re[idx] = 0.0;
+    out_im[idx] = 0.0;
+  }
+  std::size_t l = 0;
+  for (; l + 2 <= lanes; l += 2) {
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const __m128d ar = _mm_loadu_pd(a_re + (i * k + kk) * lanes + l);
+        const __m128d ai = _mm_loadu_pd(a_im + (i * k + kk) * lanes + l);
+        for (std::size_t j = 0; j < n; ++j) {
+          const std::size_t bi = (kk * n + j) * lanes + l;
+          const std::size_t oi = (i * n + j) * lanes + l;
+          const __m128d br = _mm_loadu_pd(b_re + bi);
+          const __m128d bim = _mm_loadu_pd(b_im + bi);
+          const __m128d t_re = _mm_sub_pd(_mm_mul_pd(ar, br), _mm_mul_pd(ai, bim));
+          const __m128d t_im = _mm_add_pd(_mm_mul_pd(ar, bim), _mm_mul_pd(ai, br));
+          _mm_storeu_pd(out_re + oi, _mm_add_pd(_mm_loadu_pd(out_re + oi), t_re));
+          _mm_storeu_pd(out_im + oi, _mm_add_pd(_mm_loadu_pd(out_im + oi), t_im));
+        }
+      }
+    }
+  }
+  for (; l < lanes; ++l) {
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const double ar = a_re[(i * k + kk) * lanes + l];
+        const double ai = a_im[(i * k + kk) * lanes + l];
+        for (std::size_t j = 0; j < n; ++j) {
+          const std::size_t bi = (kk * n + j) * lanes + l;
+          const std::size_t oi = (i * n + j) * lanes + l;
+          const double br = b_re[bi];
+          const double bim = b_im[bi];
+          out_re[oi] += ar * br - ai * bim;
+          out_im[oi] += ar * bim + ai * br;
+        }
+      }
+    }
+  }
+}
+
+void row_update_sse2(const double* f_re, const double* f_im,
+                     const double* src_re, const double* src_im,
+                     double* dst_re, double* dst_im, std::size_t len,
+                     std::size_t lanes) {
+  std::size_t l = 0;
+  for (; l + 2 <= lanes; l += 2) {
+    const bool a0 = !(f_re[l] == 0.0 && f_im[l] == 0.0);
+    const bool a1 = !(f_re[l + 1] == 0.0 && f_im[l + 1] == 0.0);
+    if (!(a0 && a1)) {
+      if (a0) row_update_lane(f_re[l], f_im[l], src_re, src_im, dst_re, dst_im, len, lanes, l);
+      if (a1)
+        row_update_lane(f_re[l + 1], f_im[l + 1], src_re, src_im, dst_re, dst_im, len,
+                        lanes, l + 1);
+      continue;
+    }
+    const __m128d fr = _mm_loadu_pd(f_re + l);
+    const __m128d fi = _mm_loadu_pd(f_im + l);
+    for (std::size_t t = 0; t < len; ++t) {
+      const std::size_t idx = t * lanes + l;
+      const __m128d sr = _mm_loadu_pd(src_re + idx);
+      const __m128d si = _mm_loadu_pd(src_im + idx);
+      const __m128d t_re = _mm_sub_pd(_mm_mul_pd(fr, sr), _mm_mul_pd(fi, si));
+      const __m128d t_im = _mm_add_pd(_mm_mul_pd(fr, si), _mm_mul_pd(fi, sr));
+      _mm_storeu_pd(dst_re + idx, _mm_sub_pd(_mm_loadu_pd(dst_re + idx), t_re));
+      _mm_storeu_pd(dst_im + idx, _mm_sub_pd(_mm_loadu_pd(dst_im + idx), t_im));
+    }
+  }
+  for (; l < lanes; ++l)
+    if (!(f_re[l] == 0.0 && f_im[l] == 0.0))
+      row_update_lane(f_re[l], f_im[l], src_re, src_im, dst_re, dst_im, len, lanes, l);
+}
+
+}  // namespace
+
+const Kernel* sse2_kernel_or_null() {
+  static constexpr Kernel k{"sse2", 2, reflector_apply_sse2, phase_scale_sse2,
+                            matmul_sse2, row_update_sse2};
+  return &k;
+}
+
+#else  // !GEOSPHERE_PREPARE_SSE2_ENABLED
+
+const Kernel* sse2_kernel_or_null() { return nullptr; }
+
+#endif
+
+}  // namespace detail
+}  // namespace geosphere::prepare::simd

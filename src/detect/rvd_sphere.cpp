@@ -39,7 +39,11 @@ void RvdSphereDecoder::do_prepare(const linalg::CMatrix& h, double /*noise_var*/
   nc_ = nc;
   qh_ = q.hermitian();
   r_ = std::move(r);
+  finish_install();
+}
 
+void RvdSphereDecoder::finish_install() {
+  const std::size_t rn = 2 * nc_;
   const double alpha = constellation().scale();
   if (level_enum_.size() != rn) {
     level_enum_.assign(rn, sphere::Zigzag1D{});
@@ -53,6 +57,49 @@ void RvdSphereDecoder::do_prepare(const linalg::CMatrix& h, double /*noise_var*/
     const double rll = r_(l, l).real();
     level_scale_[l] = rll * rll * alpha * alpha;
   }
+}
+
+void RvdSphereDecoder::do_prepare_batch(const linalg::CMatrix* hs, std::size_t count,
+                                        double /*noise_var*/) {
+  if (count == 0) return;
+  const std::size_t nc = hs[0].cols();
+  const std::size_t na = hs[0].rows();
+  batch_shape_bad_ = nc == 0 || na < nc;
+  if (batch_shape_bad_) return;  // do_prepare's invalid_argument, at select.
+
+  // Every slot's real embedding, exactly as the scalar path builds it; the
+  // packed driver then factorizes the embeddings (and reads their Frobenius
+  // norms for the rank tolerance, as the scalar path does).
+  batch_hr_.resize(count);
+  for (std::size_t s = 0; s < count; ++s) {
+    const linalg::CMatrix& h = hs[s];
+    linalg::CMatrix& hr = batch_hr_[s];
+    hr.assign_shape(2 * na, 2 * nc);
+    for (std::size_t i = 0; i < na; ++i) {
+      for (std::size_t j = 0; j < nc; ++j) {
+        const cf64 v = h(i, j);
+        hr(i, j) = v.real();
+        hr(i, nc + j) = -v.imag();
+        hr(na + i, j) = v.imag();
+        hr(na + i, nc + j) = v.real();
+      }
+    }
+  }
+  batch_qr_.run(batch_hr_.data(), count, slot_qr_);
+  batch_na_ = na;
+  batch_nc_ = nc;
+}
+
+void RvdSphereDecoder::do_select_prepared(std::size_t i) {
+  if (batch_shape_bad_)
+    throw std::invalid_argument("RvdSphereDecoder: requires 1 <= n_c <= n_a");
+  const prepare::QrSlot& slot = slot_qr_[i];
+  if (!slot.rank_ok) throw std::domain_error("RvdSphereDecoder: rank-deficient channel");
+  na_ = batch_na_;
+  nc_ = batch_nc_;
+  qh_ = slot.qh;
+  r_ = slot.r;
+  finish_install();
 }
 
 void RvdSphereDecoder::do_solve(const CVector& y, DetectionResult& out) {

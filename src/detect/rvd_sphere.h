@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "detect/detector.h"
+#include "detect/prepare/batch_qr.h"
 #include "detect/sphere/zigzag1d.h"
 
 namespace geosphere {
@@ -35,6 +36,13 @@ class RvdSphereDecoder final : public Detector {
   /// Embeds the whole batch into the real formulation and rotates it with
   /// one mat-mat product, then runs the shared search per column.
   void do_solve_batch(const linalg::CMatrix& y_batch, BatchResult& out) override;
+  /// Builds every slot's real embedding, then one packed Householder QR
+  /// across the batch (prepare/batch_qr.h); select copies slot i's
+  /// factorization into the active workspace, rethrowing do_prepare's exact
+  /// shape/rank exceptions for failed batches/slots.
+  void do_prepare_batch(const linalg::CMatrix* hs, std::size_t count,
+                        double noise_var) override;
+  void do_select_prepared(std::size_t i) override;
 
  private:
   /// Depth-first search over the real-valued tree, reading the rotated
@@ -45,6 +53,10 @@ class RvdSphereDecoder final : public Detector {
   /// Recombines best_'s PAM components into per-stream QAM indices.
   void emit_indices(unsigned* indices) const;
 
+  /// Installs the per-level state derived from the already-set nc_/r_ --
+  /// the tail of do_prepare, shared with the batched select.
+  void finish_install();
+
   // Prepared channel state (real embedding, QR-factorized).
   std::size_t na_ = 0;  ///< Receive antennas of the prepared (complex) H.
   std::size_t nc_ = 0;  ///< Streams of the prepared (complex) H.
@@ -54,6 +66,14 @@ class RvdSphereDecoder final : public Detector {
   CVector yhat_;        ///< Q^H yr (per-solve scratch).
   linalg::CMatrix yr_batch_;      ///< Real embedding of Y (per-batch scratch).
   linalg::CMatrix yhat_t_batch_;  ///< (Q^H Yr)^T -- one row per vector.
+
+  // Batched-prepare state (prepare_batch override; see prepare/batch_qr.h).
+  prepare::BatchQr batch_qr_;
+  std::vector<prepare::QrSlot> slot_qr_;
+  std::vector<linalg::CMatrix> batch_hr_;  ///< Per-slot real embeddings.
+  bool batch_shape_bad_ = false;  ///< Deferred shape invalid_argument.
+  std::size_t batch_na_ = 0;
+  std::size_t batch_nc_ = 0;
 
   // Reused per-solve workspaces.
   std::vector<sphere::Zigzag1D> level_enum_;

@@ -91,7 +91,6 @@ void SoftGeosphereDetector::do_prepare(const linalg::CMatrix& h, double noise_va
   if (noise_var <= 0.0)
     throw std::invalid_argument("SoftGeosphereDetector: needs positive noise variance");
 
-  const Constellation& cons = constellation();
   auto [q, r] = linalg::householder_qr(h);
   const double rank_tol = 1e-10 * std::sqrt(std::max(h.frobenius_norm_sq(), 1e-300));
   for (std::size_t l = 0; l < nc; ++l)
@@ -102,7 +101,12 @@ void SoftGeosphereDetector::do_prepare(const linalg::CMatrix& h, double noise_va
   qh_ = q.hermitian();
   r_ = std::move(r);
   noise_var_ = noise_var;
-  const double alpha = cons.scale();
+  finish_install();
+}
+
+void SoftGeosphereDetector::finish_install() {
+  const std::size_t nc = r_.cols();
+  const double alpha = constellation().scale();
   scale_.assign(nc, 0.0);
   diag_.assign(nc, 0.0);
   for (std::size_t l = 0; l < nc; ++l) {
@@ -117,6 +121,41 @@ void SoftGeosphereDetector::do_prepare(const linalg::CMatrix& h, double noise_va
     current_.assign(nc, 0);
     partial_.assign(nc + 1, 0.0);
   }
+}
+
+void SoftGeosphereDetector::do_prepare_batch(const linalg::CMatrix* hs, std::size_t count,
+                                             double noise_var) {
+  if (count == 0) return;
+  const std::size_t nc = hs[0].cols();
+  // do_prepare's validation order: shape first, then the noise variance;
+  // both throw for every slot, deferred to select time.
+  batch_error_ = 0;
+  if (nc == 0 || hs[0].rows() < nc) {
+    batch_error_ = 1;
+    return;
+  }
+  if (noise_var <= 0.0) {
+    batch_error_ = 2;
+    return;
+  }
+  batch_qr_.run(hs, count, slot_qr_);
+  batch_noise_var_ = noise_var;
+  batch_na_ = hs[0].rows();
+}
+
+void SoftGeosphereDetector::do_select_prepared(std::size_t i) {
+  if (batch_error_ == 1)
+    throw std::invalid_argument("SoftGeosphereDetector: shape mismatch");
+  if (batch_error_ == 2)
+    throw std::invalid_argument("SoftGeosphereDetector: needs positive noise variance");
+  const prepare::QrSlot& slot = slot_qr_[i];
+  if (!slot.rank_ok)
+    throw std::domain_error("SoftGeosphereDetector: rank-deficient channel");
+  na_ = batch_na_;
+  qh_ = slot.qh;
+  r_ = slot.r;
+  noise_var_ = batch_noise_var_;
+  finish_install();
 }
 
 void SoftGeosphereDetector::load(const CVector& y) {

@@ -26,6 +26,7 @@
 #include "common/types.h"
 #include "constellation/constellation.h"
 #include "detect/detector.h"
+#include "detect/prepare/batch_qr.h"
 #include "detect/sphere/enumerators.h"
 #include "detect/sphere/lane_engine.h"
 #include "detect/sphere/simd/rotate.h"
@@ -74,6 +75,14 @@ class SoftGeosphereDetector final : public Detector, public SoftDetector {
   /// a lane. Bit-identical either way.
   void do_solve_soft_batch(const linalg::CMatrix& y_batch, SoftBatchResult& out) override;
 
+  /// Packed Householder QR across the batch (prepare/batch_qr.h); select
+  /// copies slot i's factorization into the active workspace. Shape, noise
+  /// and rank failures are recorded and rethrown at select time with
+  /// do_prepare's exact exceptions.
+  void do_prepare_batch(const linalg::CMatrix* hs, std::size_t count,
+                        double noise_var) override;
+  void do_select_prepared(std::size_t i) override;
+
   Detector& owner() override { return *this; }
 
  private:
@@ -117,6 +126,18 @@ class SoftGeosphereDetector final : public Detector, public SoftDetector {
   double noise_var_ = 0.0;
   std::vector<double> scale_;
   std::vector<double> diag_;  ///< Per level: r_ll * alpha (center denominator).
+
+  /// Installs the per-level state derived from the already-set na_/r_/
+  /// noise_var_ -- the tail of do_prepare, shared with the batched select.
+  void finish_install();
+
+  // Batched-prepare state (prepare_batch override; see prepare/batch_qr.h).
+  prepare::BatchQr batch_qr_;
+  std::vector<prepare::QrSlot> slot_qr_;
+  /// Deferred do_prepare failure: 0 ok, 1 bad shape, 2 bad noise variance.
+  std::uint8_t batch_error_ = 0;
+  double batch_noise_var_ = 0.0;
+  std::size_t batch_na_ = 0;
 
   /// Counter-hypothesis symbol masks, fixed by the constellation:
   /// bit_masks_[b * 2 + want][idx] == 1 iff bit b of symbol idx is `want`.

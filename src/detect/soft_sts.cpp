@@ -41,7 +41,6 @@ void SoftGeosphereStsDetector::do_prepare(const linalg::CMatrix& h, double noise
     throw std::invalid_argument(
         "SoftGeosphereStsDetector: needs positive noise variance");
 
-  const Constellation& cons = constellation();
   auto [q, r] = linalg::householder_qr(h);
   const double rank_tol = 1e-10 * std::sqrt(std::max(h.frobenius_norm_sq(), 1e-300));
   for (std::size_t l = 0; l < nc; ++l)
@@ -52,6 +51,12 @@ void SoftGeosphereStsDetector::do_prepare(const linalg::CMatrix& h, double noise
   qh_ = q.hermitian();
   r_ = std::move(r);
   noise_var_ = noise_var;
+  finish_install();
+}
+
+void SoftGeosphereStsDetector::finish_install() {
+  const std::size_t nc = r_.cols();
+  const Constellation& cons = constellation();
   const double alpha = cons.scale();
   scale_.assign(nc, 0.0);
   diag_.assign(nc, 0.0);
@@ -72,6 +77,42 @@ void SoftGeosphereStsDetector::do_prepare(const linalg::CMatrix& h, double noise
     radius_cache_.assign(nc, 0.0);
   }
   lambda_bar_.assign(nc * cons.bits_per_symbol(), kInf);
+}
+
+void SoftGeosphereStsDetector::do_prepare_batch(const linalg::CMatrix* hs,
+                                                std::size_t count, double noise_var) {
+  if (count == 0) return;
+  const std::size_t nc = hs[0].cols();
+  // do_prepare's validation order: shape first, then the noise variance;
+  // both throw for every slot, deferred to select time.
+  batch_error_ = 0;
+  if (nc == 0 || hs[0].rows() < nc) {
+    batch_error_ = 1;
+    return;
+  }
+  if (noise_var <= 0.0) {
+    batch_error_ = 2;
+    return;
+  }
+  batch_qr_.run(hs, count, slot_qr_);
+  batch_noise_var_ = noise_var;
+  batch_na_ = hs[0].rows();
+}
+
+void SoftGeosphereStsDetector::do_select_prepared(std::size_t i) {
+  if (batch_error_ == 1)
+    throw std::invalid_argument("SoftGeosphereStsDetector: shape mismatch");
+  if (batch_error_ == 2)
+    throw std::invalid_argument(
+        "SoftGeosphereStsDetector: needs positive noise variance");
+  const prepare::QrSlot& slot = slot_qr_[i];
+  if (!slot.rank_ok)
+    throw std::domain_error("SoftGeosphereStsDetector: rank-deficient channel");
+  na_ = batch_na_;
+  qh_ = slot.qh;
+  r_ = slot.r;
+  noise_var_ = batch_noise_var_;
+  finish_install();
 }
 
 void SoftGeosphereStsDetector::load(const CVector& y) {

@@ -62,6 +62,7 @@
 #include "common/types.h"
 #include "constellation/constellation.h"
 #include "detect/detector.h"
+#include "detect/prepare/batch_qr.h"
 #include "detect/sphere/enumerators.h"
 #include "detect/sphere/lane_engine.h"
 #include "detect/sphere/simd/rotate.h"
@@ -107,6 +108,15 @@ class SoftGeosphereStsDetector final : public Detector, public SoftDetector {
   /// is the same per-vector code under every lane policy (byte-identical
   /// results with or without GEOSPHERE_LANES, which tests assert).
   void do_solve_soft_batch(const linalg::CMatrix& y_batch, SoftBatchResult& out) override;
+
+  /// Packed Householder QR across the batch (prepare/batch_qr.h); select
+  /// copies slot i's factorization into the active workspace (including the
+  /// unconditional counter-hypothesis table reset every prepare performs).
+  /// Shape, noise and rank failures are recorded and rethrown at select
+  /// time with do_prepare's exact exceptions.
+  void do_prepare_batch(const linalg::CMatrix* hs, std::size_t count,
+                        double noise_var) override;
+  void do_select_prepared(std::size_t i) override;
 
   Detector& owner() override { return *this; }
 
@@ -156,6 +166,19 @@ class SoftGeosphereStsDetector final : public Detector, public SoftDetector {
   double noise_var_ = 0.0;
   std::vector<double> scale_;
   std::vector<double> diag_;  ///< Per level: r_ll * alpha (center denominator).
+
+  /// Installs the per-level state derived from the already-set na_/r_/
+  /// noise_var_ -- the tail of do_prepare (including the lambda_bar_
+  /// reset), shared with the batched select.
+  void finish_install();
+
+  // Batched-prepare state (prepare_batch override; see prepare/batch_qr.h).
+  prepare::BatchQr batch_qr_;
+  std::vector<prepare::QrSlot> slot_qr_;
+  /// Deferred do_prepare failure: 0 ok, 1 bad shape, 2 bad noise variance.
+  std::uint8_t batch_error_ = 0;
+  double batch_noise_var_ = 0.0;
+  std::size_t batch_na_ = 0;
 
   /// bit_word_[idx]: the Q bits of constellation symbol idx packed LSB-
   /// first (bit b of Constellation::bits_from_index at 1u << b), so leaf

@@ -1,5 +1,6 @@
 #include "detect/sphere/sphere_decoder.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -35,7 +36,12 @@ void SphereDecoder<Enumerator>::do_prepare(const linalg::CMatrix& h,
   nc_ = nc;
   qh_ = q.hermitian();
   r_ = std::move(r);
+  finish_install();
+}
 
+template <class Enumerator>
+void SphereDecoder<Enumerator>::finish_install() {
+  const std::size_t nc = nc_;
   const double alpha = constellation().scale();
   if (level_enum_.size() != nc) {
     level_enum_.assign(nc, prototype_);
@@ -52,6 +58,83 @@ void SphereDecoder<Enumerator>::do_prepare(const linalg::CMatrix& h,
     // used to form per node; hoisting it here is bit-identical.
     level_diag_[l] = rll * alpha;
   }
+}
+
+template <class Enumerator>
+void SphereDecoder<Enumerator>::prepare_adopted(const linalg::CMatrix& h,
+                                                const linalg::CMatrix& qh,
+                                                const linalg::CMatrix& r) {
+  run_as_prepare([&] {
+    const std::size_t nc = h.cols();
+    const std::size_t na = h.rows();
+    if (nc == 0 || na < nc)
+      throw std::invalid_argument("SphereDecoder: requires 1 <= n_c <= n_a");
+    // Unsorted configuration assumed (the adopted factorization carries no
+    // permutation); the rank test is do_prepare's, with hp == h.
+    const double rank_tol = 1e-10 * std::sqrt(std::max(h.frobenius_norm_sq(), 1e-300));
+    for (std::size_t l = 0; l < nc; ++l)
+      if (r(l, l).real() <= rank_tol)
+        throw std::domain_error(
+            "SphereDecoder: channel matrix is (numerically) rank deficient");
+
+    perm_ = identity_order(nc);
+    perm_is_identity_ = true;
+    na_ = na;
+    nc_ = nc;
+    qh_ = qh;
+    r_ = r;
+    finish_install();
+  });
+}
+
+template <class Enumerator>
+void SphereDecoder<Enumerator>::do_prepare_batch(const linalg::CMatrix* hs,
+                                                 std::size_t count, double /*noise_var*/) {
+  if (count == 0) return;
+  const std::size_t nc = hs[0].cols();
+  const std::size_t na = hs[0].rows();
+  batch_shape_bad_ = nc == 0 || na < nc;
+  if (batch_shape_bad_) return;  // do_prepare's invalid_argument, at select.
+
+  slot_perm_.assign(count, {});
+  slot_perm_identity_.assign(count, 1);
+  if (config_.sorted_qr) {
+    // Per-slot detection order, then QR of the permuted copies -- the rank
+    // tolerance inside the packed driver then reads hp's Frobenius norm in
+    // the permuted summation order, exactly as the scalar path does.
+    batch_hp_.resize(count);
+    for (std::size_t s = 0; s < count; ++s) {
+      slot_perm_[s] = column_norm_order(hs[s]);
+      for (std::size_t j = 0; j < nc; ++j)
+        if (slot_perm_[s][j] != j) {
+          slot_perm_identity_[s] = 0;
+          break;
+        }
+      batch_hp_[s] = hs[s].select_cols(slot_perm_[s]);
+    }
+    batch_qr_.run(batch_hp_.data(), count, slot_qr_);
+  } else {
+    for (std::size_t s = 0; s < count; ++s) slot_perm_[s] = identity_order(nc);
+    batch_qr_.run(hs, count, slot_qr_);
+  }
+  batch_na_ = na;
+  batch_nc_ = nc;
+}
+
+template <class Enumerator>
+void SphereDecoder<Enumerator>::do_select_prepared(std::size_t i) {
+  if (batch_shape_bad_)
+    throw std::invalid_argument("SphereDecoder: requires 1 <= n_c <= n_a");
+  const prepare::QrSlot& slot = slot_qr_[i];
+  if (!slot.rank_ok)
+    throw std::domain_error("SphereDecoder: channel matrix is (numerically) rank deficient");
+  na_ = batch_na_;
+  nc_ = batch_nc_;
+  perm_ = slot_perm_[i];
+  perm_is_identity_ = slot_perm_identity_[i] != 0;
+  qh_ = slot.qh;
+  r_ = slot.r;
+  finish_install();
 }
 
 template <class Enumerator>
@@ -199,6 +282,11 @@ template class SphereDecoder<HessEnumerator>;
 template class SphereDecoder<ShabanyEnumerator>;
 
 std::unique_ptr<Detector> make_geosphere(const Constellation& c, SphereConfig config) {
+  return make_geosphere_typed(c, config);
+}
+
+std::unique_ptr<SphereDecoder<GeoEnumerator>> make_geosphere_typed(const Constellation& c,
+                                                                   SphereConfig config) {
   return std::make_unique<SphereDecoder<GeoEnumerator>>(
       c, GeoEnumerator({.geometric_pruning = true}), "Geosphere", config);
 }

@@ -13,12 +13,14 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "detect/detector.h"
+#include "detect/prepare/batch_qr.h"
 #include "detect/sphere/enumerators.h"
 #include "detect/sphere/lane_engine.h"
 #include "detect/sphere/preprocess.h"
@@ -48,6 +50,15 @@ class SphereDecoder final : public Detector {
   std::string name() const override { return name_; }
   const SphereConfig& config() const { return config_; }
 
+  /// Adopts an externally computed unsorted-QR factorization of `h`
+  /// (qh = Q^H, r = R with real non-negative diagonal) instead of
+  /// refactorizing -- the hybrid detector shares its routing QR this way.
+  /// Replicates do_prepare's shape and rank checks exactly, so adopting a
+  /// factorization behaves bit-for-bit like prepare(h, noise_var) would
+  /// (which the detector's unsorted config makes permutation-free).
+  void prepare_adopted(const linalg::CMatrix& h, const linalg::CMatrix& qh,
+                       const linalg::CMatrix& r);
+
  protected:
   void do_prepare(const linalg::CMatrix& h, double noise_var) override;
   void do_solve(const CVector& y, DetectionResult& out) override;
@@ -58,6 +69,14 @@ class SphereDecoder final : public Detector {
   /// simd::tree_lane_count). Bit-identical to looping do_solve over the
   /// columns on every tier and under either policy.
   void do_solve_batch(const linalg::CMatrix& y_batch, BatchResult& out) override;
+  /// Packed Householder QR across the batch (prepare/batch_qr.h), with
+  /// per-slot column orderings first when sorted QR is configured; select
+  /// copies slot i's factorization into the active workspace. Shape and
+  /// rank failures are recorded per batch/slot and rethrown at select time
+  /// with do_prepare's exact exceptions.
+  void do_prepare_batch(const linalg::CMatrix* hs, std::size_t count,
+                        double noise_var) override;
+  void do_select_prepared(std::size_t i) override;
 
  private:
   /// Depth-first search against the prepared channel, reading the rotated
@@ -69,6 +88,11 @@ class SphereDecoder final : public Detector {
   /// batched path packs all the root divides; the value is bit-identical to
   /// what the one-argument form computes, so both forms agree exactly).
   bool search(const cf64* yhat, DetectionStats& stats, cf64 root_center);
+
+  /// Installs the per-level state derived from the already-set na_/nc_/r_
+  /// (workspace sizing, level scales and center denominators) -- the tail
+  /// of do_prepare, shared by the scalar, batched, and adopted paths.
+  void finish_install();
 
   Enumerator prototype_;
   std::string name_;
@@ -92,6 +116,16 @@ class SphereDecoder final : public Detector {
   std::vector<unsigned> current_;       ///< Symbol index per level on the path.
   std::vector<unsigned> best_;
 
+  // Batched-prepare state (prepare_batch override; see prepare/batch_qr.h).
+  prepare::BatchQr batch_qr_;
+  std::vector<prepare::QrSlot> slot_qr_;
+  std::vector<std::vector<std::size_t>> slot_perm_;
+  std::vector<std::uint8_t> slot_perm_identity_;
+  std::vector<linalg::CMatrix> batch_hp_;  ///< Permuted copies (sorted QR only).
+  bool batch_shape_bad_ = false;  ///< Deferred shape invalid_argument.
+  std::size_t batch_na_ = 0;
+  std::size_t batch_nc_ = 0;
+
   // Batched-solve state: SIMD rotation scratch (see simd/rotate.h) and the
   // lane engine for the lockstep policy (see lane_engine.h).
   simd::RotateScratch rot_scratch_;
@@ -103,6 +137,12 @@ class SphereDecoder final : public Detector {
 
 /// Geosphere: 2D zigzag enumeration + geometric pruning (the full system).
 std::unique_ptr<Detector> make_geosphere(const Constellation& c, SphereConfig config = {});
+
+/// Geosphere as its concrete decoder type, for callers that hand it
+/// externally computed factorizations (prepare_adopted -- the hybrid
+/// detector's shared routing QR).
+std::unique_ptr<SphereDecoder<GeoEnumerator>> make_geosphere_typed(const Constellation& c,
+                                                                   SphereConfig config = {});
 
 /// Geosphere without geometric pruning ("2D zigzag only" variant of the
 /// paper's Section 5.3.2 breakdown).

@@ -55,6 +55,26 @@ struct TreeProblem {
     r = std::move(rr);
   }
 
+  /// Installs an externally computed factorization of the channel
+  /// (prepare/batch_qr.h slot: qh_in = Q^H, r_in = R with real non-negative
+  /// diagonal) -- factorize()'s tail, bit-identical to it; the caller has
+  /// already handled the shape and rank failures the batched driver
+  /// reported.
+  void install_factorized(const linalg::CMatrix& qh_in, const linalg::CMatrix& r_in,
+                          const Constellation& cons) {
+    const std::size_t nc = r_in.cols();
+    alpha = cons.scale();
+    qh = qh_in;
+    scale.resize(nc);
+    diag.resize(nc);
+    for (std::size_t l = 0; l < nc; ++l) {
+      const double rll = r_in(l, l).real();
+      scale[l] = rll * rll * alpha * alpha;
+      diag[l] = rll * alpha;
+    }
+    r = r_in;
+  }
+
   /// Per-vector phase: rotate `y` into the triangular basis (yhat = Q^H y).
   void load(const CVector& y) {
     if (y.size() != qh.cols())

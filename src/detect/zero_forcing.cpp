@@ -8,6 +8,26 @@ void ZeroForcingDetector::do_prepare(const linalg::CMatrix& h, double /*noise_va
   filter_ = linalg::pseudo_inverse(h);
 }
 
+void ZeroForcingDetector::do_prepare_batch(const linalg::CMatrix* hs, std::size_t count,
+                                           double /*noise_var*/) {
+  if (count == 0) return;
+  if (hs[0].rows() < hs[0].cols()) {
+    // pseudo_inverse's shape check, deferred to select time per slot.
+    slot_errors_.assign(count, 1);
+    return;
+  }
+  batch_linear_.pseudo_inverse(hs, count, slot_filters_, slot_errors_);
+  for (auto& e : slot_errors_)
+    if (e != 0) e = 2;
+}
+
+void ZeroForcingDetector::do_select_prepared(std::size_t i) {
+  if (slot_errors_[i] == 1)
+    throw std::invalid_argument("pseudo_inverse expects a tall (or square) matrix");
+  if (slot_errors_[i] == 2) throw std::domain_error("inverse/solve: singular matrix");
+  filter_ = slot_filters_[i];
+}
+
 void ZeroForcingDetector::do_solve(const CVector& y, DetectionResult& out) {
   multiply_into(filter_, y, equalized_);
 

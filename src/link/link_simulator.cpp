@@ -156,9 +156,18 @@ void LinkSimulator::simulate_frame(Detector& detector, DecisionMode mode, Rng& r
   SoftBatchResult soft_batch;
   std::vector<double> conf;
 
+  // One batched preparation covers the frame's nsc channel matrices (the
+  // packed SIMD drivers under src/detect/prepare/ factorize them as lanes);
+  // select_prepared(sc) below activates each slot exactly as the historical
+  // per-subcarrier prepare() did, bit for bit. Accounting rule: the batch
+  // counts ONE prepare_batch_call, and each select still counts one
+  // preprocess_call -- the logical factorization count is unchanged.
+  detector.prepare_batch(link.subcarriers, n0);
+  ++stats.detection.prepare_batch_calls;
+
   for (std::size_t sc = 0; sc < nsc; ++sc) {
     const linalg::CMatrix& h = link.subcarriers[sc];
-    detector.prepare(h, n0);
+    detector.select_prepared(sc);
     ++stats.detection.preprocess_calls;
 
     // Assemble all of the subcarrier's received vectors as columns of one

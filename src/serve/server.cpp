@@ -36,8 +36,10 @@ void CellCounters::hash_mix(std::uint64_t value) {
 namespace {
 
 /// One scheduled MU-MIMO frame in flight through a TTI: the transmit-side
-/// state built in the schedule phase, the receive-side buffers the detect
-/// phase scatters into, and the countdown that marks detection complete.
+/// state built in the schedule phase and the receive-side buffers the
+/// detect phase scatters into. A frame is one work item: the worker that
+/// takes it batch-prepares all nsc subcarrier channels in one call, then
+/// solves them slot by slot.
 struct FrameJob {
   std::size_t cell = 0;
   std::vector<std::size_t> users;  ///< Scheduled users, stream k = users[k].
@@ -60,9 +62,6 @@ struct FrameJob {
   /// Pre-drawn symbol-major noise, noise[(sym * nsc + sc) * antennas + i]
   /// -- the LinkSimulator draw-order convention.
   std::vector<cf64> noise;
-  /// Work items (subcarriers) still to be detected; the worker that takes
-  /// this to zero stamps the frame's detection latency.
-  std::atomic<std::size_t> remaining{0};
 };
 
 /// Per-worker detection scratch, reused across items, TTIs and runs.
@@ -128,7 +127,7 @@ ServeResult Server::run(std::uint64_t ttis, std::uint64_t seed) {
 
   std::vector<std::unique_ptr<FrameJob>> jobs(ncells);
   std::vector<CellSchedule> scheds(ncells);
-  std::vector<std::pair<std::size_t, std::size_t>> items;  // (cell, subcarrier)
+  std::vector<std::size_t> items;  // Scheduled frames, by cell.
 
   for (std::uint64_t tti = 0; tti < ttis; ++tti) {
     // --- Phase 1 (schedule): arrivals, user selection, rate choice and
@@ -192,7 +191,6 @@ ServeResult Server::run(std::uint64_t ttis, std::uint64_t seed) {
         job->noise.resize(job->ofdm_symbols * job->nsc * job->antennas);
         for (auto& v : job->noise) v = rng.cgaussian(job->n0);
       }
-      job->remaining.store(job->nsc, std::memory_order_relaxed);
       jobs[c] = std::move(job);
     });
 
@@ -212,15 +210,19 @@ ServeResult Server::run(std::uint64_t ttis, std::uint64_t seed) {
         ++cc.scheduled_frames;
         cc.scheduled_users += sched.users.size();
         result.cells[c].schedule_log.push_back(sched);
-        for (std::size_t sc = 0; sc < jobs[c]->nsc; ++sc) items.emplace_back(c, sc);
+        items.push_back(c);
       }
     }
 
-    // --- Phase 2 (detect): the TTI's frames decompose into
-    // (cell, subcarrier) work items -- each prepares that subcarrier's
-    // channel once and batch-solves all the frame's OFDM symbols on it --
-    // pulled from a shared counter by every worker. Frame latency runs
-    // from the TTI's dispatch to the frame's last item completing.
+    // --- Phase 2 (detect): each scheduled frame is one work item, pulled
+    // from a shared counter by every worker. The worker batch-prepares the
+    // frame's nsc subcarrier channels in ONE prepare_batch call (the packed
+    // SIMD drivers under src/detect/prepare/ factorize them as lanes), then
+    // selects each slot and batch-solves all the frame's OFDM symbols on
+    // it. Frame latency runs from the TTI's dispatch to the frame item
+    // completing. Counters are the work-item layout's exact sums (one
+    // prepare_batch_call per frame, one preprocess_call per subcarrier), so
+    // they stay byte-identical across thread counts and kernel tiers.
     if (!items.empty()) {
       const auto t_start = std::chrono::steady_clock::now();
       std::atomic<std::size_t> next{0};
@@ -229,8 +231,7 @@ ServeResult Server::run(std::uint64_t ttis, std::uint64_t seed) {
         for (;;) {
           const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
           if (i >= items.size()) break;
-          FrameJob& job = *jobs[items[i].first];
-          const std::size_t sc = items[i].second;
+          FrameJob& job = *jobs[items[i]];
 
           Detector& detector = worker_detector(w, *job.det_spec, job.qam);
           SoftDetector* soft = nullptr;
@@ -242,53 +243,57 @@ ServeResult Server::run(std::uint64_t ttis, std::uint64_t seed) {
                                           "\" cannot produce soft decisions");
           }
 
-          detector.prepare(job.link.subcarriers[sc], job.n0);
           DetectionStats& ws = worker_stats[w][job.cell];
-          ++ws.preprocess_calls;
+          detector.prepare_batch(job.link.subcarriers, job.n0);
+          ++ws.prepare_batch_calls;
 
-          // Assemble the subcarrier's received vectors exactly as the link
-          // layer does (same multiply, same pre-drawn noise slice).
-          scr.x.resize(job.streams);
-          scr.y.resize(job.antennas);
-          scr.y_batch.assign_shape(job.antennas, job.ofdm_symbols);
-          for (std::size_t sym = 0; sym < job.ofdm_symbols; ++sym) {
-            for (std::size_t k = 0; k < job.streams; ++k)
-              scr.x[k] = detector.constellation().point(
-                  job.tx[k].symbol_at(sym, sc, job.nsc));
-            multiply_into(job.link.subcarriers[sc], scr.x, scr.y);
-            if (job.n0 > 0.0) {
-              const cf64* n = &job.noise[(sym * job.nsc + sc) * job.antennas];
-              for (std::size_t i2 = 0; i2 < job.antennas; ++i2) scr.y[i2] += n[i2];
+          for (std::size_t sc = 0; sc < job.nsc; ++sc) {
+            detector.select_prepared(sc);
+            ++ws.preprocess_calls;
+
+            // Assemble the subcarrier's received vectors exactly as the
+            // link layer does (same multiply, same pre-drawn noise slice).
+            scr.x.resize(job.streams);
+            scr.y.resize(job.antennas);
+            scr.y_batch.assign_shape(job.antennas, job.ofdm_symbols);
+            for (std::size_t sym = 0; sym < job.ofdm_symbols; ++sym) {
+              for (std::size_t k = 0; k < job.streams; ++k)
+                scr.x[k] = detector.constellation().point(
+                    job.tx[k].symbol_at(sym, sc, job.nsc));
+              multiply_into(job.link.subcarriers[sc], scr.x, scr.y);
+              if (job.n0 > 0.0) {
+                const cf64* n = &job.noise[(sym * job.nsc + sc) * job.antennas];
+                for (std::size_t i2 = 0; i2 < job.antennas; ++i2) scr.y[i2] += n[i2];
+              }
+              for (std::size_t i2 = 0; i2 < job.antennas; ++i2)
+                scr.y_batch(i2, sym) = scr.y[i2];
             }
-            for (std::size_t i2 = 0; i2 < job.antennas; ++i2)
-              scr.y_batch(i2, sym) = scr.y[i2];
+
+            if (soft != nullptr) {
+              soft->solve_soft_batch(scr.y_batch, scr.soft_batch);
+              ws += scr.soft_batch.stats;
+              worker_calls[w][job.cell] += scr.soft_batch.count;
+              llrs_to_confidence(scr.soft_batch.llrs, scr.conf);
+              for (std::size_t sym = 0; sym < job.ofdm_symbols; ++sym)
+                for (std::size_t k = 0; k < job.streams; ++k)
+                  for (unsigned b = 0; b < job.q; ++b)
+                    job.rx_conf[k][(sym * job.nsc + sc) * job.q + b] =
+                        scr.conf[(sym * job.streams + k) * job.q + b];
+            } else {
+              detector.solve_batch(scr.y_batch, scr.batch);
+              ws += scr.batch.stats;
+              worker_calls[w][job.cell] += scr.batch.count;
+              for (std::size_t sym = 0; sym < job.ofdm_symbols; ++sym)
+                for (std::size_t k = 0; k < job.streams; ++k)
+                  job.rx[k][sym * job.nsc + sc] =
+                      scr.batch.indices[sym * job.streams + k];
+            }
           }
 
-          if (soft != nullptr) {
-            soft->solve_soft_batch(scr.y_batch, scr.soft_batch);
-            ws += scr.soft_batch.stats;
-            worker_calls[w][job.cell] += scr.soft_batch.count;
-            llrs_to_confidence(scr.soft_batch.llrs, scr.conf);
-            for (std::size_t sym = 0; sym < job.ofdm_symbols; ++sym)
-              for (std::size_t k = 0; k < job.streams; ++k)
-                for (unsigned b = 0; b < job.q; ++b)
-                  job.rx_conf[k][(sym * job.nsc + sc) * job.q + b] =
-                      scr.conf[(sym * job.streams + k) * job.q + b];
-          } else {
-            detector.solve_batch(scr.y_batch, scr.batch);
-            ws += scr.batch.stats;
-            worker_calls[w][job.cell] += scr.batch.count;
-            for (std::size_t sym = 0; sym < job.ofdm_symbols; ++sym)
-              for (std::size_t k = 0; k < job.streams; ++k)
-                job.rx[k][sym * job.nsc + sc] = scr.batch.indices[sym * job.streams + k];
-          }
-
-          if (job.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-            const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                                std::chrono::steady_clock::now() - t_start)
-                                .count();
-            worker_latency[w][job.cell].record(static_cast<std::uint64_t>(ns));
-          }
+          const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now() - t_start)
+                              .count();
+          worker_latency[w][job.cell].record(static_cast<std::uint64_t>(ns));
         }
       });
     }

@@ -12,6 +12,8 @@
 #include "detect/hybrid.h"
 #include "detect/kbest.h"
 #include "detect/ml_exhaustive.h"
+#include "linalg/cond.h"
+#include "linalg/qr.h"
 #include "detect/rvd_sphere.h"
 #include "detect/sphere/sphere_decoder.h"
 #include "link/theory.h"
@@ -121,7 +123,11 @@ TEST(Hybrid, RoutesByMeasuredConditioning) {
   const int trials = 100;
   for (int trial = 0; trial < trials; ++trial) {
     const auto h = ensemble.draw_flat(rng);
-    if (channel::kappa_sq_db(h) > 15.0) ++expected_sphere;
+    // The hybrid prices conditioning off the diagonal of the channel's QR
+    // factor (the factorization the sphere decoder then adopts), so the
+    // reference must read the same estimate rather than the SVD kappa.
+    const auto [q, r] = linalg::householder_qr(h);
+    if (linalg::qr_diag_condition_sq_db(r) > 15.0) ++expected_sphere;
     const auto sent = random_indices(rng, c, 4);
     const auto y = transmit(rng, h, c, sent, n0);
     hybrid.detect(y, h, n0);
